@@ -1,0 +1,451 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablation benchmarks for the design choices called out in DESIGN.md.
+// Each benchmark runs the complete experiment pipeline at QuickScale
+// (30,000 frames); run cmd/vbrexperiments -scale paper for the full-size
+// reproduction.
+package vbr
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"vbr/internal/codec"
+	"vbr/internal/experiments"
+	"vbr/internal/fgn"
+	"vbr/internal/queue"
+	"vbr/internal/stats"
+	"vbr/internal/synth"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite, benchErr = experiments.NewSuite(experiments.QuickScale)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+func BenchmarkTable1_TraceGeneration(b *testing.B) {
+	cfg := synth.DefaultConfig()
+	cfg.Frames = 30000
+	cfg.SlicesPerFrame = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_TraceStatistics(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_HurstEstimates(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1_TimeSeries(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig1(2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2_MovingAverage(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_SegmentHistograms(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_CCDFRightTail(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_CDFLeftTail(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_DensityVsHybrid(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_Autocorrelation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_Periodogram(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_MeanConvergence(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_Aggregation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_VarianceTime(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12_RSPox(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14_QCCurves(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig14(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15_SMG(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig15(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16_ModelComparison(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig16(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig17_ErrorProcess(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Fig17(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks (DESIGN.md §5).
+
+// Hosking's exact O(n²) generator vs the O(n log n) circulant embedding.
+func BenchmarkAblation_Hosking10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.Hosking(10000, 0.8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_DaviesHarte10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.DaviesHarte(10000, 0.8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Direct O(n·lag) autocorrelation vs the FFT path.
+func BenchmarkAblation_ACFDirect(b *testing.B) {
+	s := suite(b)
+	frames := s.Trace.Frames
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.AutocorrelationDirect(frames, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ACFFFT(b *testing.B) {
+	s := suite(b)
+	frames := s.Trace.Frames
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Autocorrelation(frames, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fluid vs cell-exact queueing at slice granularity.
+func benchWorkload(b *testing.B) queue.Workload {
+	b.Helper()
+	s := suite(b)
+	mux, err := queue.NewMux(s.Trace, 1, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := mux.SliceWorkload([]int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func BenchmarkAblation_QueueFluid(b *testing.B) {
+	w := benchWorkload(b)
+	c := w.MeanRate() * 1.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := queue.Simulate(w, c, 20000, queue.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_QueueCells(b *testing.B) {
+	w := benchWorkload(b)
+	c := w.MeanRate() * 1.2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := queue.SimulateCells(w, c, 20000, queue.UniformSpacing, queue.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Marginal-transform table resolution (the paper uses 10,000 points).
+func BenchmarkAblation_QuantileTable1k(b *testing.B) { benchQuantileTable(b, 1000) }
+
+func BenchmarkAblation_QuantileTable10k(b *testing.B) { benchQuantileTable(b, 10000) }
+
+func BenchmarkAblation_QuantileTable100k(b *testing.B) { benchQuantileTable(b, 100000) }
+
+func benchQuantileTable(b *testing.B, size int) {
+	gp, err := NewGammaPareto(27791, 6254, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gp.QuantileTable(size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Zero-loss capacity: bisection vs the exact convex-hull dual.
+func BenchmarkAblation_ZeroLossBisection(b *testing.B) {
+	w := benchWorkload(b)
+	lo, hi := w.MeanRate()*0.5, w.PeakRate()*1.05
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loss := func(c float64) (float64, error) {
+			r, err := queue.Simulate(w, c, 20000, queue.Options{})
+			if err != nil {
+				return 0, err
+			}
+			return r.Pl, nil
+		}
+		if _, err := queue.MinCapacity(loss, lo, hi, queue.LossTarget{Pl: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_ZeroLossExact(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := queue.ZeroLossCapacityExact(w, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Extension benchmarks.
+
+func BenchmarkExt_TransportModes(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtTransport(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_BufferlessAdmission(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtAdmission(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_SRDAugmentation(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtSRD(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_InterframeCoding(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtInterframe(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_TailFidelity(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtTailFidelity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExt_SceneDetection(b *testing.B) {
+	s := suite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ExtScenes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The real intraframe coder: one 504×480 frame through DCT, quantizer,
+// run-length and Huffman coding (Table 1's pipeline).
+func BenchmarkAblation_CodecFrame(b *testing.B) {
+	cfg := codec.DefaultCoderConfig()
+	coder, err := codec.NewCoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := codec.NewFrame(cfg.Width, cfg.Height)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := codec.RenderFrame(frame, codec.RenderParams{Activity: 0.5, SceneID: 1}); err != nil {
+		b.Fatal(err)
+	}
+	if err := coder.Train([]*codec.Frame{frame}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coder.CodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+// Command vbranalyze reproduces the statistical analyses of §3 of the
+// paper — Tables 2–3 and the data behind Figs. 1–12 — on a VBR trace.
+//
+// The trace is either read from a file written by vbrtrace (-in) or
+// regenerated from the built-in synthetic movie (-frames). Individual
+// experiments are selected with flags; -all runs everything.
+//
+// Examples:
+//
+//	vbranalyze -in trace.bin -table2 -table3
+//	vbranalyze -frames 171000 -all
+//	vbranalyze -in trace.bin -fig7 -series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vbr/internal/experiments"
+	"vbr/internal/lrd"
+	"vbr/internal/plot"
+	"vbr/internal/scenes"
+)
+
+// renderPlot converts experiment series to plot series and prints the
+// ASCII chart.
+func renderPlot(series []experiments.SeriesResult, opts plot.Options) error {
+	ps := make([]plot.Series, len(series))
+	for i, s := range series {
+		ps[i] = plot.Series{Label: s.Label, X: s.X, Y: s.Y}
+	}
+	out, err := plot.Render(ps, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbranalyze: ")
+
+	var (
+		in     = flag.String("in", "", "binary trace file (from vbrtrace); empty = regenerate")
+		frames = flag.Int("frames", 171000, "frames to generate when -in is empty")
+		seed   = flag.Uint64("seed", 1994, "seed for regeneration")
+		series = flag.Bool("series", false, "print data series, not just summaries")
+		doPlot = flag.Bool("plot", false, "render ASCII plots of the figures")
+
+		all    = flag.Bool("all", false, "run every analysis")
+		table1 = flag.Bool("table1", false, "Table 1: generation parameters")
+		table2 = flag.Bool("table2", false, "Table 2: trace statistics")
+		table3 = flag.Bool("table3", false, "Table 3: Hurst estimates")
+		fig1   = flag.Bool("fig1", false, "Fig 1: time series and peaks")
+		fig2   = flag.Bool("fig2", false, "Fig 2: low-frequency content")
+		fig3   = flag.Bool("fig3", false, "Fig 3: segment histograms")
+		fig4   = flag.Bool("fig4", false, "Fig 4: CCDF right tail vs models")
+		fig5   = flag.Bool("fig5", false, "Fig 5: CDF left tail vs models")
+		fig6   = flag.Bool("fig6", false, "Fig 6: density vs Gamma/Pareto")
+		fig7   = flag.Bool("fig7", false, "Fig 7: autocorrelation")
+		fig8   = flag.Bool("fig8", false, "Fig 8: periodogram")
+		fig9   = flag.Bool("fig9", false, "Fig 9: mean convergence CIs")
+		fig10  = flag.Bool("fig10", false, "Fig 10: aggregated self-similarity")
+		fig11  = flag.Bool("fig11", false, "Fig 11: variance-time plot")
+		fig12  = flag.Bool("fig12", false, "Fig 12: R/S pox diagram")
+		scn    = flag.Bool("scenes", false, "scene detection and scene-level model (§4.2 extension)")
+	)
+	flag.Parse()
+
+	suite, err := loadOrGenerate(*in, *frames, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	any := false
+	run := func(enabled bool, fn func() error) {
+		if *all || enabled {
+			any = true
+			if err := fn(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	run(*table1, func() error {
+		r, err := suite.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run(*table2, func() error {
+		r, err := suite.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	run(*table3, func() error {
+		r, err := suite.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if *series {
+			// The paper's "plot (not shown here)": Ĥ(m) with 95% CIs
+			// against the aggregation level m.
+			ladder, err := lrd.WhittleLadder(suite.Trace.Frames, true, 128)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Whittle aggregation ladder Ĥ(m) ± 95% CI:")
+			for _, p := range ladder {
+				fmt.Printf("  m=%6d  H=%.3f ± %.3f\n", p.M, p.H, p.CI95)
+			}
+			fmt.Println()
+		}
+		return nil
+	})
+	run(*fig1, func() error {
+		r, err := suite.Fig1(2000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 1: time series, %d display points; major peaks at frames %v\n",
+			len(r.Series.X), r.PeakFrames)
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{r.Series}, plot.Options{
+				Title: "Fig 1: bytes per frame over the movie", XLabel: "frame", YLabel: "bytes",
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Series, 40))
+		}
+		return nil
+	})
+	run(*fig2, func() error {
+		r, err := suite.Fig2()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 2: %s, %d points\n", r.Label, len(r.X))
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{*r}, plot.Options{
+				Title: "Fig 2: low-frequency content", XLabel: "frame", YLabel: "bytes",
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(*r, 40))
+		}
+		return nil
+	})
+	run(*fig3, func() error {
+		r, err := suite.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 3: five 2-minute segment histograms vs complete trace; max segment KS = %.3f\n", r.MaxKS)
+		if *series {
+			for _, seg := range r.Segments {
+				fmt.Print(experiments.FormatSeries(seg, 15))
+			}
+			fmt.Print(experiments.FormatSeries(r.Full, 15))
+		}
+		return nil
+	})
+	run(*fig4, func() error {
+		r, err := suite.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 4: log-log CCDF right tail; fitted Pareto slope m_T = %.2f\n", r.ParetoSlope)
+		fmt.Println("max |log10 model - log10 empirical| over the tail:")
+		for _, name := range []string{"normal", "lognormal", "gamma", "gamma/pareto"} {
+			fmt.Printf("  %-14s %.3f\n", name, r.TailErr[name])
+		}
+		if *doPlot {
+			all := append([]experiments.SeriesResult{r.Empirical}, r.Models...)
+			if err := renderPlot(all, plot.Options{
+				Title: "Fig 4: log-log CCDF right tail", XLabel: "bytes/frame", YLabel: "P(X>x)",
+				LogX: true, LogY: true,
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Empirical, 25))
+		}
+		return nil
+	})
+	run(*fig5, func() error {
+		r, err := suite.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 5: log-log CDF left tail; max |log10 model - log10 empirical|:")
+		for _, name := range []string{"normal", "lognormal", "gamma", "gamma/pareto"} {
+			fmt.Printf("  %-14s %.3f\n", name, r.TailErr[name])
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Empirical, 25))
+		}
+		return nil
+	})
+	run(*fig6, func() error {
+		r, err := suite.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 6: density vs Gamma/Pareto model; KS distance = %.4f\n", r.KS)
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Empirical, 25))
+			fmt.Print(experiments.FormatSeries(r.Model, 25))
+		}
+		return nil
+	})
+	run(*fig7, func() error {
+		r, err := suite.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 7: autocorrelation to lag %d; departs from exponential fit at lag %d\n",
+			len(r.ACF.Y)-1, r.DepartLag)
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{r.ACF, r.ExpFit}, plot.Options{
+				Title: "Fig 7: autocorrelation", XLabel: "lag", YLabel: "r(n)",
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.ACF, 40))
+		}
+		return nil
+	})
+	run(*fig8, func() error {
+		r, err := suite.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 8: periodogram; low-frequency power law ω^-α with α = %.3f (H = %.3f)\n",
+			r.Alpha, r.H)
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{r.Periodogram}, plot.Options{
+				Title: "Fig 8: periodogram", XLabel: "frequency (rad)", YLabel: "I(w)",
+				LogX: true, LogY: true,
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Periodogram, 40))
+		}
+		return nil
+	})
+	run(*fig9, func() error {
+		r, err := suite.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 9: mean estimates on growing prefixes (final mean %.0f)\n", r.FinalMean)
+		fmt.Printf("  %10s  %12s  %12s  %12s\n", "n", "mean", "±95% iid", "±95% LRD")
+		for _, ci := range r.Points {
+			fmt.Printf("  %10d  %12.1f  %12.1f  %12.1f\n", ci.N, ci.Mean, ci.HalfIID, ci.HalfLRD)
+		}
+		fmt.Printf("prefixes whose iid CI misses the final mean: %d of %d (LRD CI: %d)\n",
+			r.IIDMisses, len(r.Points)-1, r.LRDMisses)
+		return nil
+	})
+	run(*fig10, func() error {
+		r, err := suite.Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 10: aggregated processes retain structure (self-similarity)")
+		for i, sr := range r.Aggregated {
+			fmt.Printf("  %-10s CoV = %.3f\n", sr.Label, r.CoVs[i])
+		}
+		return nil
+	})
+	run(*fig11, func() error {
+		r, err := suite.Fig11()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 11: variance-time plot; β = %.3f, H = %.3f (paper: 0.78)\n", r.Beta, r.H)
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{r.Points}, plot.Options{
+				Title: "Fig 11: variance-time plot (log10-log10)", XLabel: "log10 m", YLabel: "log10 var",
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Points, 40))
+		}
+		return nil
+	})
+	run(*fig12, func() error {
+		r, err := suite.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 12: R/S pox diagram; H = %.3f (paper: 0.83), %d points\n",
+			r.H, len(r.Points.X))
+		if *doPlot {
+			if err := renderPlot([]experiments.SeriesResult{r.Points}, plot.Options{
+				Title: "Fig 12: pox diagram of R/S (log10-log10)", XLabel: "log10 lag", YLabel: "log10 R/S",
+			}); err != nil {
+				return err
+			}
+		}
+		if *series {
+			fmt.Print(experiments.FormatSeries(r.Points, 40))
+		}
+		return nil
+	})
+
+	run(*scn, func() error {
+		dcfg := scenes.DefaultConfig()
+		detected, err := scenes.Detect(suite.Trace.Frames, dcfg)
+		if err != nil {
+			return err
+		}
+		lm, err := scenes.FitLevelModel(detected)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Scene detection (window %d frames, threshold %.1f medians):\n", dcfg.Window, dcfg.Thresh)
+		fmt.Printf("  %d scenes; mean duration %.0f frames (%.1f s)\n",
+			lm.NumScenes, lm.MeanDuration, lm.MeanDuration/suite.Trace.FrameRate)
+		fmt.Printf("  scene level %.0f ± %.0f bytes/frame; within-scene σ %.0f\n",
+			lm.LevelMean, lm.LevelStd, lm.WithinStdMean)
+		if *series {
+			fmt.Printf("  %10s  %10s  %12s  %12s\n", "start", "length", "mean", "std")
+			for _, sc := range detected {
+				fmt.Printf("  %10d  %10d  %12.0f  %12.0f\n", sc.Start, sc.Length, sc.Mean, sc.Std)
+			}
+		}
+		return nil
+	})
+
+	if !any {
+		fmt.Fprintln(os.Stderr, "no analysis selected; use -all or individual flags (see -help)")
+		os.Exit(2)
+	}
+}
+
+// loadOrGenerate reads a binary trace when a path is given, otherwise
+// regenerates the synthetic movie.
+func loadOrGenerate(path string, frames int, seed uint64) (*experiments.Suite, error) {
+	if path == "" {
+		return experiments.GenerateSuite(frames, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return experiments.LoadSuite(f)
+}

@@ -1,0 +1,163 @@
+// Command vbrexperiments runs the complete reproduction: every table and
+// figure of the paper's evaluation, end to end, printing paper-style
+// summaries. Its output is the source of EXPERIMENTS.md.
+//
+//	vbrexperiments                 # quick scale (30,000 frames, seconds)
+//	vbrexperiments -scale paper    # full scale (171,000 frames, minutes)
+//	vbrexperiments -scale paper -slices  # slice-granularity queueing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vbr/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbrexperiments: ")
+
+	var (
+		scaleFlag  = flag.String("scale", "quick", "quick | paper")
+		slices     = flag.Bool("slices", false, "queueing simulations at slice granularity")
+		extensions = flag.Bool("extensions", true, "also run the future-work extension studies")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale
+	case "paper":
+		scale = experiments.PaperScale
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	start := time.Now()
+	suite, err := experiments.NewSuite(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.UseSlices = *slices
+	fmt.Printf("=== VBR video reproduction suite: %s scale, %d frames (generated in %v) ===\n\n",
+		*scaleFlag, len(suite.Trace.Frames), time.Since(start).Round(time.Millisecond))
+
+	step := func(name string, fn func() (interface{ Format() string }, error)) {
+		t0 := time.Now()
+		r, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(r.Format())
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	step("Table 1", func() (interface{ Format() string }, error) { return suite.Table1() })
+	step("Table 2", func() (interface{ Format() string }, error) { return suite.Table2() })
+	step("Table 3", func() (interface{ Format() string }, error) { return suite.Table3() })
+
+	// Figures 1–12: print compact summaries.
+	if r, err := suite.Fig1(2000); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 1: full time series; major peaks at frames %v\n\n", r.PeakFrames)
+	}
+	if r, err := suite.Fig2(); err != nil {
+		log.Fatal(err)
+	} else {
+		lo, hi := r.Y[0], r.Y[0]
+		for _, v := range r.Y {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		fmt.Printf("Figure 2: %s; swing %.0f..%.0f bytes/frame\n\n", r.Label, lo, hi)
+	}
+	if r, err := suite.Fig3(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 3: max KS distance of a 2-minute segment from the full marginal: %.3f\n\n", r.MaxKS)
+	}
+	if r, err := suite.Fig4(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 4: right-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f (m_T=%.2f)\n\n",
+			r.TailErr["normal"], r.TailErr["lognormal"], r.TailErr["gamma"], r.TailErr["gamma/pareto"], r.ParetoSlope)
+	}
+	if r, err := suite.Fig5(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 5: left-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f\n\n",
+			r.TailErr["normal"], r.TailErr["lognormal"], r.TailErr["gamma"], r.TailErr["gamma/pareto"])
+	}
+	if r, err := suite.Fig6(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 6: Gamma/Pareto density fit, KS distance %.4f\n\n", r.KS)
+	}
+	if r, err := suite.Fig7(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 7: acf departs from exponential fit at lag %d; acf(500)=%.3f acf(2000)=%.3f\n\n",
+			r.DepartLag, r.ACF.Y[500], r.ACF.Y[min(2000, len(r.ACF.Y)-1)])
+	}
+	if r, err := suite.Fig8(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 8: low-frequency spectrum ~ ω^-α with α=%.3f (H=%.3f)\n\n", r.Alpha, r.H)
+	}
+	if r, err := suite.Fig9(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 9: iid 95%% CI misses the final mean for %d of %d prefixes; LRD-corrected CI misses %d\n\n",
+			r.IIDMisses, len(r.Points)-1, r.LRDMisses)
+	}
+	if r, err := suite.Fig10(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 10: aggregated CoVs %v — structure retained under aggregation\n\n", fmtFloats(r.CoVs))
+	}
+	if r, err := suite.Fig11(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 11: variance-time β=%.3f, H=%.3f (paper: 0.78)\n\n", r.Beta, r.H)
+	}
+	if r, err := suite.Fig12(); err != nil {
+		log.Fatal(err)
+	} else {
+		fmt.Printf("Figure 12: R/S pox H=%.3f (paper: 0.83)\n\n", r.H)
+	}
+
+	step("Figure 14", func() (interface{ Format() string }, error) { return suite.Fig14() })
+	step("Figure 15", func() (interface{ Format() string }, error) { return suite.Fig15() })
+	step("Figure 16", func() (interface{ Format() string }, error) { return suite.Fig16() })
+	step("Figure 17", func() (interface{ Format() string }, error) { return suite.Fig17() })
+
+	if *extensions {
+		fmt.Println("=== extension studies (the paper's stated future work) ===")
+		fmt.Println()
+		step("Transport modes", func() (interface{ Format() string }, error) { return suite.ExtTransport() })
+		step("Bufferless admission", func() (interface{ Format() string }, error) { return suite.ExtAdmission() })
+		step("SRD augmentations", func() (interface{ Format() string }, error) { return suite.ExtSRD() })
+		step("Interframe coding", func() (interface{ Format() string }, error) { return suite.ExtInterframe() })
+		step("Scene detection", func() (interface{ Format() string }, error) { return suite.ExtScenes() })
+		step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelity() })
+	}
+
+	fmt.Printf("=== complete in %v ===\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fmtFloats(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, v := range xs {
+		out[i] = fmt.Sprintf("%.3f", v)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Command vbrgen generates synthetic VBR video traffic from the paper's
+// four-parameter source model (§4): fractional ARIMA(0, d, 0) noise from
+// Hosking's exact algorithm, transformed to the hybrid Gamma/Pareto
+// marginal via Eq. 13.
+//
+// Examples:
+//
+//	vbrgen -n 171000 -o model.bin                  # paper parameters
+//	vbrgen -n 171000 -hurst 0.85 -tail 9 -o x.bin  # custom parameters
+//	vbrgen -n 50000 -variant gaussian -csv g.csv   # Fig. 16 ablation
+//	vbrgen -n 10000 -generator hosking             # the paper's O(n²) path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+
+	"vbr/internal/core"
+	"vbr/internal/lrd"
+	"vbr/internal/stats"
+	"vbr/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbrgen: ")
+
+	var (
+		n       = flag.Int("n", 171000, "frames to generate")
+		mu      = flag.Float64("mean", 27791, "μ_Γ: Gamma-body mean (bytes/frame)")
+		sigma   = flag.Float64("std", 6254, "σ_Γ: Gamma-body std (bytes/frame)")
+		tail    = flag.Float64("tail", 12, "m_T: Pareto tail slope")
+		hurst   = flag.Float64("hurst", 0.8, "H: Hurst parameter")
+		gen     = flag.String("generator", "davies-harte", "LRD engine: hosking (the paper's exact O(n²) algorithm) | davies-harte (O(n log n))")
+		variant = flag.String("variant", "full", "model variant: full | gaussian | iid")
+		tabSize = flag.Int("table", 10000, "marginal mapping table size (paper: 10000)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		spf     = flag.Int("slices", 30, "slices per frame in the output trace (0 = none)")
+		outBin  = flag.String("o", "", "output path for binary trace")
+		outCSV  = flag.String("csv", "", "output path for CSV frame series")
+		verify  = flag.Bool("verify", true, "measure the realization against the model")
+	)
+	flag.Parse()
+
+	model := core.Model{MuGamma: *mu, SigmaGamma: *sigma, TailSlope: *tail, Hurst: *hurst}
+	if err := model.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	opts := core.GenOptions{TableSize: *tabSize, Standardize: true, Seed: *seed}
+	switch *gen {
+	case "hosking":
+		opts.Generator = core.HoskingExact
+		if *n > 50000 {
+			fmt.Fprintf(os.Stderr, "note: Hosking is O(n²); %d points will take a while (the paper: \"10 hours on a 1994 workstation\")\n", *n)
+		}
+	case "davies-harte":
+		opts.Generator = core.DaviesHarteFast
+	default:
+		log.Fatalf("unknown generator %q", *gen)
+	}
+
+	var frames []float64
+	var err error
+	switch *variant {
+	case "full":
+		frames, err = model.Generate(*n, opts)
+	case "gaussian":
+		frames, err = model.GenerateGaussian(*n, opts)
+	case "iid":
+		frames, err = model.GenerateIID(*n, opts)
+	default:
+		log.Fatalf("unknown variant %q", *variant)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verify {
+		s, err := stats.Summarize(frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %d frames: mean %.0f, std %.0f, CoV %.2f, peak/mean %.2f\n",
+			s.N, s.Mean, s.Std, s.CoV, s.PeakMean)
+		if *variant == "full" && *n >= 1000 {
+			vt, err := lrd.VarianceTime(frames, 1, 0, 0)
+			if err == nil {
+				fmt.Printf("variance-time H of realization: %.3f (model: %.3f)\n", vt.H, model.Hurst)
+			}
+		}
+	}
+
+	tr := &trace.Trace{Frames: frames, FrameRate: 24}
+	if *spf > 0 {
+		rng := rand.New(rand.NewPCG(*seed, 0x517ce))
+		if err := tr.SlicesFromFrames(*spf, 0.3, rng.Float64); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *outBin != "" {
+		f, err := os.Create(*outBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteBinary(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote binary trace to %s\n", *outBin)
+	}
+	if *outCSV != "" {
+		f, err := os.Create(*outCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote CSV frame series to %s\n", *outCSV)
+	}
+}

@@ -1,0 +1,122 @@
+// Command vbrsim runs the trace-driven and model-based queueing
+// simulations of §5 of the paper: the Fig. 14 Q–C tradeoff curves, the
+// Fig. 15 statistical-multiplexing-gain analysis, the Fig. 16 model
+// comparison, the Fig. 17 error-process study, and one-off simulations of
+// a single operating point.
+//
+// Examples:
+//
+//	vbrsim -frames 30000 -fig14
+//	vbrsim -frames 171000 -fig15 -slices
+//	vbrsim -in trace.bin -point -n 5 -capacity 20e6 -tmax 2ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"vbr/internal/experiments"
+	"vbr/internal/queue"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbrsim: ")
+
+	var (
+		in     = flag.String("in", "", "binary trace file; empty = regenerate synthetic movie")
+		frames = flag.Int("frames", 30000, "frames to generate when -in is empty")
+		seed   = flag.Uint64("seed", 1994, "seed for regeneration")
+		slices = flag.Bool("slices", false, "simulate at slice granularity (the paper's resolution; ~30× slower)")
+
+		fig14 = flag.Bool("fig14", false, "Fig 14: Q-C tradeoff curves")
+		fig15 = flag.Bool("fig15", false, "Fig 15: statistical multiplexing gain")
+		fig16 = flag.Bool("fig16", false, "Fig 16: trace vs model variants")
+		fig17 = flag.Bool("fig17", false, "Fig 17: windowed error process")
+
+		point    = flag.Bool("point", false, "simulate one operating point")
+		nSources = flag.Int("n", 1, "multiplexed sources (-point)")
+		capacity = flag.Float64("capacity", 6e6, "channel capacity, bits/s (-point)")
+		tmax     = flag.Duration("tmax", 2*time.Millisecond, "max buffer delay Q/(N·C) (-point)")
+	)
+	flag.Parse()
+
+	suite, err := loadOrGenerate(*in, *frames, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	suite.UseSlices = *slices
+
+	any := false
+	if *fig14 {
+		any = true
+		r, err := suite.Fig14()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+	if *fig15 {
+		any = true
+		r, err := suite.Fig15()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+	if *fig16 {
+		any = true
+		r, err := suite.Fig16()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+	if *fig17 {
+		any = true
+		r, err := suite.Fig17()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(r.Format())
+	}
+	if *point {
+		any = true
+		mux, err := queue.NewMux(suite.Trace, *nSources, 1000, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := tmax.Seconds() * *capacity / 8
+		r, err := mux.AverageLoss(*capacity, q, *slices, queue.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("N=%d  C=%.3f Mb/s (%.3f Mb/s per source)  T_max=%v  Q=%.0f bytes\n",
+			*nSources, *capacity/1e6, *capacity/float64(*nSources)/1e6, *tmax, q)
+		fmt.Printf("P_l      = %.3g\n", r.Pl)
+		fmt.Printf("P_l-WES  = %.3g\n", r.PlWES)
+		fmt.Printf("max backlog = %.0f bytes\n", r.MaxBacklog)
+	}
+
+	if !any {
+		fmt.Fprintln(os.Stderr, "no simulation selected; use -fig14/-fig15/-fig16/-fig17/-point")
+		os.Exit(2)
+	}
+}
+
+// loadOrGenerate reads a binary trace when a path is given, otherwise
+// regenerates the synthetic movie.
+func loadOrGenerate(path string, frames int, seed uint64) (*experiments.Suite, error) {
+	if path == "" {
+		return experiments.GenerateSuite(frames, seed)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return experiments.LoadSuite(f)
+}

@@ -1,0 +1,165 @@
+// Command vbrtrace synthesizes the empirical-substitute VBR video trace
+// (§2 of the paper) and writes it to disk.
+//
+// Two generation paths are available:
+//
+//   - activity (default): the scene-structured activity process is mapped
+//     directly to bytes-per-frame through the calibrated Gamma/Pareto
+//     marginal. Fast; reproduces Tables 1–2 at full length in seconds.
+//   - codec: the activity process drives a procedural frame renderer and
+//     every frame is compressed by the real 8×8 DCT / run-length /
+//     Huffman intraframe coder; bit counts become the trace. This is the
+//     paper's actual pipeline (the authors burned 6 weeks of 1990 CPU on
+//     it) and costs O(frames·pixels).
+//
+// Examples:
+//
+//	vbrtrace -frames 171000 -o trace.bin
+//	vbrtrace -mode codec -frames 2000 -width 504 -height 480 -o coded.bin
+//	vbrtrace -frames 30000 -csv trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vbr/internal/codec"
+	"vbr/internal/synth"
+	"vbr/internal/trace"
+)
+
+// slicesFor returns the preferred slice count if it divides the frame's
+// block rows, otherwise the largest divisor of the block rows not
+// exceeding it (so reduced test resolutions keep working).
+func slicesFor(height, preferred int) int {
+	blockRows := height / 8
+	if blockRows < 1 {
+		return 1
+	}
+	for s := min(preferred, blockRows); s > 1; s-- {
+		if blockRows%s == 0 {
+			return s
+		}
+	}
+	return 1
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vbrtrace: ")
+
+	var (
+		mode    = flag.String("mode", "activity", "generation path: activity | codec | interframe")
+		gop     = flag.Int("gop", 12, "GOP size (interframe mode)")
+		search  = flag.Int("search", 4, "motion search range in pels (interframe mode)")
+		bframes = flag.Int("bframes", 2, "B frames between references (interframe mode)")
+		frames  = flag.Int("frames", 171000, "number of frames")
+		seed    = flag.Uint64("seed", 1994, "random seed")
+		hurst   = flag.Float64("hurst", 0.8, "Hurst parameter of the activity process")
+		mean    = flag.Float64("mean", 27791, "Gamma-body mean, bytes/frame (activity mode)")
+		std     = flag.Float64("std", 6254, "Gamma-body std, bytes/frame (activity mode)")
+		tail    = flag.Float64("tail", 12, "Pareto tail slope m_T (activity mode)")
+		width   = flag.Int("width", 504, "frame width (codec mode)")
+		height  = flag.Int("height", 480, "frame height (codec mode)")
+		quant   = flag.Float64("quant", 8, "quantizer step (codec mode)")
+		train   = flag.Int("train", 64, "Huffman training frames (codec mode)")
+		outBin  = flag.String("o", "", "output path for binary trace")
+		outCSV  = flag.String("csv", "", "output path for CSV frame series")
+		summary = flag.Bool("summary", true, "print Table 1/2 style summary")
+	)
+	flag.Parse()
+
+	cfg := synth.DefaultConfig()
+	cfg.Frames = *frames
+	cfg.Seed = *seed
+	cfg.Hurst = *hurst
+	cfg.MeanBytes = *mean
+	cfg.StdBytes = *std
+	cfg.TailSlope = *tail
+
+	var tr *trace.Trace
+	var err error
+	switch *mode {
+	case "activity":
+		tr, err = synth.Generate(cfg)
+	case "codec":
+		ccfg := codec.DefaultCoderConfig()
+		ccfg.Width = *width
+		ccfg.Height = *height
+		ccfg.QuantStep = *quant
+		ccfg.SlicesPerFrame = slicesFor(*height, ccfg.SlicesPerFrame)
+		var coder *codec.Coder
+		coder, err = codec.NewCoder(ccfg)
+		if err == nil {
+			cfg.SlicesPerFrame = 0 // the coder produces slice data itself
+			tr, err = coder.GenerateTrace(cfg, *train)
+		}
+	case "interframe":
+		icfg := codec.DefaultInterCoderConfig()
+		icfg.Width = *width
+		icfg.Height = *height
+		icfg.QuantStep = *quant
+		icfg.GOPSize = *gop
+		icfg.SearchRange = *search
+		icfg.BFrames = *bframes
+		icfg.SlicesPerFrame = slicesFor(*height, icfg.SlicesPerFrame)
+		var coder *codec.InterCoder
+		coder, err = codec.NewInterCoder(icfg)
+		if err == nil {
+			cfg.SlicesPerFrame = 0
+			tr, err = coder.GenerateTrace(cfg, *train)
+		}
+	default:
+		log.Fatalf("unknown mode %q (want activity, codec or interframe)", *mode)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *summary {
+		fs, err := tr.FrameStats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("frames:        %d (%.2f h at %.0f fps)\n", len(tr.Frames), tr.Duration()/3600, tr.FrameRate)
+		fmt.Printf("avg bandwidth: %.2f Mb/s\n", tr.MeanRate()/1e6)
+		fmt.Printf("mean/frame:    %.0f bytes   std: %.0f   CoV: %.2f\n", fs.Mean, fs.Std, fs.CoV)
+		fmt.Printf("min/max:       %.0f / %.0f bytes   peak/mean: %.2f\n", fs.Min, fs.Max, fs.PeakMean)
+		if tr.Slices != nil {
+			ss, err := tr.SliceStats()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("slice mean:    %.1f bytes   CoV: %.2f\n", ss.Mean, ss.CoV)
+		}
+	}
+
+	if *outBin != "" {
+		f, err := os.Create(*outBin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteBinary(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote binary trace to %s\n", *outBin)
+	}
+	if *outCSV != "" {
+		f, err := os.Create(*outCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote CSV frame series to %s\n", *outCSV)
+	}
+}

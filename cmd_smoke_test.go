@@ -1,0 +1,147 @@
+package vbr
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The command binaries are built once into a shared temp dir and then
+// exercised end to end: generation → analysis → simulation round trips
+// through real files and flags.
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "vbrbin")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"vbrtrace", "vbranalyze", "vbrgen", "vbrsim", "vbrexperiments"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildErr = &buildError{cmd: cmd, out: string(out), err: err}
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binDir
+}
+
+// TestMain removes the shared binary directory after all tests.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binDir != "" {
+		os.RemoveAll(binDir)
+	}
+	os.Exit(code)
+}
+
+type buildError struct {
+	cmd string
+	out string
+	err error
+}
+
+func (e *buildError) Error() string {
+	return "building " + e.cmd + ": " + e.err.Error() + "\n" + e.out
+}
+
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binaries(t), name), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLITraceAnalyzeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.bin")
+	csvFile := filepath.Join(dir, "t.csv")
+
+	out := runCmd(t, "vbrtrace", "-frames", "8000", "-o", traceFile, "-csv", csvFile)
+	if !strings.Contains(out, "avg bandwidth") {
+		t.Errorf("vbrtrace output missing summary:\n%s", out)
+	}
+	if fi, err := os.Stat(traceFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("binary trace not written: %v", err)
+	}
+	if fi, err := os.Stat(csvFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("CSV trace not written: %v", err)
+	}
+
+	out = runCmd(t, "vbranalyze", "-in", traceFile, "-table1", "-table2", "-fig11")
+	for _, want := range []string{"Table 1", "Table 2", "variance-time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vbranalyze output missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runCmd(t, "vbrsim", "-in", traceFile, "-point", "-n", "2", "-capacity", "12e6")
+	if !strings.Contains(out, "P_l") {
+		t.Errorf("vbrsim output missing loss report:\n%s", out)
+	}
+}
+
+func TestCLIGenVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	for _, variant := range []string{"full", "gaussian", "iid"} {
+		outFile := filepath.Join(dir, variant+".bin")
+		out := runCmd(t, "vbrgen", "-n", "3000", "-variant", variant, "-o", outFile)
+		if !strings.Contains(out, "generated 3000 frames") {
+			t.Errorf("variant %s: missing summary:\n%s", variant, out)
+		}
+		if fi, err := os.Stat(outFile); err != nil || fi.Size() == 0 {
+			t.Errorf("variant %s: trace not written", variant)
+		}
+	}
+	// The Hosking path (the paper's algorithm) on a short series.
+	out := runCmd(t, "vbrgen", "-n", "2000", "-generator", "hosking")
+	if !strings.Contains(out, "variance-time H") {
+		t.Errorf("hosking run missing verification:\n%s", out)
+	}
+}
+
+func TestCLICodecModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	out := runCmd(t, "vbrtrace", "-mode", "codec", "-frames", "120", "-width", "64", "-height", "64", "-train", "8")
+	if !strings.Contains(out, "mean/frame") {
+		t.Errorf("codec mode missing summary:\n%s", out)
+	}
+	out = runCmd(t, "vbrtrace", "-mode", "interframe", "-frames", "120", "-width", "64", "-height", "64", "-train", "12", "-gop", "6")
+	if !strings.Contains(out, "mean/frame") {
+		t.Errorf("interframe mode missing summary:\n%s", out)
+	}
+}
+
+func TestCLIPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	out := runCmd(t, "vbranalyze", "-frames", "8000", "-fig11", "-plot")
+	if !strings.Contains(out, "|") || !strings.Contains(out, "log10 m") {
+		t.Errorf("plot output missing canvas:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+// Layered QoS: the §5.3 follow-ups as an application. Three mechanisms
+// the paper recommends or anticipates are compared on the same synthetic
+// movie:
+//
+//  1. CBR transport (the pre-packet-network baseline the paper's §1
+//     argues against): constant rate sized for a 100 ms smoothing delay.
+//
+//  2. Plain VBR with a small loss tolerance (the paper's main setting).
+//
+//  3. Peak clipping (the conclusions' recommendation: "a realistic VBR
+//     coder should clip such peaks, rather than send them into the
+//     network").
+//
+//  4. Layered coding through a two-priority queue (§5.3): a 75% base
+//     layer protected by partial buffer sharing, so congestion falls on
+//     the enhancement layer.
+//
+//     go run ./examples/layered-qos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbr"
+)
+
+func main() {
+	cfg := vbr.DefaultMovieConfig()
+	cfg.Frames = 20000
+	cfg.MeanSceneFrames = 120
+	tr, err := vbr.GenerateMovie(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux, err := vbr.NewMux(tr, 1, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lags := []int{0}
+	w, err := mux.FrameWorkload(lags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, peak := w.MeanRate(), w.PeakRate()
+	fmt.Printf("source: mean %.2f Mb/s, peak %.2f Mb/s\n\n", mean/1e6, peak/1e6)
+
+	// 1. CBR with a 100 ms smoothing delay.
+	cbr, err := vbr.CBRRate(w, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. CBR (100 ms smoothing):        %7.2f Mb/s, zero loss, 100 ms delay\n", cbr/1e6)
+
+	// 2. Plain VBR, 2 ms buffer, Pl ≤ 1e-3.
+	const tmax = 0.002
+	lossAt := func(c float64) (float64, error) {
+		r, err := vbr.Simulate(w, c, tmax*c/8, vbr.SimOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return r.Pl, nil
+	}
+	vbrCap, err := vbr.MinCapacityFn(lossAt, mean*0.5, peak*1.05, vbr.LossTarget{Pl: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2. VBR (2 ms buffer, Pl≤1e-3):    %7.2f Mb/s\n", vbrCap/1e6)
+
+	// 3. Peak clipping at 1.8× the mean frame size, then zero loss.
+	clipped := &vbr.Trace{Frames: append([]float64(nil), tr.Frames...), FrameRate: tr.FrameRate}
+	s, err := vbr.Summarize(clipped.Frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frac, err := clipped.ClipPeaks(1.8 * s.Mean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cw := vbr.Workload{Bytes: clipped.Frames, Interval: w.Interval}
+	clipCap, err := vbr.ZeroLossCapacityExact(cw, tmax*vbrCap/8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3. VBR + peak clipping:           %7.2f Mb/s, ZERO loss, %.3f%% of bytes clipped at the coder\n",
+		clipCap/1e6, frac*100)
+
+	// 4. Layered: 75% base layer, enhancement admitted below half the
+	//    buffer. Capacity just above the total mean — far below any
+	//    plain-VBR allocation — so congestion epochs are inevitable, but
+	//    partial buffer sharing steers them onto the enhancement layer.
+	lw, err := vbr.SplitLayers(w, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layerCap := mean * 1.05
+	buffer := 0.05 * layerCap / 8 // 50 ms of shared buffer
+	r, err := vbr.SimulatePriority(lw, layerCap, buffer, buffer/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4. Layered (75%% base, priority):  %7.2f Mb/s, base loss %.2e, enhancement loss %.2e\n",
+		layerCap/1e6, r.PlBase, r.PlEnhancement)
+
+	fmt.Println("\nreading: CBR must reserve far above the mean; plain VBR cuts the")
+	fmt.Println("allocation but leaves rare losses anywhere in the stream; clipping")
+	fmt.Println("removes the extreme peaks at the coder for a small quality cost;")
+	fmt.Println("layering lets the network run near the MEAN rate with the")
+	fmt.Println("protected base layer nearly loss-free — §5.3's program. Note the")
+	fmt.Println("LRD signature: congestion epochs last minutes, so at near-mean")
+	fmt.Println("capacity the enhancement layer is sacrificed almost entirely")
+	fmt.Println("during them, exactly the persistent 'bad states' the paper says")
+	fmt.Println("SRD models under-represent.")
+}

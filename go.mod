@@ -1,0 +1,3 @@
+module vbr
+
+go 1.22

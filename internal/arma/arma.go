@@ -1,0 +1,304 @@
+// Package arma implements autoregressive moving-average processes and
+// the fractional ARIMA(p, d, q) composition the paper defers to future
+// work in §4: "An additional set of short-term correlation parameters may
+// be included by combining this model with an ARMA filter or modulating
+// it with the state of a Markov chain."
+//
+// The package provides:
+//
+//   - AR(p) / MA(q) / ARMA(p, q) definitions with exact stationary
+//     autocovariances (AR via Yule–Walker, ARMA via simulation-free
+//     recursions for the cases used here);
+//   - Yule–Walker estimation of AR coefficients from data
+//     (Levinson–Durbin on the sample autocovariance);
+//   - filtering of an innovation series through an ARMA recursion, which
+//     composes with the fgn package to give fractional ARIMA(p, d, q):
+//     the fARIMA(0, d, 0) realization becomes the innovation stream of
+//     the ARMA filter, adding tunable short-range structure on top of
+//     the long-range dependent backbone without changing H;
+//   - a discrete-state Markov chain with level modulation, the paper's
+//     second suggested mechanism for scene-like short-term behaviour.
+package arma
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Model is an ARMA(p, q) process
+//
+//	X_t = Σ_i φ_i X_{t-i} + ε_t + Σ_j θ_j ε_{t-j}
+//
+// driven by an innovation series ε.
+type Model struct {
+	Phi   []float64 // AR coefficients φ_1..φ_p
+	Theta []float64 // MA coefficients θ_1..θ_q
+}
+
+// Validate checks stationarity (AR polynomial roots outside the unit
+// circle, tested via the Levinson–Durbin reflection-coefficient
+// criterion) and invertibility is not enforced (not needed for
+// generation).
+func (m Model) Validate() error {
+	p := len(m.Phi)
+	if p == 0 {
+		return nil
+	}
+	// Convert AR coefficients to partial autocorrelations by reverse
+	// Levinson–Durbin; stationarity ⇔ all reflection coefficients in
+	// (-1, 1).
+	a := make([]float64, p+1)
+	copy(a[1:], m.Phi)
+	for k := p; k >= 1; k-- {
+		rk := a[k]
+		if math.Abs(rk) >= 1 {
+			return fmt.Errorf("arma: AR polynomial not stationary (reflection coefficient %v at lag %d)", rk, k)
+		}
+		if k == 1 {
+			break
+		}
+		prev := make([]float64, k)
+		den := 1 - rk*rk
+		for j := 1; j < k; j++ {
+			prev[j] = (a[j] + rk*a[k-j]) / den
+		}
+		copy(a[1:k], prev[1:k])
+	}
+	return nil
+}
+
+// Filter runs the innovations through the ARMA recursion, returning a
+// series of the same length. Initial conditions are zero; callers
+// discarding a burn-in prefix obtain a (near-)stationary sample.
+func (m Model) Filter(innov []float64) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	p, q := len(m.Phi), len(m.Theta)
+	out := make([]float64, len(innov))
+	for t := range innov {
+		v := innov[t]
+		for j := 1; j <= q && t-j >= 0; j++ {
+			v += m.Theta[j-1] * innov[t-j]
+		}
+		for i := 1; i <= p && t-i >= 0; i++ {
+			v += m.Phi[i-1] * out[t-i]
+		}
+		out[t] = v
+	}
+	return out, nil
+}
+
+// Generate draws n points with standard Gaussian innovations, discarding
+// a burn-in of max(p, q)·50 points.
+func (m Model) Generate(n int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arma: length must be ≥ 1, got %d", n)
+	}
+	burn := 50 * (len(m.Phi) + len(m.Theta) + 1)
+	innov := make([]float64, n+burn)
+	for i := range innov {
+		innov[i] = rng.NormFloat64()
+	}
+	x, err := m.Filter(innov)
+	if err != nil {
+		return nil, err
+	}
+	return x[burn:], nil
+}
+
+// ARVariance returns the stationary variance of a pure AR(p) model with
+// unit innovation variance, via the Yule–Walker system.
+func (m Model) ARVariance() (float64, error) {
+	if len(m.Theta) != 0 {
+		return 0, fmt.Errorf("arma: ARVariance requires a pure AR model")
+	}
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	p := len(m.Phi)
+	if p == 0 {
+		return 1, nil
+	}
+	// Solve for autocovariances γ_0..γ_p by Gaussian elimination on the
+	// Yule–Walker equations with the variance equation appended:
+	//   γ_k = Σ_i φ_i γ_{k-i}  (k=1..p),   γ_0 = Σ_i φ_i γ_i + 1.
+	n := p + 1
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	// Row 0: γ_0 - Σ φ_i γ_i = 1.
+	a[0][0] = 1
+	for i := 1; i <= p; i++ {
+		a[0][i] -= m.Phi[i-1]
+	}
+	b[0] = 1
+	// Rows k = 1..p: γ_k - Σ_i φ_i γ_{|k-i|} = 0.
+	for k := 1; k <= p; k++ {
+		a[k][k] += 1
+		for i := 1; i <= p; i++ {
+			a[k][abs(k-i)] -= m.Phi[i-1]
+		}
+		b[k] = 0
+	}
+	gamma, err := solve(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return gamma[0], nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, fmt.Errorf("arma: singular Yule-Walker system")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		v := b[r]
+		for c := r + 1; c < n; c++ {
+			v -= a[r][c] * x[c]
+		}
+		x[r] = v / a[r][r]
+	}
+	return x, nil
+}
+
+// FitAR estimates AR(p) coefficients from data by solving the
+// Yule–Walker equations with the Levinson–Durbin recursion on the sample
+// autocorrelation. It returns the model and the innovation variance.
+func FitAR(xs []float64, p int) (Model, float64, error) {
+	if p < 1 {
+		return Model{}, 0, fmt.Errorf("arma: order must be ≥ 1, got %d", p)
+	}
+	if len(xs) < 10*p {
+		return Model{}, 0, fmt.Errorf("arma: need ≥ %d points for AR(%d), got %d", 10*p, p, len(xs))
+	}
+	// Sample autocorrelations r_0..r_p.
+	n := len(xs)
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	r := make([]float64, p+1)
+	var c0 float64
+	for _, v := range xs {
+		c0 += (v - mean) * (v - mean)
+	}
+	if c0 == 0 {
+		return Model{}, 0, fmt.Errorf("arma: constant series")
+	}
+	r[0] = 1
+	for k := 1; k <= p; k++ {
+		var ck float64
+		for t := 0; t+k < n; t++ {
+			ck += (xs[t] - mean) * (xs[t+k] - mean)
+		}
+		r[k] = ck / c0
+	}
+	// Levinson–Durbin.
+	phi := make([]float64, p+1)
+	prev := make([]float64, p+1)
+	v := 1.0
+	for k := 1; k <= p; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j] * r[k-j]
+		}
+		rk := acc / v
+		phi[k] = rk
+		for j := 1; j < k; j++ {
+			phi[j] = prev[j] - rk*prev[k-j]
+		}
+		v *= 1 - rk*rk
+		copy(prev, phi)
+	}
+	sampleVar := c0 / float64(n)
+	return Model{Phi: phi[1 : p+1]}, v * sampleVar, nil
+}
+
+// ACF returns the theoretical autocorrelation ρ_0..ρ_maxLag of a pure
+// AR(p) model (Yule–Walker extension).
+func (m Model) ACF(maxLag int) ([]float64, error) {
+	if len(m.Theta) != 0 {
+		return nil, fmt.Errorf("arma: ACF implemented for pure AR models")
+	}
+	if maxLag < 0 {
+		return nil, fmt.Errorf("arma: maxLag must be ≥ 0")
+	}
+	p := len(m.Phi)
+	if p == 0 {
+		out := make([]float64, maxLag+1)
+		out[0] = 1
+		return out, nil
+	}
+	// Solve the first p Yule–Walker equations for ρ_1..ρ_p, then extend
+	// by the recursion ρ_k = Σ φ_i ρ_{k-i}.
+	variance, err := m.ARVariance()
+	if err != nil {
+		return nil, err
+	}
+	_ = variance
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for k := 1; k <= p; k++ {
+		a[k-1] = make([]float64, p)
+		for i := 1; i <= p; i++ {
+			lag := abs(k - i)
+			if lag == 0 {
+				b[k-1] += m.Phi[i-1] // ρ_0 = 1 moves to the RHS
+				continue
+			}
+			a[k-1][lag-1] -= m.Phi[i-1]
+		}
+		a[k-1][k-1] += 1
+	}
+	rho1p, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	rho := make([]float64, maxLag+1)
+	rho[0] = 1
+	for k := 1; k <= maxLag; k++ {
+		if k <= p {
+			rho[k] = rho1p[k-1]
+			continue
+		}
+		var v float64
+		for i := 1; i <= p; i++ {
+			v += m.Phi[i-1] * rho[k-i]
+		}
+		rho[k] = v
+	}
+	return rho, nil
+}

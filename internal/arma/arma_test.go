@@ -1,0 +1,289 @@
+package arma
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"vbr/internal/stats"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	diff := math.Abs(got - want)
+	if diff > tol && diff > tol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestValidateStationarity(t *testing.T) {
+	good := []Model{
+		{},
+		{Phi: []float64{0.5}},
+		{Phi: []float64{0.9}},
+		{Phi: []float64{0.5, -0.3}},
+		{Phi: []float64{1.2, -0.4}}, // roots outside unit circle despite φ1 > 1
+		{Theta: []float64{0.7}},
+	}
+	for i, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("model %d should be stationary: %v", i, err)
+		}
+	}
+	bad := []Model{
+		{Phi: []float64{1.0}},
+		{Phi: []float64{1.5}},
+		{Phi: []float64{0.5, 0.5}}, // φ(1) = 0: unit root
+		{Phi: []float64{0.2, 0.9}}, // explosive
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d should be non-stationary", i)
+		}
+	}
+}
+
+func TestFilterAR1ClosedForm(t *testing.T) {
+	// AR(1) filter of a unit impulse is φ^t.
+	m := Model{Phi: []float64{0.7}}
+	innov := make([]float64, 10)
+	innov[0] = 1
+	out, err := m.Filter(innov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := range out {
+		approx(t, "impulse response", out[tt], math.Pow(0.7, float64(tt)), 1e-12)
+	}
+}
+
+func TestFilterMA1(t *testing.T) {
+	m := Model{Theta: []float64{0.5}}
+	innov := []float64{1, 0, 0, 2}
+	out, err := m.Filter(innov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 0.5, 0, 2}
+	for i := range want {
+		approx(t, "ma filter", out[i], want[i], 1e-12)
+	}
+}
+
+func TestARVarianceClosedForm(t *testing.T) {
+	// AR(1): Var = 1/(1-φ²).
+	m := Model{Phi: []float64{0.8}}
+	v, err := m.ARVariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "ar1 variance", v, 1/(1-0.64), 1e-10)
+	// White noise.
+	v0, err := Model{}.ARVariance()
+	if err != nil || v0 != 1 {
+		t.Errorf("white noise variance %v err %v", v0, err)
+	}
+	// AR(2) known value: Var = (1-φ2) / ((1+φ2)((1-φ2)²-φ1²)).
+	phi1, phi2 := 0.5, -0.3
+	m2 := Model{Phi: []float64{phi1, phi2}}
+	v2, err := m2.ARVariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - phi2) / ((1 + phi2) * ((1-phi2)*(1-phi2) - phi1*phi1))
+	approx(t, "ar2 variance", v2, want, 1e-10)
+	if _, err := (Model{Theta: []float64{0.5}}).ARVariance(); err == nil {
+		t.Error("MA model should be rejected")
+	}
+}
+
+func TestACFAR1(t *testing.T) {
+	m := Model{Phi: []float64{0.6}}
+	rho, err := m.ACF(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 10; k++ {
+		approx(t, "ar1 acf", rho[k], math.Pow(0.6, float64(k)), 1e-10)
+	}
+}
+
+func TestACFAR2MatchesSimulation(t *testing.T) {
+	m := Model{Phi: []float64{0.5, -0.3}}
+	rho, err := m.ACF(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs, err := m.Generate(300000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := stats.Autocorrelation(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 5; k++ {
+		approx(t, "ar2 acf vs sim", rho[k], emp[k], 0.03)
+	}
+}
+
+func TestGenerateMoments(t *testing.T) {
+	m := Model{Phi: []float64{0.8}}
+	rng := rand.New(rand.NewPCG(3, 4))
+	xs, err := m.Generate(200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean", stats.Mean(xs), 0, 0.05)
+	want, _ := m.ARVariance()
+	approx(t, "variance", stats.Variance(xs), want, 0.05*want)
+	if _, err := m.Generate(0, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := (Model{Phi: []float64{1.1}}).Generate(10, rng); err == nil {
+		t.Error("non-stationary generate should fail")
+	}
+}
+
+func TestFitARRecoversCoefficients(t *testing.T) {
+	truth := Model{Phi: []float64{0.6, -0.25}}
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs, err := truth.Generate(200000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, innovVar, err := FitAR(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "phi1", fit.Phi[0], 0.6, 0.03)
+	approx(t, "phi2", fit.Phi[1], -0.25, 0.03)
+	approx(t, "innovation variance", innovVar, 1, 0.05)
+}
+
+func TestFitARErrors(t *testing.T) {
+	if _, _, err := FitAR(make([]float64, 5), 1); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, _, err := FitAR(make([]float64, 100), 0); err == nil {
+		t.Error("order 0 should fail")
+	}
+	constant := make([]float64, 100)
+	if _, _, err := FitAR(constant, 1); err == nil {
+		t.Error("constant series should fail")
+	}
+}
+
+func TestFitARWhiteNoiseNearZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	fit, _, err := FitAR(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, phi := range fit.Phi {
+		if math.Abs(phi) > 0.02 {
+			t.Errorf("white noise φ%d = %v", i+1, phi)
+		}
+	}
+}
+
+func TestFilterPreservesLengthProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 11))
+		n := 1 + int(seed%500)
+		innov := make([]float64, n)
+		for i := range innov {
+			innov[i] = rng.NormFloat64()
+		}
+		m := Model{Phi: []float64{0.5}, Theta: []float64{0.3}}
+		out, err := m.Filter(innov)
+		return err == nil && len(out) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkovChainValidate(t *testing.T) {
+	bad := []*MarkovChain{
+		{},
+		{P: [][]float64{{1}}, Levels: []float64{1, 2}},
+		{P: [][]float64{{0.5, 0.4}, {0.5, 0.5}}, Levels: []float64{1, 2}},
+		{P: [][]float64{{1.5, -0.5}, {0.5, 0.5}}, Levels: []float64{1, 2}},
+		{P: [][]float64{{1, 0, 0}}, Levels: []float64{1}},
+	}
+	for i, mc := range bad {
+		if err := mc.Validate(); err == nil {
+			t.Errorf("chain %d should be invalid", i)
+		}
+	}
+}
+
+func TestMarkovStationary(t *testing.T) {
+	mc := &MarkovChain{
+		P:      [][]float64{{0.9, 0.1}, {0.5, 0.5}},
+		Levels: []float64{0, 1},
+	}
+	pi, err := mc.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balance: π0·0.1 = π1·0.5 → π = (5/6, 1/6).
+	approx(t, "pi0", pi[0], 5.0/6, 1e-9)
+	approx(t, "pi1", pi[1], 1.0/6, 1e-9)
+	m, err := mc.StationaryMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "stationary mean", m, 1.0/6, 1e-9)
+}
+
+func TestMarkovPathStatistics(t *testing.T) {
+	mc, err := SceneChain(240, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	path, err := mc.Path(400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centered levels → near-zero mean.
+	approx(t, "path mean", stats.Mean(path), 0, 0.05)
+	// Sojourn persistence: lag-1 autocorrelation ≈ stay probability
+	// adjusted; must be strongly positive.
+	r, err := stats.Autocorrelation(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[1] < 0.9 {
+		t.Errorf("lag-1 acf %v; sojourns too short for mean 240", r[1])
+	}
+	if _, err := mc.Path(0, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestSceneChainValidation(t *testing.T) {
+	if _, err := SceneChain(1, 1); err == nil {
+		t.Error("sojourn ≤ 1 should fail")
+	}
+	if _, err := SceneChain(10, -1); err == nil {
+		t.Error("negative spread should fail")
+	}
+	mc, err := SceneChain(48, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mc.StationaryMean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "scene chain centered", m, 0, 1e-9)
+}

@@ -1,0 +1,156 @@
+package arma
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// MarkovChain is a discrete-time, finite-state Markov chain with a level
+// attached to each state — the paper's second suggested short-range
+// mechanism ("modulating it with the state of a Markov chain"), natural
+// for scene-structured video: states are activity classes (e.g. quiet
+// dialogue / normal / action) and the chain's sojourn times produce
+// scene-like level persistence.
+type MarkovChain struct {
+	// P[i][j] is the transition probability from state i to state j;
+	// rows must sum to 1.
+	P [][]float64
+	// Levels[i] is the modulation level emitted in state i.
+	Levels []float64
+}
+
+// Validate checks stochasticity and shape.
+func (mc *MarkovChain) Validate() error {
+	n := len(mc.P)
+	if n == 0 {
+		return fmt.Errorf("arma: empty Markov chain")
+	}
+	if len(mc.Levels) != n {
+		return fmt.Errorf("arma: %d levels for %d states", len(mc.Levels), n)
+	}
+	for i, row := range mc.P {
+		if len(row) != n {
+			return fmt.Errorf("arma: row %d has %d entries, want %d", i, len(row), n)
+		}
+		var sum float64
+		for j, p := range row {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("arma: P[%d][%d] = %v out of [0,1]", i, j, p)
+			}
+			sum += p
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			return fmt.Errorf("arma: row %d sums to %v, want 1", i, sum)
+		}
+	}
+	return nil
+}
+
+// Stationary returns the stationary distribution π solving πP = π by
+// power iteration (the chains used here are small and ergodic).
+func (mc *MarkovChain) Stationary() ([]float64, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(mc.P)
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 10000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range pi {
+			for j := 0; j < n; j++ {
+				next[j] += pi[i] * mc.P[i][j]
+			}
+		}
+		var diff float64
+		for j := range next {
+			d := next[j] - pi[j]
+			if d < 0 {
+				d = -d
+			}
+			diff += d
+		}
+		copy(pi, next)
+		if diff < 1e-14 {
+			break
+		}
+	}
+	return pi, nil
+}
+
+// StationaryMean returns E[level] under the stationary distribution.
+func (mc *MarkovChain) StationaryMean() (float64, error) {
+	pi, err := mc.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	var m float64
+	for i, p := range pi {
+		m += p * mc.Levels[i]
+	}
+	return m, nil
+}
+
+// Path simulates n steps of the chain from a stationary start and
+// returns the emitted level series.
+func (mc *MarkovChain) Path(n int, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arma: path length must be ≥ 1, got %d", n)
+	}
+	pi, err := mc.Stationary()
+	if err != nil {
+		return nil, err
+	}
+	state := sample(pi, rng)
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		out[t] = mc.Levels[state]
+		state = sample(mc.P[state], rng)
+	}
+	return out, nil
+}
+
+// sample draws an index from a probability vector.
+func sample(p []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	for i, v := range p {
+		cum += v
+		if u < cum {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// SceneChain builds a three-state (quiet / normal / action) chain whose
+// mean sojourn time is meanSojourn steps and whose levels are centered
+// (stationary mean 0) with the given spread, ready to modulate a
+// standardized activity process.
+func SceneChain(meanSojourn, spread float64) (*MarkovChain, error) {
+	if meanSojourn <= 1 {
+		return nil, fmt.Errorf("arma: mean sojourn must be > 1, got %v", meanSojourn)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("arma: spread must be ≥ 0, got %v", spread)
+	}
+	stay := 1 - 1/meanSojourn
+	move := (1 - stay) / 2
+	mc := &MarkovChain{
+		P: [][]float64{
+			{stay, 2 * move, 0},
+			{move, stay, move},
+			{0, 2 * move, stay},
+		},
+		Levels: []float64{-spread, 0, spread},
+	}
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}

@@ -1,0 +1,271 @@
+package codec
+
+import "fmt"
+
+// This file adds bidirectional (B) frames to the interframe coder,
+// completing the MPEG I-B-B-P GOP structure. A B frame sits between two
+// reference frames (I or P); each of its blocks is predicted from the
+// motion-compensated best match in the previous reference, the next
+// reference, or the average of the two — whichever has the smallest
+// residual energy — and only the residual is transform-coded.
+
+// FrameType labels a coded frame in a GOP.
+type FrameType byte
+
+// Frame types.
+const (
+	FrameI FrameType = 'I'
+	FrameP FrameType = 'P'
+	FrameB FrameType = 'B'
+)
+
+// frameTypeAt returns the GOP role of display index t.
+func (c *InterCoder) frameTypeAt(t int) FrameType {
+	step := c.cfg.BFrames + 1
+	if t%c.cfg.GOPSize == 0 {
+		return FrameI
+	}
+	if t%step == 0 {
+		return FrameP
+	}
+	return FrameB
+}
+
+// codeBFrame codes cur bidirectionally against the two references,
+// returning per-slice bit counts. Either reference may be nil (e.g. at
+// the sequence tail there is no future reference), in which case the
+// block predictor set degrades gracefully to the available side.
+func (c *InterCoder) codeBFrame(cur *Frame, refL, refR []float64) ([]int, error) {
+	if refL == nil && refR == nil {
+		return nil, fmt.Errorf("codec: B frame with no references")
+	}
+	blockRows := c.cfg.Height / BlockSize
+	rowsPerSlice := blockRows / c.cfg.SlicesPerFrame
+	blocksPerRow := c.cfg.Width / BlockSize
+	blocksPerSlice := rowsPerSlice * blocksPerRow
+	// Bi-prediction signals which reference(s) each block used: ~2 bits
+	// of mode plus one or two motion vectors.
+	mvBits := 2 * intLog2(2*c.searchRange()+1)
+	bits := make([]int, c.cfg.SlicesPerFrame)
+
+	w, h := c.cfg.Width, c.cfg.Height
+	var block, coeffs Block
+	var levels [BlockSize * BlockSize]int32
+	var symbols []RunLevel
+	blockIdx := 0
+	for by := 0; by < h; by += BlockSize {
+		for bx := 0; bx < w; bx += BlockSize {
+			// Candidate predictors.
+			type cand struct {
+				sad      float64
+				predL    bool
+				predR    bool
+				dxL, dyL int
+				dxR, dyR int
+			}
+			best := cand{sad: 1e300}
+			if refL != nil {
+				dx, dy := c.bestMotion(refL, cur, bx, by)
+				sad := blockSAD(refL, cur, bx, by, dx, dy, w)
+				if sad < best.sad {
+					best = cand{sad: sad, predL: true, dxL: dx, dyL: dy}
+				}
+			}
+			if refR != nil {
+				dx, dy := c.bestMotion(refR, cur, bx, by)
+				sad := blockSAD(refR, cur, bx, by, dx, dy, w)
+				if sad < best.sad {
+					best = cand{sad: sad, predR: true, dxR: dx, dyR: dy}
+				}
+			}
+			if refL != nil && refR != nil {
+				dxL, dyL := c.bestMotion(refL, cur, bx, by)
+				dxR, dyR := c.bestMotion(refR, cur, bx, by)
+				sad := blockSADAvg(refL, refR, cur, bx, by, dxL, dyL, dxR, dyR, w)
+				if sad < best.sad {
+					best = cand{sad: sad, predL: true, predR: true, dxL: dxL, dyL: dyL, dxR: dxR, dyR: dyR}
+				}
+			}
+
+			// Residual against the chosen predictor.
+			for y := 0; y < BlockSize; y++ {
+				for x := 0; x < BlockSize; x++ {
+					curV := float64(cur.Pix[(by+y)*w+bx+x])
+					var pred float64
+					switch {
+					case best.predL && best.predR:
+						pl := refL[(by+y+best.dyL)*w+bx+x+best.dxL]
+						pr := refR[(by+y+best.dyR)*w+bx+x+best.dxR]
+						pred = (pl + pr) / 2
+					case best.predL:
+						pred = refL[(by+y+best.dyL)*w+bx+x+best.dxL]
+					default:
+						pred = refR[(by+y+best.dyR)*w+bx+x+best.dxR]
+					}
+					block[y][x] = curV - pred
+				}
+			}
+			ForwardDCT(&coeffs, &block)
+			Quantize(&coeffs, c.cfg.QuantStep, &levels)
+			symbols = RunLengthEncode(&levels, symbols[:0])
+			n, err := c.intra.huff.CountBits(symbols)
+			if err != nil {
+				return nil, err
+			}
+			slice := blockIdx / blocksPerSlice
+			bits[slice] += n + 2 // mode bits
+			if best.predL {
+				bits[slice] += mvBits
+			}
+			if best.predR {
+				bits[slice] += mvBits
+			}
+			blockIdx++
+		}
+	}
+	return bits, nil
+}
+
+// blockSAD computes the sum of absolute differences between a block of
+// cur and its displaced position in ref, clamping displacements that run
+// off the frame to zero displacement.
+func blockSAD(ref []float64, cur *Frame, bx, by, dx, dy, w int) float64 {
+	h := len(ref) / w
+	if by+dy < 0 || by+dy+BlockSize > h || bx+dx < 0 || bx+dx+BlockSize > w {
+		dx, dy = 0, 0
+	}
+	var sad float64
+	for y := 0; y < BlockSize; y++ {
+		rowC := (by+y)*w + bx
+		rowR := (by+y+dy)*w + bx + dx
+		for x := 0; x < BlockSize; x++ {
+			d := float64(cur.Pix[rowC+x]) - ref[rowR+x]
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// blockSADAvg is blockSAD against the average of two displaced references.
+func blockSADAvg(refL, refR []float64, cur *Frame, bx, by, dxL, dyL, dxR, dyR, w int) float64 {
+	h := len(refL) / w
+	if by+dyL < 0 || by+dyL+BlockSize > h || bx+dxL < 0 || bx+dxL+BlockSize > w {
+		dxL, dyL = 0, 0
+	}
+	if by+dyR < 0 || by+dyR+BlockSize > h || bx+dxR < 0 || bx+dxR+BlockSize > w {
+		dxR, dyR = 0, 0
+	}
+	var sad float64
+	for y := 0; y < BlockSize; y++ {
+		rowC := (by+y)*w + bx
+		rowL := (by+y+dyL)*w + bx + dxL
+		rowR := (by+y+dyR)*w + bx + dxR
+		for x := 0; x < BlockSize; x++ {
+			d := float64(cur.Pix[rowC+x]) - (refL[rowL+x]+refR[rowR+x])/2
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// seqCoder streams a display-ordered sequence through the I/B/P GOP
+// structure: reference frames are coded immediately, B frames buffered
+// until the next reference arrives (coding order IPBB… vs display order
+// IBBP…, the MPEG encoder reordering). Results are delivered through
+// emit in arbitrary order but with display indices attached.
+type seqCoder struct {
+	c       *InterCoder
+	lastRef []float64
+	pending []pendingB
+	emit    func(t int, bits []int, ft FrameType) error
+}
+
+type pendingB struct {
+	t     int
+	frame *Frame
+}
+
+// push feeds the display-order frame at index t. The frame is retained
+// until its mini-GOP completes, so callers must hand over ownership.
+func (s *seqCoder) push(f *Frame, t int) error {
+	if s.c.cfg.BFrames > 0 && s.c.frameTypeAt(t) == FrameB {
+		s.pending = append(s.pending, pendingB{t: t, frame: f})
+		return nil
+	}
+	// Reference frame: code it, then the buffered B frames between the
+	// previous reference and this one.
+	prevRef := s.lastRef
+	bits, intra, err := s.c.CodeFrame(f, t)
+	if err != nil {
+		return err
+	}
+	ft := FrameP
+	if intra {
+		ft = FrameI
+	}
+	if err := s.emit(t, bits, ft); err != nil {
+		return err
+	}
+	newRef := framePix(f)
+	for _, pb := range s.pending {
+		bb, err := s.c.codeBFrame(pb.frame, prevRef, newRef)
+		if err != nil {
+			return err
+		}
+		if err := s.emit(pb.t, bb, FrameB); err != nil {
+			return err
+		}
+	}
+	s.pending = s.pending[:0]
+	s.lastRef = newRef
+	return nil
+}
+
+// flush codes tail B frames that never saw a future reference
+// (forward-predicted only).
+func (s *seqCoder) flush() error {
+	for _, pb := range s.pending {
+		bb, err := s.c.codeBFrame(pb.frame, s.lastRef, nil)
+		if err != nil {
+			return err
+		}
+		if err := s.emit(pb.t, bb, FrameB); err != nil {
+			return err
+		}
+	}
+	s.pending = s.pending[:0]
+	return nil
+}
+
+// CodeSequence codes a complete display-ordered frame sequence with the
+// full I/B/P GOP structure, returning per-frame slice bit counts and the
+// frame types in display order. The coder's Huffman table must already
+// be trained (TrainOn).
+func (c *InterCoder) CodeSequence(frames []*Frame) ([][]int, []FrameType, error) {
+	if len(frames) == 0 {
+		return nil, nil, fmt.Errorf("codec: empty sequence")
+	}
+	bits := make([][]int, len(frames))
+	types := make([]FrameType, len(frames))
+	c.Reset()
+	sc := &seqCoder{c: c, emit: func(t int, b []int, ft FrameType) error {
+		bits[t] = b
+		types[t] = ft
+		return nil
+	}}
+	for t, f := range frames {
+		if err := sc.push(f, t); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sc.flush(); err != nil {
+		return nil, nil, err
+	}
+	return bits, types, nil
+}

@@ -1,0 +1,120 @@
+// Package codec implements the paper's intraframe video compression code
+// (§2, Table 1): an 8×8 Discrete Cosine Transform, uniform quantization,
+// zigzag scanning, run-length coding and Huffman coding — "essentially the
+// same coding as the JPEG standard". It also provides a procedural frame
+// source whose spatial complexity is driven by the synthetic movie
+// activity process, so that a real coder producing real bit counts
+// generates the VBR bandwidth trace, exactly as the paper's hardware did.
+package codec
+
+import "math"
+
+// BlockSize is the DCT block edge length used by the paper's coder.
+const BlockSize = 8
+
+// Block is an 8×8 tile of samples, row-major.
+type Block [BlockSize][BlockSize]float64
+
+// dctMatrix[u][x] = c(u)·cos((2x+1)uπ/16), the orthonormal DCT-II basis.
+var dctMatrix [BlockSize][BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		c := math.Sqrt(2.0 / BlockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / BlockSize)
+		}
+		for x := 0; x < BlockSize; x++ {
+			dctMatrix[u][x] = c * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/(2*BlockSize))
+		}
+	}
+}
+
+// ForwardDCT computes the 2-D DCT-II of src into dst (separable: rows then
+// columns). dst and src may alias.
+func ForwardDCT(dst, src *Block) {
+	var tmp Block
+	// Transform rows: tmp[y][u] = Σ_x src[y][x]·dctMatrix[u][x].
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += src[y][x] * dctMatrix[u][x]
+			}
+			tmp[y][u] = s
+		}
+	}
+	// Transform columns: dst[v][u] = Σ_y tmp[y][u]·dctMatrix[v][y].
+	for v := 0; v < BlockSize; v++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y][u] * dctMatrix[v][y]
+			}
+			dst[v][u] = s
+		}
+	}
+}
+
+// InverseDCT computes the 2-D inverse DCT (DCT-III) of src into dst,
+// the exact inverse of ForwardDCT.
+func InverseDCT(dst, src *Block) {
+	var tmp Block
+	for v := 0; v < BlockSize; v++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += src[v][u] * dctMatrix[u][x]
+			}
+			tmp[v][x] = s
+		}
+	}
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += tmp[v][x] * dctMatrix[v][y]
+			}
+			dst[y][x] = s
+		}
+	}
+}
+
+// zigzag maps scan position to (row, col) in the canonical JPEG order so
+// low-frequency coefficients come first and zero runs cluster at the end.
+var zigzag [BlockSize * BlockSize][2]int
+
+func init() {
+	i := 0
+	for s := 0; s < 2*BlockSize-1; s++ {
+		if s%2 == 0 { // even diagonals go up-right
+			for r := min(s, BlockSize-1); r >= 0 && s-r < BlockSize; r-- {
+				zigzag[i] = [2]int{r, s - r}
+				i++
+			}
+		} else { // odd diagonals go down-left
+			for c := min(s, BlockSize-1); c >= 0 && s-c < BlockSize; c-- {
+				zigzag[i] = [2]int{s - c, c}
+				i++
+			}
+		}
+	}
+}
+
+// Quantize maps DCT coefficients to integer levels with a uniform
+// quantizer of the given step (the paper fixes the step size), returning
+// them in zigzag order.
+func Quantize(coeffs *Block, step float64, out *[BlockSize * BlockSize]int32) {
+	for i, rc := range zigzag {
+		v := coeffs[rc[0]][rc[1]] / step
+		out[i] = int32(math.Round(v))
+	}
+}
+
+// Dequantize reverses Quantize (up to rounding), producing a coefficient
+// block from zigzag-ordered levels.
+func Dequantize(levels *[BlockSize * BlockSize]int32, step float64, out *Block) {
+	for i, rc := range zigzag {
+		out[rc[0]][rc[1]] = float64(levels[i]) * step
+	}
+}

@@ -1,0 +1,135 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is a monochrome (luminance-only, as in the paper) raster of 8-bit
+// samples, row-major.
+type Frame struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewFrame allocates a zeroed frame; dimensions must be positive multiples
+// of the DCT block size.
+func NewFrame(w, h int) (*Frame, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("codec: frame dimensions must be positive, got %d×%d", w, h)
+	}
+	if w%BlockSize != 0 || h%BlockSize != 0 {
+		return nil, fmt.Errorf("codec: frame dimensions must be multiples of %d, got %d×%d", BlockSize, w, h)
+	}
+	return &Frame{W: w, H: h, Pix: make([]uint8, w*h)}, nil
+}
+
+// At returns the sample at (x, y).
+func (f *Frame) At(x, y int) uint8 { return f.Pix[y*f.W+x] }
+
+// Set writes the sample at (x, y).
+func (f *Frame) Set(x, y int, v uint8) { f.Pix[y*f.W+x] = v }
+
+// hash64 is SplitMix64, used to derive deterministic per-scene texture
+// parameters without threading an RNG through the renderer.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(hash64(x)>>11) / float64(1<<53)
+}
+
+// RenderParams controls procedural frame synthesis. Activity in [0, 1]
+// drives spatial complexity: low-activity frames are smooth gradients
+// (few bits after the DCT), high-activity frames are full of fine texture
+// and edges (many bits) — the monotone complexity→bitrate relationship
+// that lets the synthetic activity process steer the coder's output.
+type RenderParams struct {
+	Activity     float64 // spatial complexity in [0, 1]
+	SceneID      uint64  // selects the scene's deterministic texture
+	FrameInScene int     // drives motion (phase drift) within the scene
+}
+
+// RenderFrame synthesizes a frame into dst. The image is a sum of a
+// smooth illumination gradient, several sinusoidal gratings whose count,
+// frequency and contrast grow with activity (camera-textured surfaces),
+// and a scene-persistent hash-noise texture field scaled by activity.
+// Motion is modeled as a scene-constant integer-pel translation of the
+// whole field (camera pan) plus a small per-frame flicker, so
+// consecutive frames of a scene are related by a displacement an
+// interframe coder's motion search can find — while every frame remains
+// equally expensive for an intraframe coder.
+func RenderFrame(dst *Frame, p RenderParams) error {
+	if p.Activity < 0 || p.Activity > 1 || math.IsNaN(p.Activity) {
+		return fmt.Errorf("codec: activity must be in [0,1], got %v", p.Activity)
+	}
+	a := p.Activity
+	seed := p.SceneID
+
+	// Scene-deterministic gradient orientation and base level.
+	gradAngle := 2 * math.Pi * unitFloat(seed)
+	gx := math.Cos(gradAngle) * 40
+	gy := math.Sin(gradAngle) * 40
+	base := 96 + 64*unitFloat(seed+1)
+
+	// Camera pan: a scene-constant integer velocity in [-2, 2] pels per
+	// frame along each axis.
+	vx := int(unitFloat(seed+20)*5) - 2
+	vy := int(unitFloat(seed+21)*5) - 2
+	ox := vx * p.FrameInScene
+	oy := vy * p.FrameInScene
+
+	// Gratings: 2 + up to 6 more with activity. Frequencies rise with
+	// activity up to near Nyquist.
+	nGratings := 2 + int(6*a)
+	type grating struct {
+		fx, fy, amp, phase float64
+	}
+	gr := make([]grating, nGratings)
+	for i := range gr {
+		s := seed + uint64(100+i*7)
+		maxFreq := 0.05 + 0.42*a // cycles per pel
+		gr[i] = grating{
+			fx:    (unitFloat(s) - 0.5) * 2 * maxFreq,
+			fy:    (unitFloat(s+1) - 0.5) * 2 * maxFreq,
+			amp:   (4 + 36*a) * (0.4 + 0.6*unitFloat(s+2)),
+			phase: 2 * math.Pi * unitFloat(s+3),
+		}
+	}
+	grainAmp := 2 + 46*a*a // scene-persistent texture
+	flickerAmp := 1 + 5*a  // per-frame unpredictable component
+
+	for y := 0; y < dst.H; y++ {
+		ys := y + oy
+		fyn := float64(y) / float64(dst.H)
+		for x := 0; x < dst.W; x++ {
+			xs := x + ox
+			fxn := float64(x) / float64(dst.W)
+			v := base + gx*fxn + gy*fyn
+			for _, g := range gr {
+				v += g.amp * math.Sin(2*math.Pi*(g.fx*float64(xs)+g.fy*float64(ys))+g.phase)
+			}
+			// Scene texture: persistent hash field sampled at the panned
+			// coordinates, so it translates with the camera.
+			h := hash64(uint64(uint32(xs))<<32 ^ uint64(uint32(ys)) ^ seed<<1)
+			v += grainAmp * (float64(h>>40)/float64(1<<24) - 0.5)
+			// Flicker: small per-frame noise (sensor/film grain) that no
+			// predictor can remove.
+			f := hash64(uint64(uint32(x))<<32 ^ uint64(uint32(y)) ^ seed<<1 ^ uint64(p.FrameInScene)<<48 ^ 0xf11c)
+			v += flickerAmp * (float64(f>>40)/float64(1<<24) - 0.5)
+			switch {
+			case v < 0:
+				v = 0
+			case v > 255:
+				v = 255
+			}
+			dst.Pix[y*dst.W+x] = uint8(v)
+		}
+	}
+	return nil
+}

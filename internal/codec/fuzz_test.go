@@ -1,0 +1,113 @@
+package codec
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// fuzzTable builds a representative Huffman table once for the decoder
+// fuzzers.
+func fuzzTable(tb testing.TB) *HuffmanTable {
+	tb.Helper()
+	freq := make([]uint64, numSyms)
+	for i := range freq {
+		freq[i] = uint64(1 + (i*2654435761)%97)
+	}
+	freq[symEOB] = 100000
+	tab, err := NewHuffmanTable(freq)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tab
+}
+
+// FuzzDecodeSymbols feeds arbitrary bitstreams to the Huffman decoder:
+// it must terminate (no livelock on truncated codes) and never panic;
+// anything decoded must re-encode to a stream that decodes identically.
+func FuzzDecodeSymbols(f *testing.F) {
+	tab := fuzzTable(f)
+	// Seed with a valid block stream.
+	rng := rand.New(rand.NewPCG(1, 2))
+	var levels [64]int32
+	for i := range levels {
+		if rng.Float64() < 0.3 {
+			levels[i] = int32(rng.IntN(101) - 50)
+		}
+	}
+	syms := RunLengthEncode(&levels, nil)
+	w := &BitWriter{}
+	if _, err := tab.EncodeSymbols(syms, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := tab.DecodeSymbols(NewBitReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded symbols must terminate with EOB and re-encode to a
+		// stream that decodes to the same symbols.
+		if len(got) == 0 || got[len(got)-1] != EOB {
+			t.Fatal("decode succeeded without EOB")
+		}
+		w := &BitWriter{}
+		if _, err := tab.EncodeSymbols(got, w); err != nil {
+			// Symbols with absurd run lengths can exceed the encoder's
+			// amplitude limits; the decoder alphabet is bounded though,
+			// so this must not happen.
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := tab.DecodeSymbols(NewBitReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("round trip changed symbol count: %d vs %d", len(again), len(got))
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("symbol %d changed: %v vs %v", i, got[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeFrame feeds arbitrary bytes to the full frame decoder.
+func FuzzDecodeFrame(f *testing.F) {
+	cfg := CoderConfig{Width: 16, Height: 16, SlicesPerFrame: 2, QuantStep: 8}
+	coder, err := NewCoder(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	src, err := NewFrame(16, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := RenderFrame(src, RenderParams{Activity: 0.5, SceneID: 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := coder.Train([]*Frame{src}); err != nil {
+		f.Fatal(err)
+	}
+	stream, err := coder.EncodeFrame(src)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stream)
+	f.Add([]byte{})
+	f.Add([]byte{0xAA, 0x55})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := coder.DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if frame.W != 16 || frame.H != 16 || len(frame.Pix) != 256 {
+			t.Fatal("decoded frame has wrong shape")
+		}
+	})
+}

@@ -1,0 +1,13 @@
+package codec
+
+import "vbr/internal/synth"
+
+// synthSmall returns a small, fast synthetic-movie configuration for
+// codec tests.
+func synthSmall() synth.Config {
+	cfg := synth.DefaultConfig()
+	cfg.Frames = 600
+	cfg.SlicesPerFrame = 0 // the coder produces its own slice data
+	cfg.MeanSceneFrames = 60
+	return cfg
+}

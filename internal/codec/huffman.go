@@ -1,0 +1,336 @@
+package codec
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// The symbol alphabet for entropy coding follows the JPEG convention the
+// paper's coder is modeled on: each (run, level) pair becomes a
+// (run, size) symbol — size being the number of amplitude bits of |level|
+// — followed by `size` raw amplitude bits. Two special symbols exist:
+// EOB (end of block) and ZRL (a run of 16 zeros with no level).
+const (
+	symEOB = 0
+	symZRL = 1
+	// (run 0..15, size 1..maxSize) symbols follow.
+	maxRun  = 15
+	maxSize = 16
+	numSyms = 2 + (maxRun+1)*maxSize
+)
+
+// sizeOf returns the JPEG "size" category of a level: the number of bits
+// in |level|. Level 0 has no size category (it is never coded directly).
+func sizeOf(level int32) int {
+	if level < 0 {
+		level = -level
+	}
+	n := 0
+	for level > 0 {
+		n++
+		level >>= 1
+	}
+	return n
+}
+
+// symbolOf maps a RunLevel to its alphabet index, returning the symbol
+// and how many ZRL prefixes are needed for runs > 15.
+func symbolOf(rl RunLevel) (zrls int, sym int, ampBits int, err error) {
+	if rl.Run < 0 {
+		return 0, symEOB, 0, nil
+	}
+	size := sizeOf(rl.Level)
+	if size == 0 {
+		return 0, 0, 0, fmt.Errorf("codec: zero level in run-length symbol")
+	}
+	if size > maxSize {
+		return 0, 0, 0, fmt.Errorf("codec: level %d exceeds %d-bit amplitude limit", rl.Level, maxSize)
+	}
+	zrls = rl.Run / (maxRun + 1)
+	run := rl.Run % (maxRun + 1)
+	return zrls, 2 + run*maxSize + (size - 1), size, nil
+}
+
+// HuffmanTable is a canonical Huffman code over the coder's alphabet.
+type HuffmanTable struct {
+	lengths [numSyms]uint8
+	codes   [numSyms]uint32
+	// decode acceleration: sorted (length, code) → symbol.
+	firstCode  [33]uint32 // first canonical code of each length
+	firstIndex [33]int    // index into symsByCode of that code
+	counts     [33]int    // number of codes of each length
+	symsByCode []int
+}
+
+type huffNode struct {
+	freq        uint64
+	sym         int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int      { return len(h) }
+func (h huffHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h *huffHeap) Push(x any) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewHuffmanTable builds a canonical Huffman code from symbol frequencies.
+// Every symbol is given frequency ≥ 1 so the code is complete (any symbol
+// can be coded even if unseen in training), mirroring a static JPEG-style
+// table trained on representative material.
+func NewHuffmanTable(freq []uint64) (*HuffmanTable, error) {
+	if len(freq) != numSyms {
+		return nil, fmt.Errorf("codec: frequency table has %d entries, want %d", len(freq), numSyms)
+	}
+	h := make(huffHeap, 0, numSyms)
+	for s := 0; s < numSyms; s++ {
+		f := freq[s]
+		if f == 0 {
+			f = 1
+		}
+		h = append(h, &huffNode{freq: f, sym: s})
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := h[0]
+
+	t := &HuffmanTable{}
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1 // degenerate single-symbol alphabet
+			}
+			t.lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	t.assignCanonical()
+	return t, nil
+}
+
+// assignCanonical derives canonical codes from the lengths and builds the
+// decoding index.
+func (t *HuffmanTable) assignCanonical() {
+	type symLen struct{ sym, length int }
+	order := make([]symLen, 0, numSyms)
+	for s, l := range t.lengths {
+		if l > 0 {
+			order = append(order, symLen{s, int(l)})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].length != order[j].length {
+			return order[i].length < order[j].length
+		}
+		return order[i].sym < order[j].sym
+	})
+	t.symsByCode = make([]int, len(order))
+	code := uint32(0)
+	prevLen := 0
+	for i, sl := range order {
+		code <<= uint(sl.length - prevLen)
+		if prevLen != sl.length {
+			t.firstCode[sl.length] = code
+			t.firstIndex[sl.length] = i
+			prevLen = sl.length
+		}
+		t.codes[sl.sym] = code
+		t.symsByCode[i] = sl.sym
+		t.counts[sl.length]++
+		code++
+	}
+}
+
+// CodeLength returns the bit length of a symbol's code.
+func (t *HuffmanTable) CodeLength(sym int) int { return int(t.lengths[sym]) }
+
+// BitWriter accumulates a MSB-first bitstream.
+type BitWriter struct {
+	buf  []byte
+	bits uint8 // bits used in the last byte
+}
+
+// WriteBits appends the low `n` bits of v, MSB first.
+func (w *BitWriter) WriteBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		if w.bits == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		w.buf[len(w.buf)-1] |= byte(bit) << (7 - w.bits)
+		w.bits = (w.bits + 1) % 8
+	}
+}
+
+// Len returns the number of bits written.
+func (w *BitWriter) Len() int {
+	if len(w.buf) == 0 {
+		return 0
+	}
+	if w.bits == 0 {
+		return len(w.buf) * 8
+	}
+	return (len(w.buf)-1)*8 + int(w.bits)
+}
+
+// Bytes returns the padded bitstream.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes a MSB-first bitstream.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader wraps buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit returns the next bit, or an error at end of stream.
+func (r *BitReader) ReadBit() (uint32, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, fmt.Errorf("codec: bitstream exhausted")
+	}
+	b := (r.buf[r.pos/8] >> (7 - uint(r.pos%8))) & 1
+	r.pos++
+	return uint32(b), nil
+}
+
+// ReadBits reads n bits MSB-first.
+func (r *BitReader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// EncodeSymbols Huffman-codes a run-level symbol stream into w, returning
+// the number of bits emitted.
+func (t *HuffmanTable) EncodeSymbols(symbols []RunLevel, w *BitWriter) (int, error) {
+	start := w.Len()
+	for _, rl := range symbols {
+		zrls, sym, ampBits, err := symbolOf(rl)
+		if err != nil {
+			return 0, err
+		}
+		for z := 0; z < zrls; z++ {
+			w.WriteBits(t.codes[symZRL], int(t.lengths[symZRL]))
+		}
+		w.WriteBits(t.codes[sym], int(t.lengths[sym]))
+		if ampBits > 0 {
+			w.WriteBits(amplitudeBits(rl.Level, ampBits), ampBits)
+		}
+	}
+	return w.Len() - start, nil
+}
+
+// CountBits returns the number of bits EncodeSymbols would emit, without
+// materializing the stream — the fast path used for trace generation.
+func (t *HuffmanTable) CountBits(symbols []RunLevel) (int, error) {
+	var bits int
+	for _, rl := range symbols {
+		zrls, sym, ampBits, err := symbolOf(rl)
+		if err != nil {
+			return 0, err
+		}
+		bits += zrls*int(t.lengths[symZRL]) + int(t.lengths[sym]) + ampBits
+	}
+	return bits, nil
+}
+
+// amplitudeBits encodes a nonzero level in JPEG style: positive levels as
+// themselves, negative levels as level + 2^size - 1 (one's complement).
+func amplitudeBits(level int32, size int) uint32 {
+	if level >= 0 {
+		return uint32(level)
+	}
+	return uint32(level + (1 << uint(size)) - 1)
+}
+
+// decodeAmplitude reverses amplitudeBits.
+func decodeAmplitude(bits uint32, size int) int32 {
+	if size == 0 {
+		return 0
+	}
+	if bits>>(uint(size)-1) == 1 { // leading 1: positive
+		return int32(bits)
+	}
+	return int32(bits) - (1 << uint(size)) + 1
+}
+
+// DecodeSymbols reads run-level symbols until an EOB, reconstructing the
+// stream produced by EncodeSymbols for one block.
+func (t *HuffmanTable) DecodeSymbols(r *BitReader) ([]RunLevel, error) {
+	var out []RunLevel
+	pendingRun := 0
+	for {
+		sym, err := t.decodeOne(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sym == symEOB:
+			out = append(out, EOB)
+			return out, nil
+		case sym == symZRL:
+			pendingRun += maxRun + 1
+		default:
+			idx := sym - 2
+			run := idx / maxSize
+			size := idx%maxSize + 1
+			bits, err := r.ReadBits(size)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RunLevel{Run: pendingRun + run, Level: decodeAmplitude(bits, size)})
+			pendingRun = 0
+		}
+	}
+}
+
+// decodeOne reads one canonical Huffman symbol.
+func (t *HuffmanTable) decodeOne(r *BitReader) (int, error) {
+	var code uint32
+	for length := 1; length <= 32; length++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | bit
+		count := t.counts[length]
+		if count == 0 {
+			continue
+		}
+		first := t.firstCode[length]
+		if code >= first && code < first+uint32(count) {
+			return t.symsByCode[t.firstIndex[length]+int(code-first)], nil
+		}
+	}
+	return 0, fmt.Errorf("codec: invalid Huffman code")
+}

@@ -1,0 +1,59 @@
+package codec
+
+// RunLevel is one run-length symbol: Run zero coefficients followed by a
+// nonzero coefficient of the given Level. The special symbol {Run: -1}
+// is EOB (end of block: all remaining coefficients are zero).
+type RunLevel struct {
+	Run   int
+	Level int32
+}
+
+// EOB is the end-of-block marker symbol.
+var EOB = RunLevel{Run: -1}
+
+// RunLengthEncode converts zigzag-ordered quantized levels to (run, level)
+// symbols, terminating with EOB when the tail is all zeros. The first
+// coefficient (DC) is included in the same stream, matching the paper's
+// minimal description (no separate DC predictor; the code is intraframe
+// and frame-independent).
+func RunLengthEncode(levels *[BlockSize * BlockSize]int32, out []RunLevel) []RunLevel {
+	run := 0
+	lastNonzero := -1
+	for i := BlockSize*BlockSize - 1; i >= 0; i-- {
+		if levels[i] != 0 {
+			lastNonzero = i
+			break
+		}
+	}
+	for i := 0; i <= lastNonzero; i++ {
+		if levels[i] == 0 {
+			run++
+			continue
+		}
+		out = append(out, RunLevel{Run: run, Level: levels[i]})
+		run = 0
+	}
+	out = append(out, EOB)
+	return out
+}
+
+// RunLengthDecode expands symbols back to zigzag-ordered levels. It
+// returns false if the symbols overflow the block or lack an EOB.
+func RunLengthDecode(symbols []RunLevel, out *[BlockSize * BlockSize]int32) bool {
+	for i := range out {
+		out[i] = 0
+	}
+	pos := 0
+	for _, s := range symbols {
+		if s.Run < 0 { // EOB
+			return true
+		}
+		pos += s.Run
+		if pos >= len(out) {
+			return false
+		}
+		out[pos] = s.Level
+		pos++
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"vbr/internal/arma"
+	"vbr/internal/fgn"
+	"vbr/internal/specfn"
+)
+
+// This file implements the short-range-dependence augmentations §4 of
+// the paper defers to future work: "An additional set of short-term
+// correlation parameters may be included by combining this model with an
+// ARMA filter or modulating it with the state of a Markov chain. The SRD
+// structure is by default self-similar to the long-term structure."
+//
+// Both augmentations operate on the standardized Gaussian stage of the
+// generator, before the Eq. 13 marginal transform, so the marginal
+// distribution remains exactly the hybrid Gamma/Pareto and the
+// asymptotic (long-lag) correlation structure — hence H — is unchanged:
+// an ARMA filter has a summable impulse response and the Markov
+// modulation has geometrically decaying correlations, so neither alters
+// the hyperbolic tail of the autocorrelation.
+
+// GenerateWithARMA generates n frames of the full model with extra
+// short-range structure: the fARIMA(0, d, 0) realization is passed
+// through the given (stationary) ARMA filter — yielding a fractional
+// ARIMA(p, d, q) process — restandardized, and transformed to the
+// Gamma/Pareto marginal.
+func (m Model) GenerateWithARMA(n int, srd arma.Model, opts GenOptions) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := srd.Validate(); err != nil {
+		return nil, err
+	}
+	x, err := m.gaussian(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	x, err = srd.Filter(x)
+	if err != nil {
+		return nil, err
+	}
+	fgn.Standardize(x)
+	return m.transform(x, opts)
+}
+
+// GenerateMarkovModulated generates n frames with the activity level
+// modulated by a Markov chain: Z = √(1-w²)·X + w·M where X is the LRD
+// Gaussian backbone and M the (standardized) chain level path. weight w
+// in [0, 1) sets the share of variance carried by the scene process.
+func (m Model) GenerateMarkovModulated(n int, chain *arma.MarkovChain, weight float64, opts GenOptions) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if chain == nil {
+		return nil, fmt.Errorf("core: nil Markov chain")
+	}
+	if weight < 0 || weight >= 1 {
+		return nil, fmt.Errorf("core: modulation weight must be in [0,1), got %v", weight)
+	}
+	x, err := m.gaussian(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, 0x3a7c0f))
+	path, err := chain.Path(n, rng)
+	if err != nil {
+		return nil, err
+	}
+	fgn.Standardize(path)
+	w := weight
+	for i := range x {
+		x[i] = (1-w)*x[i] + w*path[i]
+	}
+	fgn.Standardize(x)
+	return m.transform(x, opts)
+}
+
+// transform applies the Eq. 13 marginal map to a standardized Gaussian
+// series.
+func (m Model) transform(x []float64, opts GenOptions) ([]float64, error) {
+	gp, err := m.Marginal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.TableSize < 2 {
+		return nil, fmt.Errorf("core: table size must be ≥ 2, got %d", opts.TableSize)
+	}
+	tab, err := gp.QuantileTable(opts.TableSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = tab.Value(specfn.NormCDF(v))
+	}
+	return out, nil
+}

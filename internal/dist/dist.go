@@ -1,0 +1,222 @@
+// Package dist implements the continuous distributions used in the paper's
+// marginal-distribution analysis (§3.1, Figs. 4–6): Normal, Lognormal,
+// Gamma, Pareto, Exponential and Uniform, together with the paper's hybrid
+// Gamma/Pareto model F_{Γ/P} (§4.2), moment- and tail-based fitting, and
+// tabulated density convolution for aggregating independent sources.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"vbr/internal/specfn"
+)
+
+// Distribution is a univariate continuous distribution. Quantile is the
+// inverse of CDF; implementations must satisfy CDF(Quantile(p)) == p up to
+// numerical accuracy on the interior of the support.
+type Distribution interface {
+	// Name identifies the family, e.g. "gamma" or "gamma/pareto".
+	Name() string
+	// PDF returns the density at x (zero outside the support).
+	PDF(x float64) float64
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Quantile returns inf{x : CDF(x) ≥ p} for p in [0, 1].
+	Quantile(p float64) float64
+	// Mean returns E[X]; NaN if undefined, ±Inf if divergent.
+	Mean() float64
+	// Variance returns Var[X]; +Inf if divergent.
+	Variance() float64
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) float64
+}
+
+// Normal is the N(mu, sigma²) distribution.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns a Normal distribution; Sigma must be positive.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if !(sigma > 0) {
+		return Normal{}, fmt.Errorf("dist: normal sigma must be > 0, got %v", sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+func (d Normal) Name() string { return "normal" }
+
+func (d Normal) PDF(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return specfn.NormPDF(z) / d.Sigma
+}
+
+func (d Normal) CDF(x float64) float64 {
+	return specfn.NormCDF((x - d.Mu) / d.Sigma)
+}
+
+func (d Normal) Quantile(p float64) float64 {
+	return d.Mu + d.Sigma*specfn.NormCDFInv(p)
+}
+
+func (d Normal) Mean() float64     { return d.Mu }
+func (d Normal) Variance() float64 { return d.Sigma * d.Sigma }
+
+func (d Normal) Sample(rng *rand.Rand) float64 {
+	return d.Mu + d.Sigma*rng.NormFloat64()
+}
+
+// Lognormal is the distribution of exp(N(mu, sigma²)). The paper tries it
+// as a "heavier-tailed" alternative in Fig. 4 and finds it too heavy at
+// first and then too light.
+type Lognormal struct {
+	Mu    float64 // mean of the underlying normal
+	Sigma float64 // std of the underlying normal
+}
+
+// NewLognormal returns a Lognormal distribution; Sigma must be positive.
+func NewLognormal(mu, sigma float64) (Lognormal, error) {
+	if !(sigma > 0) {
+		return Lognormal{}, fmt.Errorf("dist: lognormal sigma must be > 0, got %v", sigma)
+	}
+	return Lognormal{Mu: mu, Sigma: sigma}, nil
+}
+
+func (d Lognormal) Name() string { return "lognormal" }
+
+func (d Lognormal) PDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := (math.Log(x) - d.Mu) / d.Sigma
+	return specfn.NormPDF(z) / (x * d.Sigma)
+}
+
+func (d Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return specfn.NormCDF((math.Log(x) - d.Mu) / d.Sigma)
+}
+
+func (d Lognormal) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return math.Exp(d.Mu + d.Sigma*specfn.NormCDFInv(p))
+}
+
+func (d Lognormal) Mean() float64 {
+	return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+}
+
+func (d Lognormal) Variance() float64 {
+	s2 := d.Sigma * d.Sigma
+	return (math.Exp(s2) - 1) * math.Exp(2*d.Mu+s2)
+}
+
+func (d Lognormal) Sample(rng *rand.Rand) float64 {
+	return math.Exp(d.Mu + d.Sigma*rng.NormFloat64())
+}
+
+// Exponential is the rate-λ exponential distribution, the canonical
+// short-range-dependent / light-tailed reference.
+type Exponential struct {
+	Lambda float64
+}
+
+// NewExponential returns an Exponential distribution; Lambda must be positive.
+func NewExponential(lambda float64) (Exponential, error) {
+	if !(lambda > 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential rate must be > 0, got %v", lambda)
+	}
+	return Exponential{Lambda: lambda}, nil
+}
+
+func (d Exponential) Name() string { return "exponential" }
+
+func (d Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return d.Lambda * math.Exp(-d.Lambda*x)
+}
+
+func (d Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return -math.Expm1(-d.Lambda * x)
+}
+
+func (d Exponential) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / d.Lambda
+}
+
+func (d Exponential) Mean() float64     { return 1 / d.Lambda }
+func (d Exponential) Variance() float64 { return 1 / (d.Lambda * d.Lambda) }
+
+func (d Exponential) Sample(rng *rand.Rand) float64 {
+	return rng.ExpFloat64() / d.Lambda
+}
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns a Uniform distribution on [a, b]; requires a < b.
+func NewUniform(a, b float64) (Uniform, error) {
+	if !(a < b) {
+		return Uniform{}, fmt.Errorf("dist: uniform requires a < b, got [%v, %v]", a, b)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+func (d Uniform) Name() string { return "uniform" }
+
+func (d Uniform) PDF(x float64) float64 {
+	if x < d.A || x > d.B {
+		return 0
+	}
+	return 1 / (d.B - d.A)
+}
+
+func (d Uniform) CDF(x float64) float64 {
+	switch {
+	case x < d.A:
+		return 0
+	case x > d.B:
+		return 1
+	}
+	return (x - d.A) / (d.B - d.A)
+}
+
+func (d Uniform) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return d.A
+	case p >= 1:
+		return d.B
+	}
+	return d.A + p*(d.B-d.A)
+}
+
+func (d Uniform) Mean() float64     { return (d.A + d.B) / 2 }
+func (d Uniform) Variance() float64 { return (d.B - d.A) * (d.B - d.A) / 12 }
+
+func (d Uniform) Sample(rng *rand.Rand) float64 {
+	return d.A + (d.B-d.A)*rng.Float64()
+}

@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SampleMoments returns the sample mean and the (population, i.e. divide
+// by n) standard deviation of xs, the estimators used throughout the paper.
+func SampleMoments(xs []float64) (mean, sd float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("dist: moments of empty sample")
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// FitNormal fits a Normal by moment matching.
+func FitNormal(xs []float64) (Normal, error) {
+	mean, sd, err := SampleMoments(xs)
+	if err != nil {
+		return Normal{}, err
+	}
+	return NewNormal(mean, sd)
+}
+
+// FitLognormal fits a Lognormal by moment matching on the log scale.
+// All observations must be positive.
+func FitLognormal(xs []float64) (Lognormal, error) {
+	logs := make([]float64, len(xs))
+	for i, v := range xs {
+		if v <= 0 {
+			return Lognormal{}, fmt.Errorf("dist: lognormal fit requires positive data, got %v", v)
+		}
+		logs[i] = math.Log(v)
+	}
+	mu, sigma, err := SampleMoments(logs)
+	if err != nil {
+		return Lognormal{}, err
+	}
+	return NewLognormal(mu, sigma)
+}
+
+// FitGamma fits a Gamma by moment matching (the paper's "conveniently
+// determined from the mean and variance").
+func FitGamma(xs []float64) (Gamma, error) {
+	mean, sd, err := SampleMoments(xs)
+	if err != nil {
+		return Gamma{}, err
+	}
+	return GammaFromMoments(mean, sd)
+}
+
+// FitParetoTail estimates the Pareto tail index a as the least-squares
+// slope of log CCDF against log x over the upper tailFrac of the sorted
+// sample — exactly the graphical straight-line fit of Fig. 4. It returns
+// the fitted index and the x value at which the tail regression begins.
+func FitParetoTail(xs []float64, tailFrac float64) (a, xStart float64, err error) {
+	n := len(xs)
+	if n < 10 {
+		return 0, 0, fmt.Errorf("dist: pareto tail fit needs ≥ 10 points, got %d", n)
+	}
+	if !(tailFrac > 0 && tailFrac < 1) {
+		return 0, 0, fmt.Errorf("dist: tail fraction must be in (0,1), got %v", tailFrac)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	k := int(tailFrac * float64(n))
+	if k < 5 {
+		k = 5
+	}
+	start := n - k
+	// For the i-th largest order statistic x_(n-j), the empirical CCDF is
+	// j/n. Regress log(j/n) on log(x).
+	var sx, sy, sxx, sxy float64
+	var m int
+	for j := 1; j <= k; j++ {
+		x := sorted[n-j]
+		if x <= 0 {
+			break
+		}
+		lx := math.Log(x)
+		ly := math.Log(float64(j) / float64(n))
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		m++
+	}
+	if m < 5 {
+		return 0, 0, fmt.Errorf("dist: pareto tail fit has too few positive points (%d)", m)
+	}
+	den := float64(m)*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("dist: pareto tail fit degenerate (constant tail)")
+	}
+	slope := (float64(m)*sxy - sx*sy) / den
+	if slope >= 0 {
+		return 0, 0, fmt.Errorf("dist: pareto tail fit slope %v is not negative; no power tail", slope)
+	}
+	return -slope, sorted[start], nil
+}
+
+// FitGammaPareto fits the full hybrid model from data: the Gamma body by
+// sample moments (the paper notes this is sufficiently accurate when the
+// tail carries only ~3% of the data) and the Pareto index by tail
+// regression over the upper tailFrac of the sample.
+func FitGammaPareto(xs []float64, tailFrac float64) (*GammaPareto, error) {
+	mean, sd, err := SampleMoments(xs)
+	if err != nil {
+		return nil, err
+	}
+	a, _, err := FitParetoTail(xs, tailFrac)
+	if err != nil {
+		return nil, err
+	}
+	return NewGammaPareto(mean, sd, a)
+}
+
+// KolmogorovDistance returns the two-sided Kolmogorov–Smirnov statistic
+// sup_x |F_n(x) - F(x)| between the empirical CDF of xs and d. It is the
+// goodness-of-fit number reported next to Figs. 4–6 comparisons.
+func KolmogorovDistance(xs []float64, d Distribution) (float64, error) {
+	n := len(xs)
+	if n == 0 {
+		return 0, fmt.Errorf("dist: KS distance of empty sample")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var ks float64
+	for i, x := range sorted {
+		f := d.CDF(x)
+		lo := math.Abs(f - float64(i)/float64(n))
+		hi := math.Abs(float64(i+1)/float64(n) - f)
+		if lo > ks {
+			ks = lo
+		}
+		if hi > ks {
+			ks = hi
+		}
+	}
+	return ks, nil
+}

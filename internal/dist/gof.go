@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vbr/internal/specfn"
+)
+
+// This file adds formal goodness-of-fit statistics behind the graphical
+// comparisons of Figs. 4–6: the Anderson–Darling statistic (more
+// sensitive in the tails than Kolmogorov–Smirnov, which matters for a
+// heavy-tail claim) and a chi-square test on equiprobable bins.
+
+// AndersonDarling returns the A² statistic of xs against d:
+//
+//	A² = −n − (1/n) Σ (2i−1) [ln F(x_(i)) + ln(1 − F(x_(n+1−i)))].
+//
+// Larger values mean a worse fit, with extra weight on both tails.
+// (Critical values depend on the family and whether parameters were
+// estimated; for model comparison the statistic is used relatively.)
+func AndersonDarling(xs []float64, d Distribution) (float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return 0, fmt.Errorf("dist: Anderson-Darling needs ≥ 2 points, got %d", n)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	const tiny = 1e-300
+	var sum float64
+	for i := 0; i < n; i++ {
+		fi := d.CDF(sorted[i])
+		fj := d.CDF(sorted[n-1-i])
+		if fi <= 0 {
+			fi = tiny
+		}
+		if fi >= 1 {
+			fi = 1 - 1e-16
+		}
+		comp := 1 - fj
+		if comp <= 0 {
+			comp = tiny
+		}
+		sum += float64(2*i+1) * (math.Log(fi) + math.Log(comp))
+	}
+	return -float64(n) - sum/float64(n), nil
+}
+
+// ChiSquareResult carries the chi-square goodness-of-fit test output.
+type ChiSquareResult struct {
+	Stat   float64 // Σ (O−E)²/E
+	DoF    int     // bins − 1 − paramsEstimated
+	PValue float64 // upper-tail probability under H₀
+}
+
+// ChiSquare performs the chi-square goodness-of-fit test with bins
+// equiprobable under d (so expected counts are equal), the standard
+// construction for continuous models. paramsEstimated reduces the
+// degrees of freedom for parameters fitted from the same data.
+func ChiSquare(xs []float64, d Distribution, bins, paramsEstimated int) (*ChiSquareResult, error) {
+	n := len(xs)
+	if bins < 2 {
+		return nil, fmt.Errorf("dist: chi-square needs ≥ 2 bins, got %d", bins)
+	}
+	if paramsEstimated < 0 {
+		return nil, fmt.Errorf("dist: negative parameter count")
+	}
+	dof := bins - 1 - paramsEstimated
+	if dof < 1 {
+		return nil, fmt.Errorf("dist: %d bins leave no degrees of freedom after %d parameters", bins, paramsEstimated)
+	}
+	expected := float64(n) / float64(bins)
+	if expected < 5 {
+		return nil, fmt.Errorf("dist: expected count %.1f per bin below 5; use fewer bins", expected)
+	}
+	// Bin edges at the model's equiprobable quantiles.
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		edges[i-1] = d.Quantile(float64(i) / float64(bins))
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		idx := sort.SearchFloat64s(edges, x)
+		counts[idx]++
+	}
+	var stat float64
+	for _, c := range counts {
+		diff := float64(c) - expected
+		stat += diff * diff / expected
+	}
+	// P-value from the chi-square survival function: Q(dof/2, stat/2).
+	p := specfn.GammaQ(float64(dof)/2, stat/2)
+	return &ChiSquareResult{Stat: stat, DoF: dof, PValue: p}, nil
+}

@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func gofSample(t *testing.T, d Distribution, n int, seed uint64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xf))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = d.Sample(rng)
+	}
+	return xs
+}
+
+func TestAndersonDarlingDiscriminates(t *testing.T) {
+	truth, _ := NewGamma(4, 0.01)
+	xs := gofSample(t, truth, 20000, 1)
+	good, err := AndersonDarling(xs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the true model A² is O(1).
+	if good > 4 {
+		t.Errorf("A² = %v against the true model", good)
+	}
+	wrong, _ := NewNormal(400, 200) // same mean, same sd as Gamma(4, .01)
+	bad, err := AndersonDarling(xs, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad < 10*good+10 {
+		t.Errorf("A² should separate: true %v vs wrong %v", good, bad)
+	}
+	if _, err := AndersonDarling([]float64{1}, truth); err == nil {
+		t.Error("single point should fail")
+	}
+}
+
+func TestAndersonDarlingTailSensitivity(t *testing.T) {
+	// The motivation for A² over KS in this repo: a Gamma fitted by
+	// moments to Gamma/Pareto data looks fine to the eye in the body but
+	// A² flags the tail; the hybrid fits far better.
+	truth, _ := NewGammaPareto(27791, 6254, 9)
+	xs := gofSample(t, truth, 30000, 2)
+	gammaFit, err := FitGamma(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGamma, err := AndersonDarling(xs, gammaFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHybrid, err := AndersonDarling(xs, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aHybrid >= aGamma {
+		t.Errorf("hybrid A² %v not below pure-gamma A² %v", aHybrid, aGamma)
+	}
+}
+
+func TestChiSquareCalibration(t *testing.T) {
+	// Against the true model, p-values should be non-extreme most of the
+	// time; run a few seeds and require no catastrophic rejection.
+	truth, _ := NewGamma(3, 0.5)
+	low := 0
+	for seed := uint64(1); seed <= 5; seed++ {
+		xs := gofSample(t, truth, 5000, seed)
+		res, err := ChiSquare(xs, truth, 50, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DoF != 49 {
+			t.Fatalf("dof %d", res.DoF)
+		}
+		if res.PValue < 0.001 {
+			low++
+		}
+	}
+	if low > 1 {
+		t.Errorf("%d of 5 true-model tests rejected at 0.001", low)
+	}
+}
+
+func TestChiSquareRejectsWrongModel(t *testing.T) {
+	truth, _ := NewGammaPareto(27791, 6254, 9)
+	xs := gofSample(t, truth, 30000, 7)
+	normalFit, err := FitNormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ChiSquare(xs, normalFit, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("normal fit to heavy-tailed data should be rejected, p=%v", res.PValue)
+	}
+}
+
+func TestChiSquareValidation(t *testing.T) {
+	d, _ := NewNormal(0, 1)
+	xs := gofSample(t, d, 1000, 9)
+	if _, err := ChiSquare(xs, d, 1, 0); err == nil {
+		t.Error("1 bin should fail")
+	}
+	if _, err := ChiSquare(xs, d, 10, 9); err == nil {
+		t.Error("dof ≤ 0 should fail")
+	}
+	if _, err := ChiSquare(xs, d, 10, -1); err == nil {
+		t.Error("negative params should fail")
+	}
+	if _, err := ChiSquare(xs[:20], d, 10, 0); err == nil {
+		t.Error("expected < 5 per bin should fail")
+	}
+}
+
+func TestChiSquarePValueRange(t *testing.T) {
+	d, _ := NewExponential(1)
+	xs := gofSample(t, d, 2000, 11)
+	res, err := ChiSquare(xs, d, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0 || res.PValue > 1 || math.IsNaN(res.PValue) {
+		t.Errorf("p-value %v out of range", res.PValue)
+	}
+}

@@ -1,0 +1,82 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Pareto is the classical (type I) Pareto distribution of Eqs. 15–16:
+// density f(x) = a k^a / x^{a+1} for x > k. The parameter k is the minimum
+// value and a the log-log slope of the complementary CDF tail — the
+// "heavy tail" that Fig. 4 shows matching the empirical VBR video trace.
+type Pareto struct {
+	K float64 // minimum value (location)
+	A float64 // tail index (log-log CCDF slope)
+}
+
+// NewPareto returns a Pareto distribution; both parameters must be positive.
+func NewPareto(k, a float64) (Pareto, error) {
+	if !(k > 0) || !(a > 0) {
+		return Pareto{}, fmt.Errorf("dist: pareto requires k, a > 0, got (%v, %v)", k, a)
+	}
+	return Pareto{K: k, A: a}, nil
+}
+
+func (d Pareto) Name() string { return "pareto" }
+
+func (d Pareto) PDF(x float64) float64 {
+	if x < d.K {
+		return 0
+	}
+	return d.A * math.Pow(d.K, d.A) / math.Pow(x, d.A+1)
+}
+
+func (d Pareto) CDF(x float64) float64 {
+	if x < d.K {
+		return 0
+	}
+	return 1 - math.Pow(d.K/x, d.A)
+}
+
+// CCDF returns the complementary CDF (k/x)^a, exact in the far tail where
+// 1-CDF(x) would lose precision.
+func (d Pareto) CCDF(x float64) float64 {
+	if x < d.K {
+		return 1
+	}
+	return math.Pow(d.K/x, d.A)
+}
+
+func (d Pareto) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return d.K
+	case p >= 1:
+		return math.Inf(1)
+	}
+	return d.K / math.Pow(1-p, 1/d.A)
+}
+
+// Mean is k·a/(a-1) for a > 1, +Inf otherwise — the "σ = ∞" regime the
+// paper's conclusions discuss, where tails never converge to Normality.
+func (d Pareto) Mean() float64 {
+	if d.A <= 1 {
+		return math.Inf(1)
+	}
+	return d.K * d.A / (d.A - 1)
+}
+
+// Variance is k²a / ((a-1)²(a-2)) for a > 2, +Inf otherwise.
+func (d Pareto) Variance() float64 {
+	if d.A <= 2 {
+		return math.Inf(1)
+	}
+	return d.K * d.K * d.A / ((d.A - 1) * (d.A - 1) * (d.A - 2))
+}
+
+func (d Pareto) Sample(rng *rand.Rand) float64 {
+	// Inverse transform on 1-U to avoid Quantile(0) edge.
+	u := rng.Float64()
+	return d.K / math.Pow(1-u, 1/d.A)
+}

@@ -1,0 +1,173 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"vbr/internal/fft"
+)
+
+// DensityTable is a discretized probability density on a uniform grid,
+// the representation the paper uses ("a table of 10,000 points") to
+// convolve the Gamma/Pareto distribution when aggregating multiple
+// sources (§4.2).
+type DensityTable struct {
+	Lo   float64   // left edge of the first cell
+	Step float64   // cell width
+	P    []float64 // probability mass per cell (sums to ~1)
+}
+
+// NewDensityTable discretizes d over [lo, hi] into n cells, assigning each
+// cell the exact probability mass CDF(right) - CDF(left), with the
+// leftover mass outside [lo, hi] accumulated into the boundary cells so
+// that no probability is silently dropped.
+func NewDensityTable(d Distribution, lo, hi float64, n int) (*DensityTable, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("dist: density table needs ≥ 2 cells, got %d", n)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("dist: density table needs hi > lo, got [%v, %v]", lo, hi)
+	}
+	step := (hi - lo) / float64(n)
+	p := make([]float64, n)
+	prev := d.CDF(lo)
+	for i := 0; i < n; i++ {
+		next := d.CDF(lo + float64(i+1)*step)
+		p[i] = next - prev
+		prev = next
+	}
+	p[0] += d.CDF(lo)  // mass below lo
+	p[n-1] += 1 - prev // mass above hi
+	return &DensityTable{Lo: lo, Step: step, P: p}, nil
+}
+
+// Mean returns the mean of the tabulated distribution (cell midpoints).
+func (t *DensityTable) Mean() float64 {
+	var m float64
+	for i, p := range t.P {
+		m += p * (t.Lo + (float64(i)+0.5)*t.Step)
+	}
+	return m
+}
+
+// Variance returns the variance of the tabulated distribution.
+func (t *DensityTable) Variance() float64 {
+	m := t.Mean()
+	var v float64
+	for i, p := range t.P {
+		x := t.Lo + (float64(i)+0.5)*t.Step
+		v += p * (x - m) * (x - m)
+	}
+	return v
+}
+
+// CDF evaluates the tabulated cumulative distribution at x with linear
+// interpolation within cells.
+func (t *DensityTable) CDF(x float64) float64 {
+	pos := (x - t.Lo) / t.Step
+	switch {
+	case pos <= 0:
+		return 0
+	case pos >= float64(len(t.P)):
+		return 1
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	var cum float64
+	for j := 0; j < i; j++ {
+		cum += t.P[j]
+	}
+	return cum + frac*t.P[i]
+}
+
+// Quantile returns the p-quantile of the tabulated distribution.
+func (t *DensityTable) Quantile(p float64) float64 {
+	switch {
+	case p <= 0:
+		return t.Lo
+	case p >= 1:
+		return t.Lo + float64(len(t.P))*t.Step
+	}
+	var cum float64
+	for i, pi := range t.P {
+		if cum+pi >= p {
+			frac := 0.0
+			if pi > 0 {
+				frac = (p - cum) / pi
+			}
+			return t.Lo + (float64(i)+frac)*t.Step
+		}
+		cum += pi
+	}
+	return t.Lo + float64(len(t.P))*t.Step
+}
+
+// Convolve returns the distribution of the sum of independent variates
+// with tables t and u, which must share the same Step. The result has
+// len(t.P)+len(u.P)-1 cells starting at t.Lo+u.Lo. FFT-based, O(m log m).
+func (t *DensityTable) Convolve(u *DensityTable) (*DensityTable, error) {
+	if math.Abs(t.Step-u.Step) > 1e-12*t.Step {
+		return nil, fmt.Errorf("dist: convolve requires equal steps, got %v and %v", t.Step, u.Step)
+	}
+	n := len(t.P) + len(u.P) - 1
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for i, v := range t.P {
+		a[i] = complex(v, 0)
+	}
+	for i, v := range u.P {
+		b[i] = complex(v, 0)
+	}
+	fa := fft.Forward(a)
+	fb := fft.Forward(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	inv := fft.Inverse(fa)
+	p := make([]float64, n)
+	for i := range p {
+		v := real(inv[i])
+		if v < 0 { // FFT round-off can produce tiny negatives
+			v = 0
+		}
+		p[i] = v
+	}
+	return &DensityTable{Lo: t.Lo + u.Lo, Step: t.Step, P: p}, nil
+}
+
+// SelfConvolve returns the n-fold convolution of t with itself — the
+// aggregate bandwidth demand of n independent sources — using binary
+// (square-and-multiply) composition so the work is O(log n) convolutions.
+func (t *DensityTable) SelfConvolve(n int) (*DensityTable, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: self-convolution count must be ≥ 1, got %d", n)
+	}
+	var acc *DensityTable
+	base := t
+	for n > 0 {
+		if n&1 == 1 {
+			if acc == nil {
+				acc = base
+			} else {
+				var err error
+				acc, err = acc.Convolve(base)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		n >>= 1
+		if n > 0 {
+			var err error
+			base, err = base.Convolve(base)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}

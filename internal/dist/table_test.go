@@ -1,0 +1,110 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDensityTableMassAndMoments(t *testing.T) {
+	g, _ := NewGamma(4, 0.5)
+	tab, err := NewDensityTable(g, 0, 60, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range tab.P {
+		total += p
+	}
+	approx(t, "total mass", total, 1, 1e-9)
+	approx(t, "table mean", tab.Mean(), g.Mean(), 0.01*g.Mean())
+	approx(t, "table var", tab.Variance(), g.Variance(), 0.02*g.Variance())
+}
+
+func TestDensityTableCDFQuantile(t *testing.T) {
+	g, _ := NewGamma(4, 0.5)
+	tab, _ := NewDensityTable(g, 0, 80, 8000)
+	for _, p := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.999} {
+		x := tab.Quantile(p)
+		approx(t, "table quantile", x, g.Quantile(p), 0.01*g.Quantile(p)+tab.Step)
+		approx(t, "cdf roundtrip", tab.CDF(x), p, 1e-6)
+	}
+	if tab.CDF(-5) != 0 || tab.CDF(1e9) != 1 {
+		t.Error("CDF must clamp outside grid")
+	}
+	if tab.Quantile(0) != tab.Lo {
+		t.Error("Quantile(0) must be grid start")
+	}
+}
+
+func TestDensityTableValidation(t *testing.T) {
+	g, _ := NewGamma(4, 0.5)
+	if _, err := NewDensityTable(g, 0, 60, 1); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := NewDensityTable(g, 60, 0, 100); err == nil {
+		t.Error("hi <= lo should fail")
+	}
+}
+
+func TestConvolutionOfNormalsIsNormal(t *testing.T) {
+	// N(5,2²) + N(7,1²) = N(12, sqrt(5)²): table convolution must match.
+	a, _ := NewNormal(5, 2)
+	b, _ := NewNormal(7, 1)
+	ta, _ := NewDensityTable(a, -10, 20, 3000)
+	tb, _ := NewDensityTable(b, -8, 22, 3000)
+	sum, err := ta.Convolve(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "conv mean", sum.Mean(), 12, 0.05)
+	approx(t, "conv var", sum.Variance(), 5, 0.1)
+	want, _ := NewNormal(12, math.Sqrt(5))
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		approx(t, "conv quantile", sum.Quantile(p), want.Quantile(p), 0.1)
+	}
+}
+
+func TestConvolveStepMismatch(t *testing.T) {
+	g, _ := NewGamma(4, 0.5)
+	ta, _ := NewDensityTable(g, 0, 60, 3000)
+	tb, _ := NewDensityTable(g, 0, 60, 2999)
+	if _, err := ta.Convolve(tb); err == nil {
+		t.Error("mismatched steps should fail")
+	}
+}
+
+func TestSelfConvolveMatchesGammaAddition(t *testing.T) {
+	// Sum of n Gamma(s, λ) is Gamma(n·s, λ): an exact analytic check of
+	// the paper's multi-source aggregation machinery.
+	g, _ := NewGamma(2, 0.1)
+	tab, _ := NewDensityTable(g, 0, 150, 6000)
+	for _, n := range []int{1, 2, 5, 20} {
+		agg, err := tab.SelfConvolve(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := NewGamma(2*float64(n), 0.1)
+		approx(t, "agg mean", agg.Mean(), want.Mean(), 0.01*want.Mean())
+		approx(t, "agg var", agg.Variance(), want.Variance(), 0.03*want.Variance())
+		for _, p := range []float64{0.5, 0.95, 0.999} {
+			approx(t, "agg quantile", agg.Quantile(p), want.Quantile(p), 0.02*want.Quantile(p))
+		}
+	}
+	if _, err := tab.SelfConvolve(0); err == nil {
+		t.Error("SelfConvolve(0) should fail")
+	}
+}
+
+func TestSelfConvolveGammaParetoCoVShrinks(t *testing.T) {
+	// The paper's conclusion: as N grows the aggregate's coefficient of
+	// variation σ/μ falls like 1/√N, compressing the marginal.
+	gp, _ := NewGammaPareto(27791, 6254, 12)
+	tab, _ := NewDensityTable(gp, 0, 150000, 4096)
+	base := math.Sqrt(tab.Variance()) / tab.Mean()
+	agg, err := tab.SelfConvolve(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := math.Sqrt(agg.Variance()) / agg.Mean()
+	approx(t, "CoV scaling", cov, base/4, 0.15*base/4)
+}

@@ -1,0 +1,84 @@
+package lrd
+
+import (
+	"fmt"
+	"math"
+
+	"vbr/internal/stats"
+)
+
+// This file adds the fractional-Gaussian-noise spectral model to the
+// Whittle estimator as an ablation to the fARIMA(0, d, 0) model used by
+// Whittle(). The two models share the same λ^{1-2H} behaviour at the
+// origin but differ at high frequencies, so comparing the two estimates
+// is a practical specification check: on exactly self-similar input they
+// agree; a gap reveals short-range structure the fARIMA model absorbs
+// into d.
+
+// fgnSpectrum returns the (unscaled) spectral density of fractional
+// Gaussian noise at frequency λ ∈ (0, π] for Hurst parameter h, via the
+// standard infinite-sum representation
+//
+//	f(λ; H) ∝ (1 − cos λ) · Σ_{j=-∞}^{∞} |λ + 2πj|^{−2H−1},
+//
+// with the sum truncated at |j| ≤ K and the tails replaced by the
+// integral approximation (Paxson's method):
+//
+//	Σ_{j>K} ((2πj+λ)^{-2H-1} + (2πj-λ)^{-2H-1})
+//	  ≈ [ (2πK+π+λ)^{-2H} + (2πK+π-λ)^{-2H} ] / (4πH)·2  (midpoint rule)
+func fgnSpectrum(lambda, h float64) float64 {
+	// K = 16 with the integral tail keeps the relative error below 1e-5
+	// across H ∈ (0, 1) while keeping the estimator fast enough to run
+	// inside golden-section search over thousands of frequencies.
+	const k = 16
+	exp := -2*h - 1
+	sum := math.Pow(math.Abs(lambda), exp)
+	twoPi := 2 * math.Pi
+	for j := 1; j <= k; j++ {
+		sum += math.Pow(twoPi*float64(j)+lambda, exp) + math.Pow(twoPi*float64(j)-lambda, exp)
+	}
+	// Integral tail correction: ∫_{K+1/2}^{∞} over both signs.
+	a := twoPi*(float64(k)+0.5) + lambda
+	b := twoPi*(float64(k)+0.5) - lambda
+	sum += (math.Pow(a, -2*h) + math.Pow(b, -2*h)) / (2 * twoPi * h)
+	return (1 - math.Cos(lambda)) * sum
+}
+
+// WhittleFGN computes the Whittle approximate MLE of H under the exact
+// FGN spectral model. The asymptotic standard error is evaluated
+// numerically from the Fisher information of the FGN spectrum.
+func WhittleFGN(xs []float64) (*WhittleResult, error) {
+	n := len(xs)
+	if n < 128 {
+		return nil, fmt.Errorf("lrd: Whittle needs ≥ 128 points, got %d", n)
+	}
+	freqs, ords := stats.Periodogram(xs)
+
+	objective := func(h float64) float64 {
+		var sumRatio, sumLogF float64
+		for j := range freqs {
+			f := fgnSpectrum(freqs[j], h)
+			sumRatio += ords[j] / f
+			sumLogF += math.Log(f)
+		}
+		m := float64(len(freqs))
+		return math.Log(sumRatio/m) + sumLogF/m
+	}
+	h := goldenMin(objective, 0.01, 0.99, 1e-6)
+
+	// Numeric Fisher information for the FGN model:
+	// I(H) = (1/4π) ∫_{-π}^{π} (∂ log f/∂H)² dλ, by central differences.
+	const steps = 4000
+	const dh = 1e-4
+	var info float64
+	for i := 1; i < steps; i++ {
+		lam := math.Pi * float64(i) / steps
+		g := (math.Log(fgnSpectrum(lam, h+dh)) - math.Log(fgnSpectrum(lam, h-dh))) / (2 * dh)
+		info += g * g
+	}
+	info *= math.Pi / steps
+	info = 2 * info / (4 * math.Pi)
+	se := 1 / math.Sqrt(info*float64(n))
+
+	return &WhittleResult{H: h, StdErr: se, CI95: 1.96 * se}, nil
+}

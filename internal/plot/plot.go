@@ -1,0 +1,157 @@
+// Package plot renders (x, y) series as ASCII scatter/line charts for
+// the command-line tools, so the reproduction binaries can draw the
+// paper's figures directly in a terminal. Log axes cover the paper's
+// log-log tail plots (Figs. 4–5), variance-time plot (Fig. 11) and pox
+// diagram (Fig. 12).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls the canvas.
+type Options struct {
+	Width, Height int  // canvas size in characters (default 72×20)
+	LogX, LogY    bool // logarithmic axes (base 10)
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+// glyphs assigns one mark per series.
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto a character canvas with axis annotations.
+// Points with non-finite coordinates — or non-positive ones on log axes —
+// are skipped.
+func Render(series []Series, opts Options) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("plot: no series")
+	}
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	if w < 16 || h < 4 {
+		return "", fmt.Errorf("plot: canvas %d×%d too small", w, h)
+	}
+
+	tx := func(v float64) (float64, bool) {
+		if opts.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if opts.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Data bounds in transformed space.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var usable int
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has mismatched lengths %d/%d", s.Label, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			usable++
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if usable == 0 {
+		return "", fmt.Errorf("plot: no drawable points")
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			grid[row][col] = g
+		}
+	}
+
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yTop := fmt.Sprintf("%.4g", inv(maxY, opts.LogY))
+	yBot := fmt.Sprintf("%.4g", inv(minY, opts.LogY))
+	lw := max(len(yTop), len(yBot))
+	for r, row := range grid {
+		label := strings.Repeat(" ", lw)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", lw, yTop)
+		case h - 1:
+			label = fmt.Sprintf("%*s", lw, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	xLeft := fmt.Sprintf("%.4g", inv(minX, opts.LogX))
+	xRight := fmt.Sprintf("%.4g", inv(maxX, opts.LogX))
+	pad := w - len(xLeft) - len(xRight)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", lw), xLeft, strings.Repeat(" ", pad), xRight)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", lw), opts.XLabel, opts.YLabel)
+	}
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", lw), glyphs[si%len(glyphs)], s.Label)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,145 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{{
+		Label: "line",
+		X:     []float64{0, 1, 2, 3, 4},
+		Y:     []float64{0, 1, 2, 3, 4},
+	}}
+	out, err := Render(s, Options{Title: "t", Width: 40, Height: 10, XLabel: "x", YLabel: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* line") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Error("missing axis labels")
+	}
+	// A diagonal: first data row contains a glyph at the right side,
+	// last data row at the left side.
+	lines := strings.Split(out, "\n")
+	var rows []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			rows = append(rows, l)
+		}
+	}
+	if len(rows) != 10 {
+		t.Fatalf("canvas rows %d", len(rows))
+	}
+	top, bottom := rows[0], rows[len(rows)-1]
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Error("diagonal orientation wrong")
+	}
+}
+
+func TestRenderLogAxes(t *testing.T) {
+	// A power law y = x^-2 renders as a straight line on log-log axes:
+	// check the glyph column/row relationship is affine.
+	var xs, ys []float64
+	for x := 1.0; x <= 1e4; x *= 10 {
+		xs = append(xs, x)
+		ys = append(ys, 1/(x*x))
+	}
+	out, err := Render([]Series{{Label: "pow", X: xs, Y: ys}}, Options{Width: 41, Height: 11, LogX: true, LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells [][2]int
+	for r, line := range strings.Split(out, "\n") {
+		i := strings.IndexByte(line, '|')
+		if i < 0 {
+			continue
+		}
+		for c, ch := range line[i+1:] {
+			if ch == '*' {
+				cells = append(cells, [2]int{r, c})
+			}
+		}
+	}
+	if len(cells) != 5 {
+		t.Fatalf("glyphs %d, want 5", len(cells))
+	}
+	// Evenly spaced in both axes.
+	for i := 2; i < len(cells); i++ {
+		dr1 := cells[i-1][0] - cells[i-2][0]
+		dr2 := cells[i][0] - cells[i-1][0]
+		dc1 := cells[i-1][1] - cells[i-2][1]
+		dc2 := cells[i][1] - cells[i-1][1]
+		if abs(dr1-dr2) > 1 || abs(dc1-dc2) > 1 {
+			t.Errorf("power law not straight on log-log: %v", cells)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRenderSkipsBadPoints(t *testing.T) {
+	s := []Series{{
+		Label: "mixed",
+		X:     []float64{1, -1, 2, math.NaN(), 3},
+		Y:     []float64{1, 1, math.Inf(1), 1, 2},
+	}}
+	out, err := Render(s, Options{LogX: true, LogY: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("valid points should still render")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Error("no series should fail")
+	}
+	if _, err := Render([]Series{{X: []float64{1}, Y: []float64{1, 2}}}, Options{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Render([]Series{{X: []float64{-1}, Y: []float64{1}}}, Options{LogX: true}); err == nil {
+		t.Error("no drawable points should fail")
+	}
+	if _, err := Render([]Series{{X: []float64{1}, Y: []float64{1}}}, Options{Width: 5, Height: 2}); err == nil {
+		t.Error("tiny canvas should fail")
+	}
+}
+
+func TestRenderMultipleSeriesGlyphs(t *testing.T) {
+	s := []Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+		{Label: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+	}
+	out, err := Render(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Error("legend glyphs wrong")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("both glyphs should appear on canvas")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	s := []Series{{Label: "c", X: []float64{5, 5}, Y: []float64{3, 3}}}
+	if _, err := Render(s, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

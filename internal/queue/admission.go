@@ -1,0 +1,97 @@
+package queue
+
+import (
+	"fmt"
+
+	"vbr/internal/dist"
+)
+
+// This file implements bufferless (rate-envelope) connection admission
+// control from the marginal distribution — the computation the paper's
+// §4.2 convolution machinery exists for: "To simulate the aggregation of
+// multiple sources, we implemented a convolution of the Gamma/Pareto
+// distribution using a table of 10,000 points."
+//
+// In the bufferless model a frame interval overflows when the aggregate
+// demand of the N sources exceeds the channel's per-interval service;
+// the overflow probability is read directly off the N-fold convolution
+// of the per-source marginal. This ignores time correlation entirely —
+// which, as the paper's conclusions spell out, is exactly valid in this
+// regime: "LRD is a relation of the frequency components of the process,
+// not the distribution of bandwidth requirements", so H drops out of
+// bufferless allocation while the heavy tail does not.
+
+// MarginalAllocation returns the capacity (bits/s) needed to keep the
+// bufferless per-interval overflow probability at or below eps for n
+// independent sources with the given per-interval marginal distribution
+// (bytes per interval of length intervalSec). tablePts controls the
+// convolution grid resolution (the paper uses 10,000).
+func MarginalAllocation(d dist.Distribution, n int, intervalSec, eps float64, tablePts int) (float64, error) {
+	if d == nil {
+		return 0, fmt.Errorf("queue: nil marginal distribution")
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("queue: source count must be ≥ 1, got %d", n)
+	}
+	if !(intervalSec > 0) {
+		return 0, fmt.Errorf("queue: interval must be positive, got %v", intervalSec)
+	}
+	if !(eps > 0 && eps < 1) {
+		return 0, fmt.Errorf("queue: overflow probability must be in (0,1), got %v", eps)
+	}
+	if tablePts < 100 {
+		return 0, fmt.Errorf("queue: table needs ≥ 100 points, got %d", tablePts)
+	}
+	// Tabulate the single-source marginal over a range generous enough
+	// that the (1 - eps/n) single-source quantile is interior.
+	hi := d.Quantile(1 - eps/float64(10*n))
+	if hi <= 0 {
+		return 0, fmt.Errorf("queue: marginal quantile not positive")
+	}
+	tab, err := dist.NewDensityTable(d, 0, hi*1.25, tablePts)
+	if err != nil {
+		return 0, err
+	}
+	agg, err := tab.SelfConvolve(n)
+	if err != nil {
+		return 0, err
+	}
+	q := agg.Quantile(1 - eps)
+	return q * 8 / intervalSec, nil
+}
+
+// AdmissibleSources returns the largest N for which MarginalAllocation
+// at the given capacity stays within the overflow budget — the admission
+// control decision a switch would make per call request. Returns 0 when
+// even one source does not fit.
+func AdmissibleSources(d dist.Distribution, capacityBps, intervalSec, eps float64, tablePts, maxN int) (int, error) {
+	if maxN < 1 {
+		return 0, fmt.Errorf("queue: maxN must be ≥ 1, got %d", maxN)
+	}
+	if !(capacityBps > 0) {
+		return 0, fmt.Errorf("queue: capacity must be positive, got %v", capacityBps)
+	}
+	// The required capacity is nondecreasing in N, so binary search.
+	lo, hi := 0, maxN // lo = known admissible, hi+1 = known inadmissible
+	// First check the upper end to bound the search.
+	need, err := MarginalAllocation(d, maxN, intervalSec, eps, tablePts)
+	if err != nil {
+		return 0, err
+	}
+	if need <= capacityBps {
+		return maxN, nil
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		need, err := MarginalAllocation(d, mid, intervalSec, eps, tablePts)
+		if err != nil {
+			return 0, err
+		}
+		if need <= capacityBps {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}

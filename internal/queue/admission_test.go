@@ -1,0 +1,171 @@
+package queue
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"vbr/internal/dist"
+)
+
+func TestMarginalAllocationSingleSourceIsQuantile(t *testing.T) {
+	gp, err := dist.NewGammaPareto(27791, 6254, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const interval = 1.0 / 24
+	const eps = 1e-3
+	c, err := MarginalAllocation(gp, 1, interval, eps, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gp.Quantile(1-eps) * 8 / interval
+	if math.Abs(c-want) > 0.01*want {
+		t.Errorf("single-source allocation %v, want quantile-rate %v", c, want)
+	}
+}
+
+func TestMarginalAllocationSMGShape(t *testing.T) {
+	// Per-source allocation must fall monotonically toward the mean rate
+	// as N grows — the bufferless version of Fig. 15.
+	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	const interval = 1.0 / 24
+	meanRate := gp.Mean() * 8 / interval
+	prev := math.Inf(1)
+	for _, n := range []int{1, 2, 5, 20} {
+		c, err := MarginalAllocation(gp, n, interval, 1e-3, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		per := c / float64(n)
+		if per > prev*1.01 {
+			t.Errorf("N=%d: per-source %v not decreasing", n, per)
+		}
+		if per < meanRate*0.98 {
+			t.Errorf("N=%d: per-source %v below mean rate %v", n, per, meanRate)
+		}
+		prev = per
+	}
+	// By N=20 the per-source share should be within ~25% of the mean.
+	if prev > meanRate*1.3 {
+		t.Errorf("N=20 allocation %v still far above mean %v", prev, meanRate)
+	}
+}
+
+func TestMarginalAllocationMatchesIIDSimulation(t *testing.T) {
+	// Ground truth: simulate N i.i.d. sources through a bufferless queue
+	// at the allocated capacity; the overflow (loss > 0 per interval)
+	// fraction must be ≈ eps.
+	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	const interval = 1.0 / 24
+	const eps = 0.01
+	const n = 5
+	c, err := MarginalAllocation(gp, n, interval, eps, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	const frames = 200000
+	service := c / 8 * interval
+	var overflow int
+	for i := 0; i < frames; i++ {
+		var agg float64
+		for s := 0; s < n; s++ {
+			agg += gp.Sample(rng)
+		}
+		if agg > service {
+			overflow++
+		}
+	}
+	got := float64(overflow) / frames
+	if got > 2*eps || got < eps/4 {
+		t.Errorf("empirical overflow %v, want ≈ %v", got, eps)
+	}
+}
+
+func TestMarginalAllocationHeavyTailMatters(t *testing.T) {
+	// The paper's point: at small eps the Pareto tail demands visibly
+	// more capacity than a Gaussian with the same moments.
+	gp, _ := dist.NewGammaPareto(27791, 6254, 8)
+	gauss, _ := dist.NewNormal(gp.Mean(), math.Sqrt(gp.Variance()))
+	const interval = 1.0 / 24
+	const eps = 1e-5
+	cHeavy, err := MarginalAllocation(gp, 1, interval, eps, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cGauss, err := MarginalAllocation(gauss, 1, interval, eps, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cHeavy <= cGauss*1.05 {
+		t.Errorf("heavy tail allocation %v not above gaussian %v", cHeavy, cGauss)
+	}
+}
+
+func TestMarginalAllocationValidation(t *testing.T) {
+	gp, _ := dist.NewGammaPareto(100, 30, 5)
+	if _, err := MarginalAllocation(nil, 1, 1, 0.01, 1000); err == nil {
+		t.Error("nil distribution should fail")
+	}
+	if _, err := MarginalAllocation(gp, 0, 1, 0.01, 1000); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := MarginalAllocation(gp, 1, 0, 0.01, 1000); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := MarginalAllocation(gp, 1, 1, 0, 1000); err == nil {
+		t.Error("eps=0 should fail")
+	}
+	if _, err := MarginalAllocation(gp, 1, 1, 0.01, 10); err == nil {
+		t.Error("tiny table should fail")
+	}
+}
+
+func TestAdmissibleSources(t *testing.T) {
+	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	const interval = 1.0 / 24
+	const eps = 1e-3
+	// Capacity for exactly 5 sources, then ask how many fit.
+	c5, err := MarginalAllocation(gp, 5, interval, eps, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := AdmissibleSources(gp, c5*1.001, interval, eps, 4000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("admitted %d sources at the 5-source allocation", n)
+	}
+	// Slightly less capacity admits fewer.
+	nLess, err := AdmissibleSources(gp, c5*0.99, interval, eps, 4000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nLess >= 5 {
+		t.Errorf("admitted %d sources below the 5-source allocation", nLess)
+	}
+	// Tiny capacity admits none.
+	n0, err := AdmissibleSources(gp, 1000, interval, eps, 4000, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0 != 0 {
+		t.Errorf("admitted %d sources at 1 kb/s", n0)
+	}
+	// Huge capacity admits maxN.
+	nMax, err := AdmissibleSources(gp, 1e12, interval, eps, 4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nMax != 17 {
+		t.Errorf("admitted %d, want maxN", nMax)
+	}
+	if _, err := AdmissibleSources(gp, 1e6, interval, eps, 4000, 0); err == nil {
+		t.Error("maxN 0 should fail")
+	}
+	if _, err := AdmissibleSources(gp, 0, interval, eps, 4000, 5); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}

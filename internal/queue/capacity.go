@@ -1,0 +1,211 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossTarget is a quality-of-service target for the capacity search:
+// either an overall loss rate (UseWES false) or a worst-errored-second
+// loss rate (UseWES true). Pl == 0 requests the zero-loss allocation.
+type LossTarget struct {
+	Pl     float64
+	UseWES bool
+}
+
+// String renders the target the way the paper labels its curves.
+func (t LossTarget) String() string {
+	name := "Pl"
+	if t.UseWES {
+		name = "Pl-WES"
+	}
+	if t.Pl == 0 {
+		return name + "=0"
+	}
+	return fmt.Sprintf("%s=%.0e", name, t.Pl)
+}
+
+// MinCapacity finds, by bisection, the minimum channel capacity (bits/s)
+// meeting the loss target when the buffer is sized for a fixed maximum
+// delay T_max = Q/(N·C) — the paper's normalized buffer measure, which
+// makes Q proportional to C during the search. loss(capacity) is supplied
+// by the caller (typically Mux.AverageLoss with Q = T_max·C/8 bytes).
+//
+// The search assumes loss is non-increasing in capacity, which holds for
+// a work-conserving FIFO queue when Q grows with C.
+func MinCapacity(loss func(capacityBps float64) (float64, error), loBps, hiBps float64, target LossTarget) (float64, error) {
+	if !(loBps > 0) || !(hiBps > loBps) {
+		return 0, fmt.Errorf("queue: bad capacity bracket [%v, %v]", loBps, hiBps)
+	}
+	// Verify the bracket actually brackets the target.
+	lHi, err := loss(hiBps)
+	if err != nil {
+		return 0, err
+	}
+	if lHi > target.Pl {
+		return 0, fmt.Errorf("queue: loss %v at max capacity %v still above target %v", lHi, hiBps, target.Pl)
+	}
+	lLo, err := loss(loBps)
+	if err != nil {
+		return 0, err
+	}
+	if lLo <= target.Pl {
+		return loBps, nil
+	}
+	for i := 0; i < 50 && hiBps-loBps > 1e-4*hiBps; i++ {
+		mid := (loBps + hiBps) / 2
+		l, err := loss(mid)
+		if err != nil {
+			return 0, err
+		}
+		if l <= target.Pl {
+			hiBps = mid
+		} else {
+			loBps = mid
+		}
+	}
+	return hiBps, nil
+}
+
+// QCPoint is one point of a Fig. 14 curve: the maximum buffer delay
+// T_max = Q/(N·C) against the allocated bandwidth per source C/N.
+type QCPoint struct {
+	TmaxSec      float64
+	PerSourceBps float64
+}
+
+// QCCurveConfig parameterizes a Q–C tradeoff sweep.
+type QCCurveConfig struct {
+	Mux       *Mux
+	Target    LossTarget
+	TmaxGrid  []float64 // buffer delays to evaluate (seconds)
+	UseSlices bool      // simulate at slice granularity (the paper's choice)
+}
+
+// QCCurve computes a Fig. 14 curve: for each T_max, the minimum capacity
+// per source achieving the loss target.
+func QCCurve(cfg QCCurveConfig) ([]QCPoint, error) {
+	if cfg.Mux == nil {
+		return nil, fmt.Errorf("queue: nil multiplexer")
+	}
+	if len(cfg.TmaxGrid) == 0 {
+		return nil, fmt.Errorf("queue: empty T_max grid")
+	}
+	n := float64(cfg.Mux.N)
+	mean := cfg.Mux.Trace.MeanRate() * n
+	peak := cfg.Mux.Trace.PeakRate() * n * 1.05 // headroom for slice-level peaks
+
+	points := make([]QCPoint, 0, len(cfg.TmaxGrid))
+	for _, tmax := range cfg.TmaxGrid {
+		if !(tmax >= 0) {
+			return nil, fmt.Errorf("queue: negative T_max %v", tmax)
+		}
+		tm := tmax
+		lossAt := func(c float64) (float64, error) {
+			q := tm * c / 8 // Q = T_max · (N·C) in bytes; c is aggregate bits/s
+			r, err := cfg.Mux.AverageLoss(c, q, cfg.UseSlices, Options{})
+			if err != nil {
+				return 0, err
+			}
+			if cfg.Target.UseWES {
+				return r.PlWES, nil
+			}
+			return r.Pl, nil
+		}
+		c, err := MinCapacity(lossAt, mean*0.5, peak, cfg.Target)
+		if err != nil {
+			return nil, fmt.Errorf("queue: T_max=%v: %w", tmax, err)
+		}
+		points = append(points, QCPoint{TmaxSec: tmax, PerSourceBps: c / n})
+	}
+	return points, nil
+}
+
+// Knee locates the knee of a Q–C curve — the natural operating point the
+// paper identifies — as the point of maximum curvature on log-log axes,
+// estimated by the largest second difference of log(C/N) against
+// log(T_max).
+func Knee(points []QCPoint) (QCPoint, error) {
+	if len(points) < 3 {
+		return QCPoint{}, fmt.Errorf("queue: knee needs ≥ 3 points, got %d", len(points))
+	}
+	best, bestCurv := 1, math.Inf(-1)
+	for i := 1; i < len(points)-1; i++ {
+		x0, x1, x2 := math.Log(points[i-1].TmaxSec), math.Log(points[i].TmaxSec), math.Log(points[i+1].TmaxSec)
+		y0, y1, y2 := math.Log(points[i-1].PerSourceBps), math.Log(points[i].PerSourceBps), math.Log(points[i+1].PerSourceBps)
+		// Second difference with uneven spacing.
+		d1 := (y1 - y0) / (x1 - x0)
+		d2 := (y2 - y1) / (x2 - x1)
+		curv := math.Abs(d2 - d1)
+		if curv > bestCurv {
+			bestCurv, best = curv, i
+		}
+	}
+	return points[best], nil
+}
+
+// SMGPoint is one point of Fig. 15: sources multiplexed and the capacity
+// allocated per source.
+type SMGPoint struct {
+	N            int
+	PerSourceBps float64
+}
+
+// SMGConfig parameterizes the statistical-multiplexing-gain analysis.
+type SMGConfig struct {
+	NewMux    func(n int) (*Mux, error) // constructs the N-source multiplexer
+	Ns        []int
+	Target    LossTarget
+	TmaxSec   float64 // Fig. 15 fixes T_max = 2 ms
+	UseSlices bool
+}
+
+// SMG computes Fig. 15: the required per-source allocation against N at a
+// fixed buffer delay.
+func SMG(cfg SMGConfig) ([]SMGPoint, error) {
+	if cfg.NewMux == nil {
+		return nil, fmt.Errorf("queue: nil multiplexer factory")
+	}
+	if len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("queue: empty N list")
+	}
+	if !(cfg.TmaxSec >= 0) {
+		return nil, fmt.Errorf("queue: negative T_max")
+	}
+	out := make([]SMGPoint, 0, len(cfg.Ns))
+	for _, n := range cfg.Ns {
+		mux, err := cfg.NewMux(n)
+		if err != nil {
+			return nil, err
+		}
+		mean := mux.Trace.MeanRate() * float64(n)
+		peak := mux.Trace.PeakRate() * float64(n) * 1.05
+		lossAt := func(c float64) (float64, error) {
+			q := cfg.TmaxSec * c / 8
+			r, err := mux.AverageLoss(c, q, cfg.UseSlices, Options{})
+			if err != nil {
+				return 0, err
+			}
+			if cfg.Target.UseWES {
+				return r.PlWES, nil
+			}
+			return r.Pl, nil
+		}
+		c, err := MinCapacity(lossAt, mean*0.5, peak, cfg.Target)
+		if err != nil {
+			return nil, fmt.Errorf("queue: N=%d: %w", n, err)
+		}
+		out = append(out, SMGPoint{N: n, PerSourceBps: c / float64(n)})
+	}
+	return out, nil
+}
+
+// RealizedGain returns the fraction of the theoretically possible
+// multiplexing gain achieved at a given allocation: the paper reports 72%
+// at N = 5. peak and mean are single-source rates in bits/s.
+func RealizedGain(perSourceBps, peakBps, meanBps float64) (float64, error) {
+	if !(peakBps > meanBps) {
+		return 0, fmt.Errorf("queue: peak %v must exceed mean %v", peakBps, meanBps)
+	}
+	return (peakBps - perSourceBps) / (peakBps - meanBps), nil
+}

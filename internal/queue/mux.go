@@ -1,0 +1,198 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"vbr/internal/trace"
+)
+
+// Mux builds aggregate workloads by multiplexing N lagged copies of a
+// trace, following §5.1: each copy is offset by a random number of frames,
+// wraps around at the end so all frames are used once per source, and the
+// lags are pairwise at least MinLagFrames apart (the paper uses 1000
+// frames because LRD makes cross-correlation significant even at long
+// lags). For N > 2 the paper averages results over Combos random lag
+// combinations; Lags generates them reproducibly from Seed.
+type Mux struct {
+	Trace        *trace.Trace
+	N            int
+	MinLagFrames int
+	Seed         uint64
+
+	// Lag combinations and their aggregate workloads are deterministic
+	// given Seed, so they are computed once and reused across the many
+	// simulations of a capacity search.
+	cachedFrame []Workload
+	cachedSlice []Workload
+}
+
+// NewMux validates and constructs a multiplexer.
+func NewMux(tr *trace.Trace, n int, minLag int, seed uint64) (*Mux, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("queue: nil trace")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("queue: source count must be ≥ 1, got %d", n)
+	}
+	if minLag < 0 {
+		return nil, fmt.Errorf("queue: min lag must be ≥ 0, got %d", minLag)
+	}
+	if n > 1 && minLag*n >= len(tr.Frames) {
+		return nil, fmt.Errorf("queue: cannot place %d lags ≥ %d apart in %d frames",
+			n, minLag, len(tr.Frames))
+	}
+	return &Mux{Trace: tr, N: n, MinLagFrames: minLag, Seed: seed}, nil
+}
+
+// Lags draws one admissible lag combination: N offsets whose pairwise
+// circular distances are all at least MinLagFrames, with the first lag 0
+// (a pure relabeling of time). The draw is constructive rather than
+// rejective — N·MinLagFrames of mandatory spacing is laid down around the
+// circle and the remaining slack is split by uniform order statistics —
+// so it runs in O(N log N) even when the spacing constraint is tight.
+func (m *Mux) Lags(rng *rand.Rand) []int {
+	l := len(m.Trace.Frames)
+	if m.N == 1 {
+		return []int{0}
+	}
+	slack := l - m.N*m.MinLagFrames // > 0, enforced by NewMux
+	offsets := make([]float64, m.N)
+	for i := range offsets {
+		offsets[i] = rng.Float64() * float64(slack)
+	}
+	sort.Float64s(offsets)
+	lags := make([]int, m.N)
+	for i := range lags {
+		lags[i] = (int(offsets[i]) + i*m.MinLagFrames) % l
+	}
+	// Rotate so the first source sits at lag 0; rotation preserves all
+	// pairwise circular distances.
+	first := lags[0]
+	for i := range lags {
+		lags[i] = (lags[i] - first + l) % l
+	}
+	return lags
+}
+
+// FrameWorkload sums the N lagged frame series into one aggregate
+// workload at frame granularity.
+func (m *Mux) FrameWorkload(lags []int) (Workload, error) {
+	if len(lags) != m.N {
+		return Workload{}, fmt.Errorf("queue: %d lags for %d sources", len(lags), m.N)
+	}
+	n := len(m.Trace.Frames)
+	agg := make([]float64, n)
+	for _, lag := range lags {
+		for i := 0; i < n; i++ {
+			agg[i] += m.Trace.FrameAt(lag + i)
+		}
+	}
+	return Workload{Bytes: agg, Interval: 1 / m.Trace.FrameRate}, nil
+}
+
+// SliceWorkload sums the N lagged slice series into one aggregate
+// workload at slice granularity (the resolution the paper's simulations
+// use). The trace must carry slice data.
+func (m *Mux) SliceWorkload(lags []int) (Workload, error) {
+	if m.Trace.Slices == nil {
+		return Workload{}, fmt.Errorf("queue: trace has no slice data")
+	}
+	if len(lags) != m.N {
+		return Workload{}, fmt.Errorf("queue: %d lags for %d sources", len(lags), m.N)
+	}
+	spf := m.Trace.SlicesPerFrame
+	n := len(m.Trace.Slices)
+	agg := make([]float64, n)
+	for _, lag := range lags {
+		off := lag * spf
+		for i := 0; i < n; i++ {
+			agg[i] += m.Trace.SliceAt(off + i)
+		}
+	}
+	return Workload{Bytes: agg, Interval: 1 / (m.Trace.FrameRate * float64(spf))}, nil
+}
+
+// Combos returns the number of lag combinations §5.1 prescribes: one for
+// N ≤ 2 (the lag relabels time and, for N=2, only the relative lag
+// matters over a full wrap), six otherwise.
+func (m *Mux) Combos() int {
+	if m.N <= 2 {
+		return 1
+	}
+	return 6
+}
+
+// workloads returns (building and caching on first use) the aggregate
+// workloads of the Combos lag combinations drawn deterministically from
+// Seed.
+func (m *Mux) workloads(useSlices bool) ([]Workload, error) {
+	if useSlices && m.cachedSlice != nil {
+		return m.cachedSlice, nil
+	}
+	if !useSlices && m.cachedFrame != nil {
+		return m.cachedFrame, nil
+	}
+	rng := rand.New(rand.NewPCG(m.Seed, 0x1a65))
+	combos := m.Combos()
+	ws := make([]Workload, 0, combos)
+	for c := 0; c < combos; c++ {
+		lags := m.Lags(rng)
+		var w Workload
+		var err error
+		if useSlices {
+			w, err = m.SliceWorkload(lags)
+		} else {
+			w, err = m.FrameWorkload(lags)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	if useSlices {
+		m.cachedSlice = ws
+	} else {
+		m.cachedFrame = ws
+	}
+	return ws, nil
+}
+
+// AverageLoss runs the fluid simulation over Combos lag combinations and
+// returns the mean overall and worst-errored-second loss rates, plus the
+// per-window loss series of the first combination when requested.
+func (m *Mux) AverageLoss(capacityBps, bufferBytes float64, useSlices bool, opts Options) (*Result, error) {
+	ws, err := m.workloads(useSlices)
+	if err != nil {
+		return nil, err
+	}
+	combos := len(ws)
+	avg := &Result{}
+	for c, w := range ws {
+		o := opts
+		if c > 0 {
+			o.WindowIntervals = 0 // window series only from the first combo
+		}
+		r, err := Simulate(w, capacityBps, bufferBytes, o)
+		if err != nil {
+			return nil, err
+		}
+		avg.TotalBytes += r.TotalBytes
+		avg.LostBytes += r.LostBytes
+		avg.Pl += r.Pl
+		avg.PlWES += r.PlWES
+		if r.MaxBacklog > avg.MaxBacklog {
+			avg.MaxBacklog = r.MaxBacklog
+		}
+		if c == 0 {
+			avg.WindowLoss = r.WindowLoss
+		}
+	}
+	avg.Pl /= float64(combos)
+	avg.PlWES /= float64(combos)
+	return avg, nil
+}

@@ -1,0 +1,136 @@
+package queue
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the layered-coding study §5.3 of the paper points
+// to but leaves open: "if packet loss degradations were concealed by
+// using 'layered' coding with a priority queueing discipline, then the
+// QOS measure would have to account for this appropriately" (see also
+// [GARR93], the authors' joint source/channel coding work).
+//
+// A layered source splits every interval's bytes into a base layer
+// (carrying the share needed for minimally acceptable quality) and an
+// enhancement layer. The network serves both through one channel but
+// drops enhancement traffic first when the buffer fills: a two-priority
+// partial buffer sharing scheme in which enhancement cells are admitted
+// only while the queue is below a threshold.
+
+// LayeredWorkload is a two-layer arrival process on a common interval
+// grid.
+type LayeredWorkload struct {
+	Base        []float64 // bytes per interval, high priority
+	Enhancement []float64 // bytes per interval, low priority
+	Interval    float64   // seconds
+}
+
+// SplitLayers divides a workload into base and enhancement layers with
+// the given base fraction (0 < baseFrac ≤ 1) of each interval's bytes in
+// the base layer — the constant-proportion layering of scalable
+// intraframe coders.
+func SplitLayers(w Workload, baseFrac float64) (LayeredWorkload, error) {
+	if err := w.Validate(); err != nil {
+		return LayeredWorkload{}, err
+	}
+	if !(baseFrac > 0 && baseFrac <= 1) {
+		return LayeredWorkload{}, fmt.Errorf("queue: base fraction must be in (0,1], got %v", baseFrac)
+	}
+	lw := LayeredWorkload{
+		Base:        make([]float64, len(w.Bytes)),
+		Enhancement: make([]float64, len(w.Bytes)),
+		Interval:    w.Interval,
+	}
+	for i, b := range w.Bytes {
+		lw.Base[i] = b * baseFrac
+		lw.Enhancement[i] = b * (1 - baseFrac)
+	}
+	return lw, nil
+}
+
+// Validate checks the layered workload's consistency.
+func (lw LayeredWorkload) Validate() error {
+	if len(lw.Base) == 0 || len(lw.Base) != len(lw.Enhancement) {
+		return fmt.Errorf("queue: layered workload shape %d/%d", len(lw.Base), len(lw.Enhancement))
+	}
+	if !(lw.Interval > 0) {
+		return fmt.Errorf("queue: interval must be positive, got %v", lw.Interval)
+	}
+	for i := range lw.Base {
+		if lw.Base[i] < 0 || lw.Enhancement[i] < 0 ||
+			math.IsNaN(lw.Base[i]) || math.IsNaN(lw.Enhancement[i]) {
+			return fmt.Errorf("queue: invalid layered arrivals at %d", i)
+		}
+	}
+	return nil
+}
+
+// LayeredResult reports per-layer loss.
+type LayeredResult struct {
+	BaseBytes, BaseLost               float64
+	EnhancementBytes, EnhancementLost float64
+	PlBase                            float64 // base-layer loss rate
+	PlEnhancement                     float64 // enhancement-layer loss rate
+	PlTotal                           float64 // combined loss rate
+	MaxBacklog                        float64
+}
+
+// SimulatePriority runs the two-priority fluid queue: capacity in bits/s,
+// buffer in bytes, with enhancement traffic admitted only while the
+// backlog is below threshold bytes (threshold ≤ buffer; threshold ==
+// buffer degenerates to FIFO without priority). Base traffic uses the
+// whole buffer. Within an interval, base arrivals are admitted before
+// enhancement arrivals, modeling strict priority.
+func SimulatePriority(lw LayeredWorkload, capacityBps, bufferBytes, thresholdBytes float64) (*LayeredResult, error) {
+	if err := lw.Validate(); err != nil {
+		return nil, err
+	}
+	if !(capacityBps > 0) {
+		return nil, fmt.Errorf("queue: capacity must be positive, got %v", capacityBps)
+	}
+	if bufferBytes < 0 || thresholdBytes < 0 || thresholdBytes > bufferBytes {
+		return nil, fmt.Errorf("queue: need 0 ≤ threshold (%v) ≤ buffer (%v)", thresholdBytes, bufferBytes)
+	}
+	service := capacityBps / 8 * lw.Interval
+
+	res := &LayeredResult{}
+	var q float64
+	for i := range lw.Base {
+		base, enh := lw.Base[i], lw.Enhancement[i]
+		res.BaseBytes += base
+		res.EnhancementBytes += enh
+
+		// Drain first (fluid service during the interval).
+		q = math.Max(0, q-service)
+
+		// Base layer: admitted up to the full buffer.
+		admitBase := math.Min(base, bufferBytes-q)
+		if admitBase < 0 {
+			admitBase = 0
+		}
+		res.BaseLost += base - admitBase
+		q += admitBase
+
+		// Enhancement layer: admitted only below the threshold.
+		room := math.Min(thresholdBytes, bufferBytes) - q
+		admitEnh := math.Min(enh, math.Max(0, room))
+		res.EnhancementLost += enh - admitEnh
+		q += admitEnh
+
+		if q > res.MaxBacklog {
+			res.MaxBacklog = q
+		}
+	}
+	if res.BaseBytes > 0 {
+		res.PlBase = res.BaseLost / res.BaseBytes
+	}
+	if res.EnhancementBytes > 0 {
+		res.PlEnhancement = res.EnhancementLost / res.EnhancementBytes
+	}
+	total := res.BaseBytes + res.EnhancementBytes
+	if total > 0 {
+		res.PlTotal = (res.BaseLost + res.EnhancementLost) / total
+	}
+	return res, nil
+}

@@ -1,0 +1,366 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	diff := math.Abs(got - want)
+	if diff > tol && diff > tol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "mean", s.Mean, 5, 1e-12)
+	approx(t, "std", s.Std, 2, 1e-12)
+	approx(t, "cov", s.CoV, 0.4, 1e-12)
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	approx(t, "peak/mean", s.PeakMean, 1.8, 1e-12)
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestMeanVarianceEdge(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty slice conventions violated")
+	}
+	approx(t, "var const", Variance([]float64{3, 3, 3}), 0, 1e-15)
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 7
+	}
+	ma, err := MovingAverage(xs, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ma {
+		if math.Abs(v-7) > 1e-12 {
+			t.Fatalf("ma[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMovingAverageSmooths(t *testing.T) {
+	// A long-window average of white noise has much smaller variance.
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ma, err := MovingAverage(xs, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ma) != len(xs) {
+		t.Fatalf("length changed: %d", len(ma))
+	}
+	if v := Variance(ma[200 : len(ma)-200]); v > 0.05 {
+		t.Errorf("moving average variance %v not ≈ 1/101", v)
+	}
+}
+
+func TestMovingAverageWindowOne(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ma, err := MovingAverage(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if ma[i] != xs[i] {
+			t.Fatalf("window 1 must be identity")
+		}
+	}
+	if _, err := MovingAverage(xs, 0); err == nil {
+		t.Error("window 0 should fail")
+	}
+	if _, err := MovingAverage(nil, 5); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestMovingAveragePreservesMeanProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 50 + int(seed%200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		ma, err := MovingAverage(xs, 7)
+		if err != nil {
+			return false
+		}
+		// Every output value lies within [min, max] of the input.
+		lo, hi := xs[0], xs[0]
+		for _, v := range xs {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for _, v := range ma {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	agg, err := Aggregate(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.5, 5.5}
+	if len(agg) != 3 {
+		t.Fatalf("len = %d", len(agg))
+	}
+	for i := range want {
+		approx(t, "agg", agg[i], want[i], 1e-12)
+	}
+	if _, err := Aggregate(xs, 0); err == nil {
+		t.Error("block 0 should fail")
+	}
+	if _, err := Aggregate(xs, 8); err == nil {
+		t.Error("block > n should fail")
+	}
+}
+
+func TestAggregatePreservesMean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	agg, _ := Aggregate(xs, 10)
+	approx(t, "aggregate mean", Mean(agg), Mean(xs), 1e-9)
+}
+
+func TestAggregateIIDVarianceScaling(t *testing.T) {
+	// For i.i.d. data Var(X^(m)) ≈ Var(X)/m — the SRD baseline the
+	// variance-time plot compares against (slope -1).
+	rng := rand.New(rand.NewPCG(7, 8))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	v1 := Variance(xs)
+	agg, _ := Aggregate(xs, 100)
+	v100 := Variance(agg)
+	approx(t, "iid variance scaling", v100, v1/100, 0.15*v1/100)
+}
+
+func TestAutocorrelationImplementationsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	xs := make([]float64, 500)
+	ar := 0.0
+	for i := range xs {
+		ar = 0.7*ar + rng.NormFloat64()
+		xs[i] = ar
+	}
+	a, err := Autocorrelation(xs, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AutocorrelationDirect(xs, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if math.Abs(a[k]-b[k]) > 1e-9 {
+			t.Fatalf("lag %d: fft %v direct %v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestAutocorrelationAR1Decay(t *testing.T) {
+	// For AR(1) with coefficient φ, r(k) ≈ φ^k.
+	rng := rand.New(rand.NewPCG(11, 12))
+	const phi = 0.8
+	xs := make([]float64, 300000)
+	v := 0.0
+	for i := range xs {
+		v = phi*v + rng.NormFloat64()
+		xs[i] = v
+	}
+	r, err := Autocorrelation(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 10; k++ {
+		approx(t, "ar1 acf", r[k], math.Pow(phi, float64(k)), 0.05)
+	}
+}
+
+func TestAutocorrelationDirectErrors(t *testing.T) {
+	if _, err := AutocorrelationDirect(nil, 0); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := AutocorrelationDirect([]float64{1, 2}, 2); err == nil {
+		t.Error("maxLag >= n should fail")
+	}
+	r, err := AutocorrelationDirect([]float64{4, 4, 4, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 || r[1] != 0 {
+		t.Error("constant series convention violated")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	xs := []float64{0.5, 1.5, 1.6, 2.5, 3.5, -1, 10}
+	h, err := NewHistogram(xs, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total != 7 {
+		t.Fatalf("total %d", h.Total)
+	}
+	// -1 clamps into bin 0; 10 clamps into bin 3.
+	wantCounts := []int{2, 2, 1, 2}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d: %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	// Density integrates to 1.
+	var integral float64
+	for _, d := range h.Density {
+		integral += d * h.Width
+	}
+	approx(t, "density integral", integral, 1, 1e-12)
+	approx(t, "bin center", h.BinCenter(0), 0.5, 1e-12)
+
+	if _, err := NewHistogram(xs, 0, 4, 0); err == nil {
+		t.Error("0 bins should fail")
+	}
+	if _, err := NewHistogram(xs, 4, 0, 4); err == nil {
+		t.Error("hi <= lo should fail")
+	}
+	if _, err := NewHistogram(nil, 0, 1, 2); err == nil {
+		t.Error("empty data should fail")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "cdf(0)", e.CDF(0), 0, 1e-15)
+	approx(t, "cdf(2)", e.CDF(2), 0.6, 1e-15)
+	approx(t, "cdf(5)", e.CDF(5), 1, 1e-15)
+	approx(t, "ccdf(2)", e.CCDF(2), 0.4, 1e-15)
+	approx(t, "q(0)", e.Quantile(0), 1, 1e-15)
+	approx(t, "q(1)", e.Quantile(1), 5, 1e-15)
+	approx(t, "q(0.5)", e.Quantile(0.5), 2, 1e-15)
+	if _, err := NewECDF(nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestECDFTailPoints(t *testing.T) {
+	e, _ := NewECDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	xs, ccdf := e.TailPoints(3)
+	if len(xs) != 3 {
+		t.Fatalf("len %d", len(xs))
+	}
+	if xs[0] != 10 || xs[1] != 9 || xs[2] != 8 {
+		t.Errorf("tail xs = %v", xs)
+	}
+	approx(t, "ccdf[0]", ccdf[0], 0.1, 1e-15)
+	approx(t, "ccdf[2]", ccdf[2], 0.3, 1e-15)
+	// Request more than n clamps.
+	xs, _ = e.TailPoints(50)
+	if len(xs) != 10 {
+		t.Errorf("clamped len %d", len(xs))
+	}
+}
+
+func TestMeanConvergenceCIs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	cis, err := MeanConvergence(xs, []int{100, 1000, 10000}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cis) != 3 {
+		t.Fatalf("len %d", len(cis))
+	}
+	for _, ci := range cis {
+		// LRD CI must always be wider than the i.i.d. CI for H > 0.5.
+		if ci.HalfLRD <= ci.HalfIID {
+			t.Errorf("n=%d: LRD CI %v not wider than iid %v", ci.N, ci.HalfLRD, ci.HalfIID)
+		}
+	}
+	// The iid half-width shrinks as 1/sqrt(n): ratio of n=100 to n=10000 ≈ 10.
+	ratio := cis[0].HalfIID / cis[2].HalfIID
+	approx(t, "iid CI shrink", ratio, 10, 1)
+	// The LRD half-width shrinks as n^{H-1} = n^{-0.2}: ratio ≈ 100^0.2 ≈ 2.5.
+	ratioLRD := cis[0].HalfLRD / cis[2].HalfLRD
+	approx(t, "lrd CI shrink", ratioLRD, math.Pow(100, 0.2), 0.5)
+
+	if _, err := MeanConvergence(xs, []int{1}, 0.8); err == nil {
+		t.Error("prefix < 2 should fail")
+	}
+	if _, err := MeanConvergence(xs, []int{100}, 1.5); err == nil {
+		t.Error("H out of range should fail")
+	}
+	if _, err := MeanConvergence(nil, nil, 0.8); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestLogSeries(t *testing.T) {
+	out, err := LogSeries([]float64{1, math.E, math.E * math.E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "log[1]", out[1], 1, 1e-12)
+	if _, err := LogSeries([]float64{1, 0, 2}); err == nil {
+		t.Error("nonpositive data should fail")
+	}
+}
+
+func TestPeriodogramDelegation(t *testing.T) {
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * 10 * float64(i) / 256)
+	}
+	freqs, ords := Periodogram(xs)
+	if len(freqs) == 0 || len(freqs) != len(ords) {
+		t.Fatal("periodogram shape wrong")
+	}
+	best := 0
+	for i := range ords {
+		if ords[i] > ords[best] {
+			best = i
+		}
+	}
+	approx(t, "peak freq", freqs[best], 2*math.Pi*10/256, 1e-9)
+}

