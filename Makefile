@@ -1,0 +1,35 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke ci clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector run; the CLI smoke tests re-exec the binaries, so -short
+# keeps this to the in-process packages where the detector sees
+# something.
+race:
+	$(GO) test -race -short ./...
+	$(GO) test -race -run 'TestAverageLoss|TestFig14|TestRun' ./internal/queue/ ./internal/experiments/ ./internal/runner/
+
+# Short fuzzing pass over the parser/decoder fuzz targets; one target
+# per invocation as go test requires.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeSymbols -fuzztime=$(FUZZTIME) ./internal/codec/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/codec/
+	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
+
+ci: build vet test race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

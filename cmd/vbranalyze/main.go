@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
+	"vbr/internal/cli"
 	"vbr/internal/experiments"
 	"vbr/internal/lrd"
 	"vbr/internal/plot"
@@ -40,48 +42,54 @@ func renderPlot(series []experiments.SeriesResult, opts plot.Options) error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vbranalyze: ")
+	os.Exit(cli.Main("vbranalyze", run))
+}
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbranalyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in     = flag.String("in", "", "binary trace file (from vbrtrace); empty = regenerate")
-		frames = flag.Int("frames", 171000, "frames to generate when -in is empty")
-		seed   = flag.Uint64("seed", 1994, "seed for regeneration")
-		series = flag.Bool("series", false, "print data series, not just summaries")
-		doPlot = flag.Bool("plot", false, "render ASCII plots of the figures")
+		in     = fs.String("in", "", "binary trace file (from vbrtrace); empty = regenerate")
+		frames = fs.Int("frames", 171000, "frames to generate when -in is empty")
+		seed   = fs.Uint64("seed", 1994, "seed for regeneration")
+		series = fs.Bool("series", false, "print data series, not just summaries")
+		doPlot = fs.Bool("plot", false, "render ASCII plots of the figures")
 
-		all    = flag.Bool("all", false, "run every analysis")
-		table1 = flag.Bool("table1", false, "Table 1: generation parameters")
-		table2 = flag.Bool("table2", false, "Table 2: trace statistics")
-		table3 = flag.Bool("table3", false, "Table 3: Hurst estimates")
-		fig1   = flag.Bool("fig1", false, "Fig 1: time series and peaks")
-		fig2   = flag.Bool("fig2", false, "Fig 2: low-frequency content")
-		fig3   = flag.Bool("fig3", false, "Fig 3: segment histograms")
-		fig4   = flag.Bool("fig4", false, "Fig 4: CCDF right tail vs models")
-		fig5   = flag.Bool("fig5", false, "Fig 5: CDF left tail vs models")
-		fig6   = flag.Bool("fig6", false, "Fig 6: density vs Gamma/Pareto")
-		fig7   = flag.Bool("fig7", false, "Fig 7: autocorrelation")
-		fig8   = flag.Bool("fig8", false, "Fig 8: periodogram")
-		fig9   = flag.Bool("fig9", false, "Fig 9: mean convergence CIs")
-		fig10  = flag.Bool("fig10", false, "Fig 10: aggregated self-similarity")
-		fig11  = flag.Bool("fig11", false, "Fig 11: variance-time plot")
-		fig12  = flag.Bool("fig12", false, "Fig 12: R/S pox diagram")
-		scn    = flag.Bool("scenes", false, "scene detection and scene-level model (§4.2 extension)")
+		all    = fs.Bool("all", false, "run every analysis")
+		table1 = fs.Bool("table1", false, "Table 1: generation parameters")
+		table2 = fs.Bool("table2", false, "Table 2: trace statistics")
+		table3 = fs.Bool("table3", false, "Table 3: Hurst estimates")
+		fig1   = fs.Bool("fig1", false, "Fig 1: time series and peaks")
+		fig2   = fs.Bool("fig2", false, "Fig 2: low-frequency content")
+		fig3   = fs.Bool("fig3", false, "Fig 3: segment histograms")
+		fig4   = fs.Bool("fig4", false, "Fig 4: CCDF right tail vs models")
+		fig5   = fs.Bool("fig5", false, "Fig 5: CDF left tail vs models")
+		fig6   = fs.Bool("fig6", false, "Fig 6: density vs Gamma/Pareto")
+		fig7   = fs.Bool("fig7", false, "Fig 7: autocorrelation")
+		fig8   = fs.Bool("fig8", false, "Fig 8: periodogram")
+		fig9   = fs.Bool("fig9", false, "Fig 9: mean convergence CIs")
+		fig10  = fs.Bool("fig10", false, "Fig 10: aggregated self-similarity")
+		fig11  = fs.Bool("fig11", false, "Fig 11: variance-time plot")
+		fig12  = fs.Bool("fig12", false, "Fig 12: R/S pox diagram")
+		scn    = fs.Bool("scenes", false, "scene detection and scene-level model (§4.2 extension)")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	suite, err := loadOrGenerate(*in, *frames, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	any := false
 	run := func(enabled bool, fn func() error) {
+		if err != nil || ctx.Err() != nil {
+			return
+		}
 		if *all || enabled {
 			any = true
-			if err := fn(); err != nil {
-				log.Fatal(err)
-			}
+			err = fn()
 		}
 	}
 
@@ -349,10 +357,16 @@ func main() {
 		return nil
 	})
 
-	if !any {
-		fmt.Fprintln(os.Stderr, "no analysis selected; use -all or individual flags (see -help)")
-		os.Exit(2)
+	if err != nil {
+		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !any {
+		return cli.Usagef("no analysis selected; use -all or individual flags (see -help)")
+	}
+	return nil
 }
 
 // loadOrGenerate reads a binary trace when a path is given, otherwise

@@ -8,24 +8,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"time"
 
+	"vbr/internal/cli"
 	"vbr/internal/experiments"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vbrexperiments: ")
+	os.Exit(cli.Main("vbrexperiments", run))
+}
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbrexperiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scaleFlag  = flag.String("scale", "quick", "quick | paper")
-		slices     = flag.Bool("slices", false, "queueing simulations at slice granularity")
-		extensions = flag.Bool("extensions", true, "also run the future-work extension studies")
+		scaleFlag  = fs.String("scale", "quick", "quick | paper")
+		slices     = fs.Bool("slices", false, "queueing simulations at slice granularity")
+		extensions = fs.Bool("extensions", true, "also run the future-work extension studies")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -34,41 +42,66 @@ func main() {
 	case "paper":
 		scale = experiments.PaperScale
 	default:
-		log.Fatalf("unknown scale %q", *scaleFlag)
+		return cli.Usagef("unknown scale %q (want quick or paper)", *scaleFlag)
 	}
 
 	start := time.Now()
 	suite, err := experiments.NewSuite(scale)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	suite.UseSlices = *slices
-	fmt.Printf("=== VBR video reproduction suite: %s scale, %d frames (generated in %v) ===\n\n",
+	fmt.Fprintf(stdout, "=== VBR video reproduction suite: %s scale, %d frames (generated in %v) ===\n\n",
 		*scaleFlag, len(suite.Trace.Frames), time.Since(start).Round(time.Millisecond))
 
-	step := func(name string, fn func() (interface{ Format() string }, error)) {
+	step := func(name string, fn func() (interface{ Format() string }, error)) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t0 := time.Now()
 		r, err := fn()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Println(r.Format())
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintln(stdout, r.Format())
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		return nil
+	}
+	// summary runs one of the Figure 1–12 analyses and prints the compact
+	// one-line digest produced by report.
+	summary := func(fn func() error) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn()
 	}
 
-	step("Table 1", func() (interface{ Format() string }, error) { return suite.Table1() })
-	step("Table 2", func() (interface{ Format() string }, error) { return suite.Table2() })
-	step("Table 3", func() (interface{ Format() string }, error) { return suite.Table3() })
+	if err := step("Table 1", func() (interface{ Format() string }, error) { return suite.Table1() }); err != nil {
+		return err
+	}
+	if err := step("Table 2", func() (interface{ Format() string }, error) { return suite.Table2() }); err != nil {
+		return err
+	}
+	if err := step("Table 3", func() (interface{ Format() string }, error) { return suite.Table3() }); err != nil {
+		return err
+	}
 
 	// Figures 1–12: print compact summaries.
-	if r, err := suite.Fig1(2000); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 1: full time series; major peaks at frames %v\n\n", r.PeakFrames)
+	if err := summary(func() error {
+		r, err := suite.Fig1(2000)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 1: full time series; major peaks at frames %v\n\n", r.PeakFrames)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig2(); err != nil {
-		log.Fatal(err)
-	} else {
+	if err := summary(func() error {
+		r, err := suite.Fig2()
+		if err != nil {
+			return err
+		}
 		lo, hi := r.Y[0], r.Y[0]
 		for _, v := range r.Y {
 			if v < lo {
@@ -78,80 +111,157 @@ func main() {
 				hi = v
 			}
 		}
-		fmt.Printf("Figure 2: %s; swing %.0f..%.0f bytes/frame\n\n", r.Label, lo, hi)
+		fmt.Fprintf(stdout, "Figure 2: %s; swing %.0f..%.0f bytes/frame\n\n", r.Label, lo, hi)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig3(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 3: max KS distance of a 2-minute segment from the full marginal: %.3f\n\n", r.MaxKS)
+	if err := summary(func() error {
+		r, err := suite.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 3: max KS distance of a 2-minute segment from the full marginal: %.3f\n\n", r.MaxKS)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig4(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 4: right-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f (m_T=%.2f)\n\n",
+	if err := summary(func() error {
+		r, err := suite.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 4: right-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f (m_T=%.2f)\n\n",
 			r.TailErr["normal"], r.TailErr["lognormal"], r.TailErr["gamma"], r.TailErr["gamma/pareto"], r.ParetoSlope)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig5(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 5: left-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f\n\n",
+	if err := summary(func() error {
+		r, err := suite.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 5: left-tail log-log errors: normal %.2f, lognormal %.2f, gamma %.2f, gamma/pareto %.2f\n\n",
 			r.TailErr["normal"], r.TailErr["lognormal"], r.TailErr["gamma"], r.TailErr["gamma/pareto"])
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig6(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 6: Gamma/Pareto density fit, KS distance %.4f\n\n", r.KS)
+	if err := summary(func() error {
+		r, err := suite.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 6: Gamma/Pareto density fit, KS distance %.4f\n\n", r.KS)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig7(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 7: acf departs from exponential fit at lag %d; acf(500)=%.3f acf(2000)=%.3f\n\n",
+	if err := summary(func() error {
+		r, err := suite.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 7: acf departs from exponential fit at lag %d; acf(500)=%.3f acf(2000)=%.3f\n\n",
 			r.DepartLag, r.ACF.Y[500], r.ACF.Y[min(2000, len(r.ACF.Y)-1)])
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig8(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 8: low-frequency spectrum ~ ω^-α with α=%.3f (H=%.3f)\n\n", r.Alpha, r.H)
+	if err := summary(func() error {
+		r, err := suite.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 8: low-frequency spectrum ~ ω^-α with α=%.3f (H=%.3f)\n\n", r.Alpha, r.H)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig9(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 9: iid 95%% CI misses the final mean for %d of %d prefixes; LRD-corrected CI misses %d\n\n",
+	if err := summary(func() error {
+		r, err := suite.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 9: iid 95%% CI misses the final mean for %d of %d prefixes; LRD-corrected CI misses %d\n\n",
 			r.IIDMisses, len(r.Points)-1, r.LRDMisses)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig10(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 10: aggregated CoVs %v — structure retained under aggregation\n\n", fmtFloats(r.CoVs))
+	if err := summary(func() error {
+		r, err := suite.Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 10: aggregated CoVs %v — structure retained under aggregation\n\n", fmtFloats(r.CoVs))
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig11(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 11: variance-time β=%.3f, H=%.3f (paper: 0.78)\n\n", r.Beta, r.H)
+	if err := summary(func() error {
+		r, err := suite.Fig11()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 11: variance-time β=%.3f, H=%.3f (paper: 0.78)\n\n", r.Beta, r.H)
+		return nil
+	}); err != nil {
+		return err
 	}
-	if r, err := suite.Fig12(); err != nil {
-		log.Fatal(err)
-	} else {
-		fmt.Printf("Figure 12: R/S pox H=%.3f (paper: 0.83)\n\n", r.H)
+	if err := summary(func() error {
+		r, err := suite.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Figure 12: R/S pox H=%.3f (paper: 0.83)\n\n", r.H)
+		return nil
+	}); err != nil {
+		return err
 	}
 
-	step("Figure 14", func() (interface{ Format() string }, error) { return suite.Fig14() })
-	step("Figure 15", func() (interface{ Format() string }, error) { return suite.Fig15() })
-	step("Figure 16", func() (interface{ Format() string }, error) { return suite.Fig16() })
-	step("Figure 17", func() (interface{ Format() string }, error) { return suite.Fig17() })
+	if err := step("Figure 14", func() (interface{ Format() string }, error) { return suite.Fig14Ctx(ctx, nil) }); err != nil {
+		return err
+	}
+	if err := step("Figure 15", func() (interface{ Format() string }, error) { return suite.Fig15Ctx(ctx) }); err != nil {
+		return err
+	}
+	if err := step("Figure 16", func() (interface{ Format() string }, error) { return suite.Fig16Ctx(ctx) }); err != nil {
+		return err
+	}
+	if err := step("Figure 17", func() (interface{ Format() string }, error) { return suite.Fig17Ctx(ctx) }); err != nil {
+		return err
+	}
 
 	if *extensions {
-		fmt.Println("=== extension studies (the paper's stated future work) ===")
-		fmt.Println()
-		step("Transport modes", func() (interface{ Format() string }, error) { return suite.ExtTransport() })
-		step("Bufferless admission", func() (interface{ Format() string }, error) { return suite.ExtAdmission() })
-		step("SRD augmentations", func() (interface{ Format() string }, error) { return suite.ExtSRD() })
-		step("Interframe coding", func() (interface{ Format() string }, error) { return suite.ExtInterframe() })
-		step("Scene detection", func() (interface{ Format() string }, error) { return suite.ExtScenes() })
-		step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelity() })
+		fmt.Fprintln(stdout, "=== extension studies (the paper's stated future work) ===")
+		fmt.Fprintln(stdout)
+		if err := step("Transport modes", func() (interface{ Format() string }, error) { return suite.ExtTransport() }); err != nil {
+			return err
+		}
+		if err := step("Bufferless admission", func() (interface{ Format() string }, error) { return suite.ExtAdmission() }); err != nil {
+			return err
+		}
+		if err := step("SRD augmentations", func() (interface{ Format() string }, error) { return suite.ExtSRD() }); err != nil {
+			return err
+		}
+		if err := step("Interframe coding", func() (interface{ Format() string }, error) { return suite.ExtInterframe() }); err != nil {
+			return err
+		}
+		if err := step("Scene detection", func() (interface{ Format() string }, error) { return suite.ExtScenes() }); err != nil {
+			return err
+		}
+		if err := step("Server faults", func() (interface{ Format() string }, error) { return suite.ExtFaultsCtx(ctx) }); err != nil {
+			return err
+		}
+		if err := step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelity() }); err != nil {
+			return err
+		}
 	}
 
-	fmt.Printf("=== complete in %v ===\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stdout, "=== complete in %v ===\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func fmtFloats(xs []float64) []string {

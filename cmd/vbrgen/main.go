@@ -3,92 +3,121 @@
 // Hosking's exact algorithm, transformed to the hybrid Gamma/Pareto
 // marginal via Eq. 13.
 //
+// Long Hosking runs (O(n²); the paper reports 10 hours for its 171,000
+// frames on a 1994 workstation) are interruptible: with -checkpoint set,
+// Ctrl-C saves the recursion state and -resume continues it later,
+// producing output bitwise-identical to an uninterrupted run.
+//
 // Examples:
 //
 //	vbrgen -n 171000 -o model.bin                  # paper parameters
 //	vbrgen -n 171000 -hurst 0.85 -tail 9 -o x.bin  # custom parameters
 //	vbrgen -n 50000 -variant gaussian -csv g.csv   # Fig. 16 ablation
-//	vbrgen -n 10000 -generator hosking             # the paper's O(n²) path
+//	vbrgen -n 171000 -generator hosking -checkpoint gen.ckpt -o x.bin
+//	vbrgen -n 171000 -generator hosking -checkpoint gen.ckpt -resume -o x.bin
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand/v2"
 	"os"
 
+	"vbr/internal/checkpoint"
+	"vbr/internal/cli"
 	"vbr/internal/core"
+	"vbr/internal/errs"
+	"vbr/internal/fgn"
 	"vbr/internal/lrd"
 	"vbr/internal/stats"
 	"vbr/internal/trace"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vbrgen: ")
+	os.Exit(cli.Main("vbrgen", run))
+}
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbrgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		n       = flag.Int("n", 171000, "frames to generate")
-		mu      = flag.Float64("mean", 27791, "μ_Γ: Gamma-body mean (bytes/frame)")
-		sigma   = flag.Float64("std", 6254, "σ_Γ: Gamma-body std (bytes/frame)")
-		tail    = flag.Float64("tail", 12, "m_T: Pareto tail slope")
-		hurst   = flag.Float64("hurst", 0.8, "H: Hurst parameter")
-		gen     = flag.String("generator", "davies-harte", "LRD engine: hosking (the paper's exact O(n²) algorithm) | davies-harte (O(n log n))")
-		variant = flag.String("variant", "full", "model variant: full | gaussian | iid")
-		tabSize = flag.Int("table", 10000, "marginal mapping table size (paper: 10000)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		spf     = flag.Int("slices", 30, "slices per frame in the output trace (0 = none)")
-		outBin  = flag.String("o", "", "output path for binary trace")
-		outCSV  = flag.String("csv", "", "output path for CSV frame series")
-		verify  = flag.Bool("verify", true, "measure the realization against the model")
+		n        = fs.Int("n", 171000, "frames to generate")
+		mu       = fs.Float64("mean", 27791, "μ_Γ: Gamma-body mean (bytes/frame)")
+		sigma    = fs.Float64("std", 6254, "σ_Γ: Gamma-body std (bytes/frame)")
+		tail     = fs.Float64("tail", 12, "m_T: Pareto tail slope")
+		hurst    = fs.Float64("hurst", 0.8, "H: Hurst parameter")
+		gen      = fs.String("generator", "davies-harte", "LRD engine: hosking (the paper's exact O(n²) algorithm) | davies-harte (O(n log n))")
+		variant  = fs.String("variant", "full", "model variant: full | gaussian | iid")
+		tabSize  = fs.Int("table", 10000, "marginal mapping table size (paper: 10000)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		spf      = fs.Int("slices", 30, "slices per frame in the output trace (0 = none)")
+		outBin   = fs.String("o", "", "output path for binary trace")
+		outCSV   = fs.String("csv", "", "output path for CSV frame series")
+		verify   = fs.Bool("verify", true, "measure the realization against the model")
+		ckptPath = fs.String("checkpoint", "", "checkpoint file: on interrupt the Hosking state is saved here")
+		resume   = fs.Bool("resume", false, "continue an interrupted generation from -checkpoint")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
 
 	model := core.Model{MuGamma: *mu, SigmaGamma: *sigma, TailSlope: *tail, Hurst: *hurst}
 	if err := model.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	opts := core.GenOptions{TableSize: *tabSize, Standardize: true, Seed: *seed}
 	switch *gen {
 	case "hosking":
 		opts.Generator = core.HoskingExact
 		if *n > 50000 {
-			fmt.Fprintf(os.Stderr, "note: Hosking is O(n²); %d points will take a while (the paper: \"10 hours on a 1994 workstation\")\n", *n)
+			fmt.Fprintf(stderr, "note: Hosking is O(n²); %d points will take a while (the paper: \"10 hours on a 1994 workstation\")\n", *n)
 		}
 	case "davies-harte":
 		opts.Generator = core.DaviesHarteFast
 	default:
-		log.Fatalf("unknown generator %q", *gen)
+		return cli.Usagef("unknown generator %q", *gen)
+	}
+	if *ckptPath != "" && (*gen != "hosking" || *variant != "full") {
+		return cli.Usagef("-checkpoint requires -generator hosking and -variant full")
+	}
+	if *resume && *ckptPath == "" {
+		return cli.Usagef("-resume requires -checkpoint")
 	}
 
 	var frames []float64
 	var err error
 	switch *variant {
 	case "full":
-		frames, err = model.Generate(*n, opts)
+		if *ckptPath != "" {
+			frames, err = generateCheckpointed(ctx, model, *n, opts, *ckptPath, *resume, stderr)
+		} else {
+			frames, err = model.GenerateCtx(ctx, *n, opts)
+		}
 	case "gaussian":
-		frames, err = model.GenerateGaussian(*n, opts)
+		frames, err = model.GenerateGaussianCtx(ctx, *n, opts)
 	case "iid":
-		frames, err = model.GenerateIID(*n, opts)
+		frames, err = model.GenerateIIDCtx(ctx, *n, opts)
 	default:
-		log.Fatalf("unknown variant %q", *variant)
+		return cli.Usagef("unknown variant %q", *variant)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *verify {
 		s, err := stats.Summarize(frames)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("generated %d frames: mean %.0f, std %.0f, CoV %.2f, peak/mean %.2f\n",
+		fmt.Fprintf(stdout, "generated %d frames: mean %.0f, std %.0f, CoV %.2f, peak/mean %.2f\n",
 			s.N, s.Mean, s.Std, s.CoV, s.PeakMean)
 		if *variant == "full" && *n >= 1000 {
 			vt, err := lrd.VarianceTime(frames, 1, 0, 0)
 			if err == nil {
-				fmt.Printf("variance-time H of realization: %.3f (model: %.3f)\n", vt.H, model.Hurst)
+				fmt.Fprintf(stdout, "variance-time H of realization: %.3f (model: %.3f)\n", vt.H, model.Hurst)
 			}
 		}
 	}
@@ -97,33 +126,91 @@ func main() {
 	if *spf > 0 {
 		rng := rand.New(rand.NewPCG(*seed, 0x517ce))
 		if err := tr.SlicesFromFrames(*spf, 0.3, rng.Float64); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	if *outBin != "" {
-		f, err := os.Create(*outBin)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeTrace(*outBin, tr.WriteBinary); err != nil {
+			return err
 		}
-		if err := tr.WriteBinary(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote binary trace to %s\n", *outBin)
+		fmt.Fprintf(stdout, "wrote binary trace to %s\n", *outBin)
 	}
 	if *outCSV != "" {
-		f, err := os.Create(*outCSV)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeTrace(*outCSV, tr.WriteCSV); err != nil {
+			return err
 		}
-		if err := tr.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote CSV frame series to %s\n", *outCSV)
+		fmt.Fprintf(stdout, "wrote CSV frame series to %s\n", *outCSV)
 	}
+	return nil
+}
+
+// genMeta identifies a generation run inside a checkpoint so a resume
+// with different parameters is rejected instead of silently producing a
+// series from mixed states.
+func genMeta(m core.Model, n int, opts core.GenOptions) map[string]string {
+	return map[string]string{
+		"n":     fmt.Sprint(n),
+		"seed":  fmt.Sprint(opts.Seed),
+		"table": fmt.Sprint(opts.TableSize),
+		"mu":    fmt.Sprint(m.MuGamma),
+		"sigma": fmt.Sprint(m.SigmaGamma),
+		"tail":  fmt.Sprint(m.TailSlope),
+		"hurst": fmt.Sprint(m.Hurst),
+	}
+}
+
+// generateCheckpointed runs the resumable Hosking generation: on
+// interruption the recursion state is flushed to ckptPath before the
+// error propagates; on success a consumed checkpoint is removed.
+func generateCheckpointed(ctx context.Context, m core.Model, n int, opts core.GenOptions, ckptPath string, resume bool, stderr io.Writer) ([]float64, error) {
+	meta := genMeta(m, n, opts)
+	var state *fgn.HoskingState
+	if resume {
+		rec, err := checkpoint.LoadHosking(ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("loading checkpoint: %w", err)
+		}
+		for k, want := range meta {
+			if got := rec.Meta[k]; got != want {
+				return nil, fmt.Errorf("checkpoint %s was written with %s=%s, current run has %s: %w",
+					ckptPath, k, got, want, errs.ErrCheckpointMismatch)
+			}
+		}
+		state = rec.State
+		fmt.Fprintf(stderr, "resuming from %s at frame %d of %d\n", ckptPath, state.K, n)
+	}
+	frames, snap, err := m.GenerateResumable(ctx, n, opts, state)
+	if err != nil {
+		if snap != nil {
+			rec := &checkpoint.HoskingRecord{Meta: meta, State: snap}
+			if serr := checkpoint.SaveHosking(ckptPath, rec); serr != nil {
+				return nil, errors.Join(err, fmt.Errorf("saving checkpoint: %w", serr))
+			}
+			fmt.Fprintf(stderr, "interrupted at frame %d of %d; state saved to %s (continue with -resume)\n",
+				snap.K, n, ckptPath)
+		}
+		return nil, err
+	}
+	if resume {
+		// The checkpoint is consumed; leaving it behind would invite a
+		// second resume into an already-finished run.
+		if rmErr := os.Remove(ckptPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "warning: could not remove consumed checkpoint %s: %v\n", ckptPath, rmErr)
+		}
+	}
+	return frames, nil
+}
+
+// writeTrace creates path and streams the trace through write, closing
+// the file even on error.
+func writeTrace(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,109 +2,221 @@
 // simulations of §5 of the paper: the Fig. 14 Q–C tradeoff curves, the
 // Fig. 15 statistical-multiplexing-gain analysis, the Fig. 16 model
 // comparison, the Fig. 17 error-process study, and one-off simulations of
-// a single operating point.
+// a single operating point — optionally under a deterministic schedule of
+// server faults.
+//
+// The Fig. 14 study (the slowest) is interruptible: with -checkpoint
+// set, Ctrl-C saves the completed and partial curves and -resume
+// continues the sweep where it stopped.
 //
 // Examples:
 //
 //	vbrsim -frames 30000 -fig14
+//	vbrsim -frames 30000 -fig14 -checkpoint f14.ckpt            # Ctrl-C safe
+//	vbrsim -frames 30000 -fig14 -checkpoint f14.ckpt -resume
 //	vbrsim -frames 171000 -fig15 -slices
 //	vbrsim -in trace.bin -point -n 5 -capacity 20e6 -tmax 2ms
+//	vbrsim -in trace.bin -point -faults -fault-gap 800 -fault-outage 0.3
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
+	"vbr/internal/checkpoint"
+	"vbr/internal/cli"
+	"vbr/internal/errs"
 	"vbr/internal/experiments"
 	"vbr/internal/queue"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vbrsim: ")
+	os.Exit(cli.Main("vbrsim", run))
+}
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbrsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in     = flag.String("in", "", "binary trace file; empty = regenerate synthetic movie")
-		frames = flag.Int("frames", 30000, "frames to generate when -in is empty")
-		seed   = flag.Uint64("seed", 1994, "seed for regeneration")
-		slices = flag.Bool("slices", false, "simulate at slice granularity (the paper's resolution; ~30× slower)")
+		in     = fs.String("in", "", "binary trace file; empty = regenerate synthetic movie")
+		frames = fs.Int("frames", 30000, "frames to generate when -in is empty")
+		seed   = fs.Uint64("seed", 1994, "seed for regeneration")
+		slices = fs.Bool("slices", false, "simulate at slice granularity (the paper's resolution; ~30× slower)")
 
-		fig14 = flag.Bool("fig14", false, "Fig 14: Q-C tradeoff curves")
-		fig15 = flag.Bool("fig15", false, "Fig 15: statistical multiplexing gain")
-		fig16 = flag.Bool("fig16", false, "Fig 16: trace vs model variants")
-		fig17 = flag.Bool("fig17", false, "Fig 17: windowed error process")
+		fig14 = fs.Bool("fig14", false, "Fig 14: Q-C tradeoff curves")
+		fig15 = fs.Bool("fig15", false, "Fig 15: statistical multiplexing gain")
+		fig16 = fs.Bool("fig16", false, "Fig 16: trace vs model variants")
+		fig17 = fs.Bool("fig17", false, "Fig 17: windowed error process")
 
-		point    = flag.Bool("point", false, "simulate one operating point")
-		nSources = flag.Int("n", 1, "multiplexed sources (-point)")
-		capacity = flag.Float64("capacity", 6e6, "channel capacity, bits/s (-point)")
-		tmax     = flag.Duration("tmax", 2*time.Millisecond, "max buffer delay Q/(N·C) (-point)")
+		point    = fs.Bool("point", false, "simulate one operating point")
+		nSources = fs.Int("n", 1, "multiplexed sources (-point)")
+		capacity = fs.Float64("capacity", 6e6, "channel capacity, bits/s (-point)")
+		tmax     = fs.Duration("tmax", 2*time.Millisecond, "max buffer delay Q/(N·C) (-point)")
+
+		ckptPath = fs.String("checkpoint", "", "checkpoint file for the Fig 14 sweep (saved on interrupt)")
+		resume   = fs.Bool("resume", false, "continue an interrupted Fig 14 sweep from -checkpoint")
+
+		faults      = fs.Bool("faults", false, "inject a deterministic server fault schedule (-point)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "fault schedule seed")
+		faultGap    = fs.Float64("fault-gap", 2000, "mean clean intervals between fault episodes")
+		faultLen    = fs.Float64("fault-len", 40, "mean fault episode length in intervals")
+		faultOutage = fs.Float64("fault-outage", 0.2, "probability an episode is a full outage")
+		faultFactor = fs.Float64("fault-factor", 0.5, "minimum capacity factor of partial degradations")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if *ckptPath != "" && !*fig14 {
+		return cli.Usagef("-checkpoint applies to the -fig14 sweep")
+	}
+	if *resume && *ckptPath == "" {
+		return cli.Usagef("-resume requires -checkpoint")
+	}
+	if *faults && !*point {
+		return cli.Usagef("-faults applies to -point simulations")
+	}
 
 	suite, err := loadOrGenerate(*in, *frames, *seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	suite.UseSlices = *slices
 
 	any := false
 	if *fig14 {
 		any = true
-		r, err := suite.Fig14()
-		if err != nil {
-			log.Fatal(err)
+		if err := runFig14(ctx, suite, *ckptPath, *resume, stdout, stderr); err != nil {
+			return err
 		}
-		fmt.Println(r.Format())
 	}
 	if *fig15 {
 		any = true
-		r, err := suite.Fig15()
+		r, err := suite.Fig15Ctx(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(r.Format())
+		fmt.Fprintln(stdout, r.Format())
 	}
 	if *fig16 {
 		any = true
-		r, err := suite.Fig16()
+		r, err := suite.Fig16Ctx(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(r.Format())
+		fmt.Fprintln(stdout, r.Format())
 	}
 	if *fig17 {
 		any = true
-		r, err := suite.Fig17()
+		r, err := suite.Fig17Ctx(ctx)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(r.Format())
+		fmt.Fprintln(stdout, r.Format())
 	}
 	if *point {
 		any = true
 		mux, err := queue.NewMux(suite.Trace, *nSources, 1000, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+		opts := queue.Options{}
+		if *faults {
+			intervals := len(suite.Trace.Frames)
+			if *slices {
+				intervals = len(suite.Trace.Slices)
+			}
+			sched, err := queue.GenerateFaults(*faultSeed, intervals, queue.FaultConfig{
+				MeanGap:    *faultGap,
+				MeanLength: *faultLen,
+				OutageProb: *faultOutage,
+				MinFactor:  *faultFactor,
+			})
+			if err != nil {
+				return err
+			}
+			opts.Faults = sched
+			outages := 0
+			for _, e := range sched.Episodes {
+				if e.Factor == 0 {
+					outages++
+				}
+			}
+			fmt.Fprintf(stdout, "fault schedule: %d episodes (%d outages), %.2f%% of intervals degraded\n",
+				len(sched.Episodes), outages,
+				100*float64(sched.DegradedIntervals(intervals))/float64(intervals))
 		}
 		q := tmax.Seconds() * *capacity / 8
-		r, err := mux.AverageLoss(*capacity, q, *slices, queue.Options{})
+		r, err := mux.AverageLossCtx(ctx, *capacity, q, *slices, opts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("N=%d  C=%.3f Mb/s (%.3f Mb/s per source)  T_max=%v  Q=%.0f bytes\n",
+		fmt.Fprintf(stdout, "N=%d  C=%.3f Mb/s (%.3f Mb/s per source)  T_max=%v  Q=%.0f bytes\n",
 			*nSources, *capacity/1e6, *capacity/float64(*nSources)/1e6, *tmax, q)
-		fmt.Printf("P_l      = %.3g\n", r.Pl)
-		fmt.Printf("P_l-WES  = %.3g\n", r.PlWES)
-		fmt.Printf("max backlog = %.0f bytes\n", r.MaxBacklog)
+		fmt.Fprintf(stdout, "P_l      = %.3g\n", r.Pl)
+		fmt.Fprintf(stdout, "P_l-WES  = %.3g\n", r.PlWES)
+		fmt.Fprintf(stdout, "max backlog = %.0f bytes\n", r.MaxBacklog)
+		if r.CombosUsed < r.CombosTotal {
+			fmt.Fprintf(stdout, "note: averaged over %d of %d lag combinations\n", r.CombosUsed, r.CombosTotal)
+			for _, cerr := range r.ComboErrors {
+				fmt.Fprintf(stderr, "  combo excluded: %v\n", cerr)
+			}
+		}
 	}
 
 	if !any {
-		fmt.Fprintln(os.Stderr, "no simulation selected; use -fig14/-fig15/-fig16/-fig17/-point")
-		os.Exit(2)
+		return cli.Usagef("no simulation selected; use -fig14/-fig15/-fig16/-fig17/-point")
 	}
+	return nil
+}
+
+// runFig14 drives the checkpointable Q–C sweep: progress is loaded from
+// and flushed to ckptPath around the (possibly interrupted) run.
+func runFig14(ctx context.Context, suite *experiments.Suite, ckptPath string, resume bool, stdout, stderr io.Writer) error {
+	var progress *checkpoint.SearchState
+	if ckptPath != "" {
+		progress = &checkpoint.SearchState{}
+		if resume {
+			rec, err := checkpoint.LoadSearch(ckptPath)
+			if err != nil {
+				return fmt.Errorf("loading checkpoint: %w", err)
+			}
+			progress = rec.State
+			done := 0
+			for _, c := range progress.Curves {
+				if c.Done {
+					done++
+				}
+			}
+			fmt.Fprintf(stderr, "resuming Fig 14 from %s: %d curves complete, %d in progress\n",
+				ckptPath, done, len(progress.Curves)-done)
+		}
+	}
+	r, err := suite.Fig14Ctx(ctx, progress)
+	if err != nil {
+		if progress != nil && len(progress.Curves) > 0 && errors.Is(err, errs.ErrCancelled) {
+			rec := &checkpoint.SearchRecord{
+				Meta:  map[string]string{"frames": fmt.Sprint(len(suite.Trace.Frames))},
+				State: progress,
+			}
+			if serr := checkpoint.SaveSearch(ckptPath, rec); serr != nil {
+				return errors.Join(err, fmt.Errorf("saving checkpoint: %w", serr))
+			}
+			fmt.Fprintf(stderr, "interrupted; Fig 14 progress saved to %s (continue with -resume)\n", ckptPath)
+		}
+		return err
+	}
+	if resume && ckptPath != "" {
+		if rmErr := os.Remove(ckptPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "warning: could not remove consumed checkpoint %s: %v\n", ckptPath, rmErr)
+		}
+	}
+	fmt.Fprintln(stdout, r.Format())
+	return nil
 }
 
 // loadOrGenerate reads a binary trace when a path is given, otherwise

@@ -20,11 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
+	"vbr/internal/cli"
 	"vbr/internal/codec"
 	"vbr/internal/synth"
 	"vbr/internal/trace"
@@ -47,29 +49,35 @@ func slicesFor(height, preferred int) int {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("vbrtrace: ")
+	os.Exit(cli.Main("vbrtrace", run))
+}
 
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbrtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mode    = flag.String("mode", "activity", "generation path: activity | codec | interframe")
-		gop     = flag.Int("gop", 12, "GOP size (interframe mode)")
-		search  = flag.Int("search", 4, "motion search range in pels (interframe mode)")
-		bframes = flag.Int("bframes", 2, "B frames between references (interframe mode)")
-		frames  = flag.Int("frames", 171000, "number of frames")
-		seed    = flag.Uint64("seed", 1994, "random seed")
-		hurst   = flag.Float64("hurst", 0.8, "Hurst parameter of the activity process")
-		mean    = flag.Float64("mean", 27791, "Gamma-body mean, bytes/frame (activity mode)")
-		std     = flag.Float64("std", 6254, "Gamma-body std, bytes/frame (activity mode)")
-		tail    = flag.Float64("tail", 12, "Pareto tail slope m_T (activity mode)")
-		width   = flag.Int("width", 504, "frame width (codec mode)")
-		height  = flag.Int("height", 480, "frame height (codec mode)")
-		quant   = flag.Float64("quant", 8, "quantizer step (codec mode)")
-		train   = flag.Int("train", 64, "Huffman training frames (codec mode)")
-		outBin  = flag.String("o", "", "output path for binary trace")
-		outCSV  = flag.String("csv", "", "output path for CSV frame series")
-		summary = flag.Bool("summary", true, "print Table 1/2 style summary")
+		mode    = fs.String("mode", "activity", "generation path: activity | codec | interframe")
+		gop     = fs.Int("gop", 12, "GOP size (interframe mode)")
+		search  = fs.Int("search", 4, "motion search range in pels (interframe mode)")
+		bframes = fs.Int("bframes", 2, "B frames between references (interframe mode)")
+		frames  = fs.Int("frames", 171000, "number of frames")
+		seed    = fs.Uint64("seed", 1994, "random seed")
+		hurst   = fs.Float64("hurst", 0.8, "Hurst parameter of the activity process")
+		mean    = fs.Float64("mean", 27791, "Gamma-body mean, bytes/frame (activity mode)")
+		std     = fs.Float64("std", 6254, "Gamma-body std, bytes/frame (activity mode)")
+		tail    = fs.Float64("tail", 12, "Pareto tail slope m_T (activity mode)")
+		width   = fs.Int("width", 504, "frame width (codec mode)")
+		height  = fs.Int("height", 480, "frame height (codec mode)")
+		quant   = fs.Float64("quant", 8, "quantizer step (codec mode)")
+		train   = fs.Int("train", 64, "Huffman training frames (codec mode)")
+		outBin  = fs.String("o", "", "output path for binary trace")
+		outCSV  = fs.String("csv", "", "output path for CSV frame series")
+		summary = fs.Bool("summary", true, "print Table 1/2 style summary")
 	)
-	flag.Parse()
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	_ = ctx // trace synthesis runs in seconds even at paper scale
 
 	cfg := synth.DefaultConfig()
 	cfg.Frames = *frames
@@ -112,54 +120,55 @@ func main() {
 			tr, err = coder.GenerateTrace(cfg, *train)
 		}
 	default:
-		log.Fatalf("unknown mode %q (want activity, codec or interframe)", *mode)
+		return cli.Usagef("unknown mode %q (want activity, codec or interframe)", *mode)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *summary {
 		fs, err := tr.FrameStats()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("frames:        %d (%.2f h at %.0f fps)\n", len(tr.Frames), tr.Duration()/3600, tr.FrameRate)
-		fmt.Printf("avg bandwidth: %.2f Mb/s\n", tr.MeanRate()/1e6)
-		fmt.Printf("mean/frame:    %.0f bytes   std: %.0f   CoV: %.2f\n", fs.Mean, fs.Std, fs.CoV)
-		fmt.Printf("min/max:       %.0f / %.0f bytes   peak/mean: %.2f\n", fs.Min, fs.Max, fs.PeakMean)
+		fmt.Fprintf(stdout, "frames:        %d (%.2f h at %.0f fps)\n", len(tr.Frames), tr.Duration()/3600, tr.FrameRate)
+		fmt.Fprintf(stdout, "avg bandwidth: %.2f Mb/s\n", tr.MeanRate()/1e6)
+		fmt.Fprintf(stdout, "mean/frame:    %.0f bytes   std: %.0f   CoV: %.2f\n", fs.Mean, fs.Std, fs.CoV)
+		fmt.Fprintf(stdout, "min/max:       %.0f / %.0f bytes   peak/mean: %.2f\n", fs.Min, fs.Max, fs.PeakMean)
 		if tr.Slices != nil {
 			ss, err := tr.SliceStats()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("slice mean:    %.1f bytes   CoV: %.2f\n", ss.Mean, ss.CoV)
+			fmt.Fprintf(stdout, "slice mean:    %.1f bytes   CoV: %.2f\n", ss.Mean, ss.CoV)
 		}
 	}
 
 	if *outBin != "" {
-		f, err := os.Create(*outBin)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeFile(*outBin, tr.WriteBinary); err != nil {
+			return err
 		}
-		if err := tr.WriteBinary(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote binary trace to %s\n", *outBin)
+		fmt.Fprintf(stdout, "wrote binary trace to %s\n", *outBin)
 	}
 	if *outCSV != "" {
-		f, err := os.Create(*outCSV)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeFile(*outCSV, tr.WriteCSV); err != nil {
+			return err
 		}
-		if err := tr.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote CSV frame series to %s\n", *outCSV)
+		fmt.Fprintf(stdout, "wrote CSV frame series to %s\n", *outCSV)
 	}
+	return nil
+}
+
+// writeFile creates path and streams through write, closing the file
+// even on error.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

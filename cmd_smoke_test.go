@@ -1,12 +1,15 @@
 package vbr
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The command binaries are built once into a shared temp dir and then
@@ -143,5 +146,183 @@ func TestCLIPlot(t *testing.T) {
 	out := runCmd(t, "vbranalyze", "-frames", "8000", "-fig11", "-plot")
 	if !strings.Contains(out, "|") || !strings.Contains(out, "log10 m") {
 		t.Errorf("plot output missing canvas:\n%s", out)
+	}
+}
+
+// runCmdExit runs a binary expecting it to fail, returning its exit code
+// and combined output.
+func runCmdExit(t *testing.T, name string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binaries(t), name), args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestCLIExitCodes pins the exit-code contract shared by all binaries:
+// 0 on success, 2 on usage errors, so shell pipelines and CI scripts can
+// distinguish "bad invocation" from "the computation failed".
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+		msg  string
+	}{
+		{"vbrgen", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"vbrgen", []string{"-generator", "bogus"}, 2, "unknown generator"},
+		{"vbrgen", []string{"-resume"}, 2, "-resume requires -checkpoint"},
+		{"vbrgen", []string{"-checkpoint", "x.ckpt"}, 2, "-checkpoint requires"},
+		{"vbrsim", []string{"-frames", "2000"}, 2, "no simulation selected"},
+		{"vbrsim", []string{"-frames", "2000", "-faults"}, 2, "-faults applies to -point"},
+		{"vbranalyze", []string{"-frames", "2000"}, 2, "no analysis selected"},
+		{"vbrtrace", []string{"-mode", "bogus", "-frames", "10"}, 2, "unknown mode"},
+		{"vbrexperiments", []string{"-scale", "bogus"}, 2, "unknown scale"},
+	}
+	for _, c := range cases {
+		code, out := runCmdExit(t, c.name, c.args...)
+		if code != c.want {
+			t.Errorf("%s %v: exit %d, want %d\n%s", c.name, c.args, code, c.want, out)
+		}
+		if !strings.Contains(out, c.msg) {
+			t.Errorf("%s %v: output missing %q:\n%s", c.name, c.args, c.msg, out)
+		}
+	}
+	// -h prints usage and exits 0, matching the flag package convention.
+	if code, out := runCmdExit(t, "vbrgen", "-h"); code != 0 || !strings.Contains(out, "Usage") {
+		t.Errorf("vbrgen -h: exit %d\n%s", code, out)
+	}
+}
+
+// TestCLIFaultInjection smoke-tests the -faults path of vbrsim and its
+// determinism at the process level.
+func TestCLIFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	args := []string{"-frames", "4000", "-point", "-n", "2", "-capacity", "11e6",
+		"-faults", "-fault-seed", "7", "-fault-gap", "300", "-fault-len", "30", "-fault-outage", "0.5"}
+	out1 := runCmd(t, "vbrsim", args...)
+	out2 := runCmd(t, "vbrsim", args...)
+	if out1 != out2 {
+		t.Errorf("faulted simulation not deterministic:\n--- run 1:\n%s--- run 2:\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "fault schedule:") || !strings.Contains(out1, "P_l") {
+		t.Errorf("fault run missing report:\n%s", out1)
+	}
+}
+
+// TestCLIInterruptResume is the end-to-end resilience check: a Hosking
+// generation is interrupted with SIGINT, must save a checkpoint and exit
+// 130, and the resumed run must produce output bitwise-identical to an
+// uninterrupted one.
+func TestCLIInterruptResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "gen.ckpt")
+	resumed := filepath.Join(dir, "resumed.bin")
+	straight := filepath.Join(dir, "straight.bin")
+	gen := filepath.Join(binaries(t), "vbrgen")
+	args := []string{"-n", "60000", "-generator", "hosking", "-seed", "42", "-checkpoint", ckpt}
+
+	// Start the long O(n²) run and interrupt it mid-recursion.
+	cmd := exec.Command(gen, append(args, "-o", resumed)...)
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give it time to get into the recursion, then interrupt. If the run
+	// finishes before the signal lands the test still passes trivially,
+	// but 60k Hosking points take far longer than a second.
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("interrupted run: expected exit error, got %v\n%s", err, buf.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("interrupted run: exit %d, want 130\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "state saved to") {
+		t.Fatalf("interrupted run did not report a checkpoint:\n%s", buf.String())
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Resume to completion, then compare with an uninterrupted run.
+	out := runCmd(t, "vbrgen", append(args, "-resume", "-o", resumed)...)
+	if !strings.Contains(out, "generated 60000 frames") {
+		t.Fatalf("resumed run did not finish:\n%s", out)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("consumed checkpoint was not removed: %v", err)
+	}
+	runCmd(t, "vbrgen", "-n", "60000", "-generator", "hosking", "-seed", "42", "-o", straight)
+
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed output differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestCLIFig14CheckpointResume exercises the search-state checkpoint of
+// the Fig 14 sweep through the binary: interrupt, verify the checkpoint,
+// resume, and check the sweep completes.
+func TestCLIFig14CheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "f14.ckpt")
+	sim := filepath.Join(binaries(t), "vbrsim")
+
+	cmd := exec.Command(sim, "-frames", "120000", "-fig14", "-checkpoint", ckpt)
+	var buf strings.Builder
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The sweep at this scale runs ~9s; 4s lands the signal well inside
+	// the bisection searches but safely past trace generation.
+	time.Sleep(4 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 130 {
+		t.Skipf("fig14 sweep finished before the interrupt landed (err=%v); nothing to resume", err)
+	}
+	if fi, serr := os.Stat(ckpt); serr != nil || fi.Size() == 0 {
+		t.Fatalf("fig14 checkpoint not written after interrupt: %v\n%s", serr, buf.String())
+	}
+
+	out := runCmd(t, "vbrsim", "-frames", "120000", "-fig14", "-checkpoint", ckpt, "-resume")
+	if !strings.Contains(out, "resuming Fig 14 from") || !strings.Contains(out, "Figure 14") {
+		t.Fatalf("resumed fig14 sweep incomplete:\n%s", out)
 	}
 }

@@ -1,0 +1,82 @@
+// Package cli provides the shared process scaffolding of the command
+// binaries: a signal-aware context, error-to-exit-code mapping, and a
+// typed usage error. Commands are written as run(ctx, args, stdout,
+// stderr) error functions so deferred cleanup (file flushes, checkpoint
+// writes) always executes — os.Exit is called exactly once, in Main,
+// after every defer has run.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"vbr/internal/errs"
+)
+
+// UsageError marks a command-line usage problem; Main exits 2.
+type UsageError struct{ Msg string }
+
+// Error implements the error interface.
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a *UsageError.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Exit codes follow the shell convention: 2 for usage errors and 130
+// (128+SIGINT) for interrupted runs.
+const (
+	ExitOK        = 0
+	ExitFailure   = 1
+	ExitUsage     = 2
+	ExitInterrupt = 130
+)
+
+// ExitCode maps an error to its process exit code.
+func ExitCode(err error) int {
+	var ue *UsageError
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return ExitOK
+	case errors.As(err, &ue):
+		return ExitUsage
+	case errors.Is(err, errs.ErrCancelled), errors.Is(err, context.Canceled):
+		return ExitInterrupt
+	default:
+		return ExitFailure
+	}
+}
+
+// Main runs a command body under a context that cancels on SIGINT or
+// SIGTERM, prints a non-nil error to stderr with the command prefix, and
+// returns the exit code for os.Exit. The first signal cancels the
+// context so the body can checkpoint and unwind; a second signal kills
+// the process via the restored default handler.
+func Main(name string, body func(ctx context.Context, args []string, stdout, stderr io.Writer) error) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := body(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	}
+	return ExitCode(err)
+}
+
+// ParseFlags parses args into fs, converting parse failures into usage
+// errors (help requests pass through as flag.ErrHelp).
+func ParseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &UsageError{Msg: err.Error()}
+	}
+	return nil
+}

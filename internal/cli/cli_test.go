@@ -1,0 +1,65 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"vbr/internal/errs"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{flag.ErrHelp, ExitOK},
+		{Usagef("bad flag %q", "-x"), ExitUsage},
+		{fmt.Errorf("wrapped: %w", Usagef("nope")), ExitUsage},
+		{errs.Cancelled(cancelledCtx()), ExitInterrupt},
+		{context.Canceled, ExitInterrupt},
+		{errors.New("boom"), ExitFailure},
+		{io.ErrUnexpectedEOF, ExitFailure},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestParseFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 1, "")
+	if err := ParseFlags(fs, []string{"-n", "5"}); err != nil || *n != 5 {
+		t.Fatalf("good args: err=%v n=%d", err, *n)
+	}
+
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	err := ParseFlags(fs2, []string{"-no-such-flag"})
+	var ue *UsageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("bad args: got %v, want UsageError", err)
+	}
+	if got := ExitCode(err); got != ExitUsage {
+		t.Errorf("bad args exit code %d, want %d", got, ExitUsage)
+	}
+
+	fs3 := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs3.SetOutput(io.Discard)
+	if err := ParseFlags(fs3, []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("help: got %v, want flag.ErrHelp", err)
+	}
+}

@@ -13,11 +13,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"vbr/internal/dist"
+	"vbr/internal/errs"
 	"vbr/internal/fgn"
 	"vbr/internal/lrd"
 	"vbr/internal/trace"
@@ -31,17 +33,18 @@ type Model struct {
 	Hurst      float64 // H: long-range dependence parameter
 }
 
-// Validate checks the parameter ranges.
+// Validate checks the parameter ranges. Failures match
+// errs.ErrInvalidModel.
 func (m Model) Validate() error {
 	switch {
 	case !(m.MuGamma > 0):
-		return fmt.Errorf("core: μ_Γ must be positive, got %v", m.MuGamma)
+		return fmt.Errorf("core: μ_Γ must be positive, got %v: %w", m.MuGamma, errs.ErrInvalidModel)
 	case !(m.SigmaGamma > 0):
-		return fmt.Errorf("core: σ_Γ must be positive, got %v", m.SigmaGamma)
+		return fmt.Errorf("core: σ_Γ must be positive, got %v: %w", m.SigmaGamma, errs.ErrInvalidModel)
 	case !(m.TailSlope > 0):
-		return fmt.Errorf("core: m_T must be positive, got %v", m.TailSlope)
+		return fmt.Errorf("core: m_T must be positive, got %v: %w", m.TailSlope, errs.ErrInvalidModel)
 	case !(m.Hurst > 0 && m.Hurst < 1):
-		return fmt.Errorf("core: H must be in (0,1), got %v", m.Hurst)
+		return fmt.Errorf("core: H must be in (0,1), got %v: %w", m.Hurst, errs.ErrInvalidModel)
 	}
 	return nil
 }
@@ -170,10 +173,17 @@ func DefaultGenOptions() GenOptions {
 // Generate produces n frames of synthetic VBR video traffic from the full
 // model: LRD Gaussian noise mapped through Eq. 13.
 func (m Model) Generate(n int, opts GenOptions) ([]float64, error) {
+	return m.GenerateCtx(context.Background(), n, opts)
+}
+
+// GenerateCtx is Generate with cooperative cancellation: the O(n²)
+// Hosking recursion checks the context each outer iteration and returns
+// an error matching errs.ErrCancelled promptly when it fires.
+func (m Model) GenerateCtx(ctx context.Context, n int, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	x, err := m.gaussian(n, opts)
+	x, err := m.gaussianCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -186,10 +196,15 @@ func (m Model) Generate(n int, opts GenOptions) ([]float64, error) {
 // same load. Negative values (possible for a Gaussian) are clamped to
 // zero, as a bandwidth process requires.
 func (m Model) GenerateGaussian(n int, opts GenOptions) ([]float64, error) {
+	return m.GenerateGaussianCtx(context.Background(), n, opts)
+}
+
+// GenerateGaussianCtx is GenerateGaussian with cooperative cancellation.
+func (m Model) GenerateGaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	x, err := m.gaussian(n, opts)
+	x, err := m.gaussianCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +226,12 @@ func (m Model) GenerateGaussian(n int, opts GenOptions) ([]float64, error) {
 // GenerateIID produces the Fig. 16 ablation with the right heavy-tailed
 // marginal but no time correlation at all.
 func (m Model) GenerateIID(n int, opts GenOptions) ([]float64, error) {
+	return m.GenerateIIDCtx(context.Background(), n, opts)
+}
+
+// GenerateIIDCtx is GenerateIID with cooperative cancellation, checked
+// every few thousand draws.
+func (m Model) GenerateIIDCtx(ctx context.Context, n int, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -221,6 +242,9 @@ func (m Model) GenerateIID(n int, opts GenOptions) ([]float64, error) {
 	rng := rand.New(rand.NewPCG(opts.Seed, 0x11d))
 	out := make([]float64, n)
 	for i := range out {
+		if i%4096 == 0 && ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		out[i] = gp.Sample(rng)
 	}
 	return out, nil
@@ -228,6 +252,12 @@ func (m Model) GenerateIID(n int, opts GenOptions) ([]float64, error) {
 
 // gaussian runs the selected LRD engine and optionally standardizes.
 func (m Model) gaussian(n int, opts GenOptions) ([]float64, error) {
+	return m.gaussianCtx(context.Background(), n, opts)
+}
+
+// gaussianCtx runs the selected LRD engine under a context and
+// optionally standardizes.
+func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: length must be ≥ 1, got %d", n)
 	}
@@ -236,8 +266,11 @@ func (m Model) gaussian(n int, opts GenOptions) ([]float64, error) {
 	var err error
 	switch opts.Generator {
 	case HoskingExact:
-		x, err = fgn.Hosking(n, m.Hurst, rng)
+		x, err = fgn.HoskingCtx(ctx, n, m.Hurst, rng)
 	case DaviesHarteFast:
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		x, err = fgn.DaviesHarte(n, m.Hurst, rng)
 	default:
 		return nil, fmt.Errorf("core: unknown generator %d", opts.Generator)
@@ -249,6 +282,40 @@ func (m Model) gaussian(n int, opts GenOptions) ([]float64, error) {
 		fgn.Standardize(x)
 	}
 	return x, nil
+}
+
+// GenerateResumable is the checkpointable variant of Generate, restricted
+// to the HoskingExact engine (the O(n²) recursion is the run worth
+// checkpointing; Davies–Harte finishes in seconds). On cancellation it
+// returns a nil series together with a snapshot of the recursion that,
+// passed back as resume in a later call with the same n and options,
+// continues the computation and yields a series bitwise-identical to an
+// uninterrupted run. On completion the returned state is nil.
+//
+// Standardization and the Eq. 13 transform run only after the Gaussian
+// stage completes, so they need no state of their own.
+func (m Model) GenerateResumable(ctx context.Context, n int, opts GenOptions, resume *fgn.HoskingState) ([]float64, *fgn.HoskingState, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Generator != HoskingExact {
+		return nil, nil, fmt.Errorf("core: checkpoint/resume requires the Hosking generator")
+	}
+	if n < 1 {
+		return nil, nil, fmt.Errorf("core: length must be ≥ 1, got %d", n)
+	}
+	// Same derivation as gaussianCtx, so an uninterrupted resumable run
+	// matches Generate exactly.
+	src := rand.NewPCG(opts.Seed, 0x6a55)
+	x, st, err := fgn.HoskingResumable(ctx, n, m.Hurst, src, resume)
+	if err != nil {
+		return nil, st, err
+	}
+	if opts.Standardize {
+		fgn.Standardize(x)
+	}
+	out, err := m.transform(x, opts)
+	return out, nil, err
 }
 
 // effectiveMoments returns the mean and standard deviation of the full
@@ -274,7 +341,12 @@ func (m Model) effectiveMoments() (mu, sd float64, err error) {
 // GenerateTrace wraps Generate in a trace.Trace with slice-level data
 // derived by even division plus jitter, ready for the §5 simulations.
 func (m Model) GenerateTrace(n int, frameRate float64, slicesPerFrame int, sliceJitter float64, opts GenOptions) (*trace.Trace, error) {
-	frames, err := m.Generate(n, opts)
+	return m.GenerateTraceCtx(context.Background(), n, frameRate, slicesPerFrame, sliceJitter, opts)
+}
+
+// GenerateTraceCtx is GenerateTrace with cooperative cancellation.
+func (m Model) GenerateTraceCtx(ctx context.Context, n int, frameRate float64, slicesPerFrame int, sliceJitter float64, opts GenOptions) (*trace.Trace, error) {
+	frames, err := m.GenerateCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
 	}

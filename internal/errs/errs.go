@@ -1,0 +1,62 @@
+// Package errs defines the sentinel errors shared across the vbr
+// subsystems, so callers can classify failures with errors.Is/errors.As
+// instead of string matching. Packages wrap these with fmt.Errorf("...:
+// %w", ...) to add context while keeping the sentinel reachable.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCancelled reports that an operation was interrupted by context
+	// cancellation or deadline expiry before completing. Errors carrying
+	// it also match the originating context error (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCancelled = errors.New("operation cancelled")
+
+	// ErrInvalidTrace reports a structurally invalid bandwidth trace
+	// (no frames, inconsistent slice data, negative or non-finite sizes).
+	ErrInvalidTrace = errors.New("invalid trace")
+
+	// ErrInvalidModel reports model parameters outside their legal
+	// ranges (μ_Γ, σ_Γ, m_T ≤ 0 or H outside (0,1)).
+	ErrInvalidModel = errors.New("invalid model parameters")
+
+	// ErrInvalidWorkload reports an arrival process the queueing
+	// simulator cannot run (empty, non-positive interval, bad arrivals).
+	ErrInvalidWorkload = errors.New("invalid workload")
+
+	// ErrInfeasibleLags reports that N lags at the required minimum
+	// pairwise spacing cannot be placed on the trace circle (§5.1).
+	ErrInfeasibleLags = errors.New("infeasible lag placement")
+
+	// ErrCheckpointVersion reports a checkpoint written by an
+	// incompatible format version.
+	ErrCheckpointVersion = errors.New("unsupported checkpoint version")
+
+	// ErrCheckpointCorrupt reports a checkpoint that fails structural
+	// validation (bad magic, truncated payload, inconsistent state).
+	ErrCheckpointCorrupt = errors.New("corrupt checkpoint")
+
+	// ErrCheckpointMismatch reports a checkpoint whose recorded job
+	// parameters disagree with the requested run (different n, H, seed).
+	ErrCheckpointMismatch = errors.New("checkpoint does not match run parameters")
+
+	// ErrTargetUnreachable reports a capacity search whose loss target
+	// is still violated at the top of the bracket.
+	ErrTargetUnreachable = errors.New("loss target unreachable within capacity bracket")
+
+	// ErrAllCombosFailed reports a multiplexer run in which every lag
+	// combination failed, leaving no survivors to average over.
+	ErrAllCombosFailed = errors.New("all lag combinations failed")
+)
+
+// Cancelled wraps ctx's error so that the result matches both
+// ErrCancelled and the context error. It must only be called when
+// ctx.Err() != nil.
+func Cancelled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+}

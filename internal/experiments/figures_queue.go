@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
@@ -63,41 +64,26 @@ type Fig14Curve struct {
 // Fig14Result reproduces the Q–C tradeoff study.
 type Fig14Result struct {
 	Curves []Fig14Curve
+	// CurveErrors lists (N, target) combinations that failed and were
+	// excluded from Curves; nil when every curve succeeded.
+	CurveErrors []error
 }
 
 // Fig14 sweeps buffer delay against required capacity for every (N,
-// target) combination of the paper.
+// target) combination of the paper. The curves run in parallel on a
+// panic-safe worker pool; see Fig14Ctx for cancellation and
+// checkpoint/resume.
 func (s *Suite) Fig14() (*Fig14Result, error) {
-	res := &Fig14Result{}
-	for _, n := range s.qcNs() {
-		mux, err := queue.NewMux(s.Trace, n, s.minLag(), 100+uint64(n))
-		if err != nil {
-			return nil, err
-		}
-		for _, target := range s.qcTargets() {
-			points, err := queue.QCCurve(queue.QCCurveConfig{
-				Mux:       mux,
-				Target:    target,
-				TmaxGrid:  s.tmaxGrid(),
-				UseSlices: s.UseSlices,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: Fig14 N=%d %v: %w", n, target, err)
-			}
-			knee, err := queue.Knee(points)
-			if err != nil {
-				return nil, err
-			}
-			res.Curves = append(res.Curves, Fig14Curve{N: n, Target: target, Points: points, Knee: knee})
-		}
-	}
-	return res, nil
+	return s.Fig14Ctx(context.Background(), nil)
 }
 
 // Format renders all curves as aligned text.
 func (r *Fig14Result) Format() string {
 	var b strings.Builder
 	b.WriteString("Figure 14: Queueing delay vs allocated bandwidth per source\n")
+	for _, err := range r.CurveErrors {
+		fmt.Fprintf(&b, "  [curve excluded] %v\n", err)
+	}
 	for _, c := range r.Curves {
 		fmt.Fprintf(&b, "\nN=%d, %s (knee at T_max=%.3g ms, C/N=%.3f Mb/s)\n",
 			c.N, c.Target, c.Knee.TmaxSec*1000, c.Knee.PerSourceBps/1e6)
@@ -131,6 +117,11 @@ func (s *Suite) fig15Ns() []int {
 
 // Fig15 computes required capacity per source against N at T_max = 2 ms.
 func (s *Suite) Fig15() (*Fig15Result, error) {
+	return s.Fig15Ctx(context.Background())
+}
+
+// Fig15Ctx is Fig15 with cooperative cancellation.
+func (s *Suite) Fig15Ctx(ctx context.Context) (*Fig15Result, error) {
 	targets := []queue.LossTarget{{Pl: 0}, {Pl: 1e-4}, {Pl: 1e-3}}
 	res := &Fig15Result{
 		Targets: targets,
@@ -140,7 +131,7 @@ func (s *Suite) Fig15() (*Fig15Result, error) {
 	var gainSum float64
 	var gainCnt int
 	for _, target := range targets {
-		points, err := queue.SMG(queue.SMGConfig{
+		points, err := queue.SMGCtx(ctx, queue.SMGConfig{
 			NewMux: func(n int) (*queue.Mux, error) {
 				return queue.NewMux(s.Trace, n, s.minLag(), 200+uint64(n))
 			},
@@ -226,6 +217,12 @@ func (s *Suite) fig16Ns() []int {
 // Fig16 fits the model to the trace, generates equal-length realizations
 // of the three model variants, and compares zero-loss Q–C curves.
 func (s *Suite) Fig16() (*Fig16Result, error) {
+	return s.Fig16Ctx(context.Background())
+}
+
+// Fig16Ctx is Fig16 with cooperative cancellation, checked in both the
+// model generation stage and every capacity search.
+func (s *Suite) Fig16Ctx(ctx context.Context) (*Fig16Result, error) {
 	model, err := s.Model()
 	if err != nil {
 		return nil, err
@@ -246,15 +243,15 @@ func (s *Suite) Fig16() (*Fig16Result, error) {
 		}
 	}
 
-	full, err := model.Generate(n, genOpts)
+	full, err := model.GenerateCtx(ctx, n, genOpts)
 	if err != nil {
 		return nil, err
 	}
-	gauss, err := model.GenerateGaussian(n, genOpts)
+	gauss, err := model.GenerateGaussianCtx(ctx, n, genOpts)
 	if err != nil {
 		return nil, err
 	}
-	iid, err := model.GenerateIID(n, genOpts)
+	iid, err := model.GenerateIIDCtx(ctx, n, genOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +291,7 @@ func (s *Suite) Fig16() (*Fig16Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			points, err := queue.QCCurve(queue.QCCurveConfig{
+			points, err := queue.QCCurveCtx(ctx, queue.QCCurveConfig{
 				Mux:       mux,
 				Target:    queue.LossTarget{Pl: 0},
 				TmaxGrid:  grid,
@@ -370,6 +367,11 @@ type Fig17Result struct {
 // Fig17 runs both configurations at capacities tuned to the same overall
 // loss rate and records the running loss process.
 func (s *Suite) Fig17() (*Fig17Result, error) {
+	return s.Fig17Ctx(context.Background())
+}
+
+// Fig17Ctx is Fig17 with cooperative cancellation.
+func (s *Suite) Fig17Ctx(ctx context.Context) (*Fig17Result, error) {
 	const window = 1000 // frames
 	res := &Fig17Result{TargetPl: 1e-3}
 	for _, n := range []int{1, 20} {
@@ -381,13 +383,13 @@ func (s *Suite) Fig17() (*Fig17Result, error) {
 		peak := s.Trace.PeakRate() * float64(n) * 1.05
 		lossAt := func(c float64) (float64, error) {
 			q := 0.002 * c / 8
-			r, err := mux.AverageLoss(c, q, s.UseSlices, queue.Options{})
+			r, err := mux.AverageLossCtx(ctx, c, q, s.UseSlices, queue.Options{})
 			if err != nil {
 				return 0, err
 			}
 			return r.Pl, nil
 		}
-		c, err := queue.MinCapacity(lossAt, mean*0.5, peak, queue.LossTarget{Pl: res.TargetPl})
+		c, err := queue.MinCapacityCtx(ctx, lossAt, mean*0.5, peak, queue.LossTarget{Pl: res.TargetPl})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: Fig17 N=%d: %w", n, err)
 		}
@@ -395,7 +397,7 @@ func (s *Suite) Fig17() (*Fig17Result, error) {
 		if s.UseSlices {
 			winIntervals = window * s.Trace.SlicesPerFrame
 		}
-		r, err := mux.AverageLoss(c, 0.002*c/8, s.UseSlices, queue.Options{WindowIntervals: winIntervals})
+		r, err := mux.AverageLossCtx(ctx, c, 0.002*c/8, s.UseSlices, queue.Options{WindowIntervals: winIntervals})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"vbr/internal/checkpoint"
+	"vbr/internal/errs"
+)
+
+func TestFig14CtxMatchesFig14AndCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity searches are slow")
+	}
+	s := quickSuite(t)
+	plain, err := s.Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.CurveErrors) != 0 {
+		t.Fatalf("healthy run reported curve errors: %v", plain.CurveErrors)
+	}
+
+	// A run with a progress state fills one curve entry per (N, target).
+	progress := &checkpoint.SearchState{}
+	withCkpt, err := s.Fig14Ctx(context.Background(), progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(s.qcNs()) * len(s.qcTargets())
+	if len(progress.Curves) != want {
+		t.Fatalf("progress has %d curves, want %d", len(progress.Curves), want)
+	}
+	for _, c := range progress.Curves {
+		if !c.Done || len(c.X) == 0 {
+			t.Fatalf("curve %q not completed in progress state: done=%v points=%d", c.Key, c.Done, len(c.X))
+		}
+	}
+	if len(withCkpt.Curves) != len(plain.Curves) {
+		t.Fatalf("curve counts differ: %d vs %d", len(withCkpt.Curves), len(plain.Curves))
+	}
+	// Same deterministic inputs → identical curves, with or without
+	// checkpointing.
+	for i := range plain.Curves {
+		a, b := plain.Curves[i], withCkpt.Curves[i]
+		if a.N != b.N || a.Target != b.Target || len(a.Points) != len(b.Points) {
+			t.Fatalf("curve %d shape differs", i)
+		}
+		for j := range a.Points {
+			if a.Points[j] != b.Points[j] {
+				t.Fatalf("curve %d point %d differs: %+v vs %+v", i, j, a.Points[j], b.Points[j])
+			}
+		}
+	}
+
+	// Resuming from a fully populated state recomputes nothing and still
+	// returns the identical result (every point is served from Resume).
+	resumed, err := s.Fig14Ctx(context.Background(), progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Curves {
+		for j := range plain.Curves[i].Points {
+			if resumed.Curves[i].Points[j] != plain.Curves[i].Points[j] {
+				t.Fatalf("resumed curve %d point %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestFig14CtxCancelled(t *testing.T) {
+	s := quickSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Fig14Ctx(ctx, nil)
+	if !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+}
+
+func TestExtFaultsDeterministicAndMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capacity search is slow")
+	}
+	s := quickSuite(t)
+	a, err := s.ExtFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.ExtFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 || len(b.Rows) != 4 {
+		t.Fatalf("row counts: %d, %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatalf("row %d not reproducible: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	// The healthy baseline meets its target; every fault scenario loses
+	// at least as much, and the severest (with outages) loses the most.
+	healthy := a.Rows[0]
+	if healthy.Pl > 1.5e-3 {
+		t.Errorf("healthy baseline Pl %v far above sizing target", healthy.Pl)
+	}
+	for _, row := range a.Rows[1:] {
+		if row.Pl < healthy.Pl {
+			t.Errorf("%s: Pl %v below healthy %v", row.Scenario, row.Pl, healthy.Pl)
+		}
+	}
+	worst := a.Rows[3]
+	if worst.Pl <= a.Rows[1].Pl {
+		t.Errorf("outage scenario Pl %v not above rare-brownout %v", worst.Pl, a.Rows[1].Pl)
+	}
+	if out := a.Format(); len(out) == 0 {
+		t.Error("empty format")
+	}
+}

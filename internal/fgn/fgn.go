@@ -13,10 +13,13 @@
 package fgn
 
 import (
+	"context"
+	"encoding"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"vbr/internal/errs"
 	"vbr/internal/fft"
 )
 
@@ -81,26 +84,105 @@ func FGNACF(h float64, maxLag int) ([]float64, error) {
 // of the Yule–Walker system, so the output has exactly the target
 // autocorrelation structure.
 func Hosking(n int, h float64, rng *rand.Rand) ([]float64, error) {
+	x, _, err := hoskingRun(context.Background(), n, h, rng, nil, nil)
+	return x, err
+}
+
+// HoskingCtx is Hosking with cooperative cancellation: the O(n²)
+// recursion checks ctx once per outer iteration and returns an error
+// matching errs.ErrCancelled as soon as the context is done.
+func HoskingCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]float64, error) {
+	x, _, err := hoskingRun(ctx, n, h, rng, nil, nil)
+	return x, err
+}
+
+// MarshalableSource is a random source whose internal state can be
+// captured and restored byte-exactly, as *math/rand/v2.PCG can. It is
+// what makes an interrupted generation resumable with bitwise-identical
+// output.
+type MarshalableSource interface {
+	rand.Source
+	encoding.BinaryMarshaler
+	encoding.BinaryUnmarshaler
+}
+
+// HoskingState is a snapshot of the Hosking recursion taken at the top
+// of outer iteration K: the generated prefix X[0..K-1], the partial
+// linear-prediction coefficients φ_{K-1,·}, the scalar recursion state
+// (Eqs. 7–12), and the serialized random-source position. Together with
+// (N, H) — the ρ sequence is recomputed deterministically — it resumes
+// the generation to produce output bitwise identical to an uninterrupted
+// run.
+type HoskingState struct {
+	N       int
+	H       float64
+	K       int       // next point to generate, 1 ≤ K ≤ N
+	V       float64   // conditional variance v_{K-1}
+	NPrev   float64   // N_{K-1}
+	DPrev   float64   // D_{K-1}
+	X       []float64 // generated prefix, length K
+	PhiPrev []float64 // φ_{K-1,j}, j = 1..K-1 (index 0 unused), length K
+	RNG     []byte    // marshaled MarshalableSource state
+}
+
+// HoskingResumable generates like HoskingCtx but from a marshalable
+// random source, so an interrupted run can be checkpointed and resumed.
+// When resume is nil a fresh generation starts from src's current state;
+// otherwise src is restored from the snapshot and the recursion
+// continues at point resume.K. On cancellation it returns a non-nil
+// *HoskingState alongside an error matching errs.ErrCancelled; on
+// success the state is nil and x holds all n points.
+func HoskingResumable(ctx context.Context, n int, h float64, src MarshalableSource, resume *HoskingState) ([]float64, *HoskingState, error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("fgn: resumable generation needs a marshalable source")
+	}
+	return hoskingRun(ctx, n, h, rand.New(src), src, resume)
+}
+
+// hoskingRun is the shared recursion behind Hosking, HoskingCtx and
+// HoskingResumable. src may be nil (no checkpointing); resume may be nil
+// (fresh start, requires src to be at its initial position for
+// reproducibility across save/restore cycles).
+func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src MarshalableSource, resume *HoskingState) ([]float64, *HoskingState, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+		return nil, nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
 	}
 	if !validHurst(h) {
-		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
+		return nil, nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
 	}
 	rho, err := FarimaACF(h, n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	x := make([]float64, n)
-	x[0] = rng.NormFloat64() // X_0 ~ N(0, v_0), v_0 = 1
-
 	phi := make([]float64, n)     // φ_{k,·}, reused in place
 	phiPrev := make([]float64, n) // φ_{k-1,·}
 	v := 1.0
 	nPrev, dPrev := 0.0, 1.0
+	k0 := 1
 
-	for k := 1; k < n; k++ {
+	if resume != nil {
+		if err := validateState(resume, n, h, src); err != nil {
+			return nil, nil, err
+		}
+		copy(x, resume.X)
+		copy(phiPrev, resume.PhiPrev)
+		v, nPrev, dPrev = resume.V, resume.NPrev, resume.DPrev
+		k0 = resume.K
+	} else {
+		x[0] = rng.NormFloat64() // X_0 ~ N(0, v_0), v_0 = 1
+	}
+
+	for k := k0; k < n; k++ {
+		if ctx.Err() != nil {
+			var st *HoskingState
+			if src != nil {
+				st = snapshotState(n, h, k, v, nPrev, dPrev, x, phiPrev, src)
+			}
+			return nil, st, fmt.Errorf("fgn: Hosking generation interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
+		}
+
 		// N_k and D_k (Eqs. 7–8).
 		nk := rho[k]
 		for j := 1; j < k; j++ {
@@ -130,7 +212,44 @@ func Hosking(n int, h float64, rng *rand.Rand) ([]float64, error) {
 		copy(phiPrev[1:k+1], phi[1:k+1])
 		nPrev, dPrev = nk, dk
 	}
-	return x, nil
+	return x, nil, nil
+}
+
+// snapshotState copies the live recursion state into an owned snapshot.
+func snapshotState(n int, h float64, k int, v, nPrev, dPrev float64, x, phiPrev []float64, src MarshalableSource) *HoskingState {
+	st := &HoskingState{
+		N: n, H: h, K: k,
+		V: v, NPrev: nPrev, DPrev: dPrev,
+		X:       append([]float64(nil), x[:k]...),
+		PhiPrev: append([]float64(nil), phiPrev[:k]...),
+	}
+	if b, err := src.MarshalBinary(); err == nil {
+		st.RNG = b
+	}
+	return st
+}
+
+// validateState checks a resume snapshot against the requested run and
+// restores the random source from it.
+func validateState(st *HoskingState, n int, h float64, src MarshalableSource) error {
+	if st.N != n || st.H != h {
+		return fmt.Errorf("fgn: snapshot is for n=%d H=%v, run wants n=%d H=%v: %w",
+			st.N, st.H, n, h, errs.ErrCheckpointMismatch)
+	}
+	if st.K < 1 || st.K > n || len(st.X) != st.K || len(st.PhiPrev) != st.K {
+		return fmt.Errorf("fgn: snapshot state inconsistent (K=%d, |X|=%d, |φ|=%d): %w",
+			st.K, len(st.X), len(st.PhiPrev), errs.ErrCheckpointCorrupt)
+	}
+	if len(st.RNG) == 0 {
+		return fmt.Errorf("fgn: snapshot carries no random-source state: %w", errs.ErrCheckpointCorrupt)
+	}
+	if src == nil {
+		return fmt.Errorf("fgn: resuming needs a marshalable source")
+	}
+	if err := src.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("fgn: restoring random source: %w: %w", errs.ErrCheckpointCorrupt, err)
+	}
+	return nil
 }
 
 // DaviesHarte generates n points of zero-mean, unit-variance fractional

@@ -1,0 +1,155 @@
+package fgn
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"vbr/internal/errs"
+)
+
+// countCtx is a context whose Err() becomes non-nil after limit calls —
+// a deterministic way to interrupt the Hosking recursion at a known
+// outer iteration.
+type countCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *countCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestHoskingCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	_, err := HoskingCtx(ctx, 1000, 0.8, rng)
+	if !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not carry context.Canceled: %v", err)
+	}
+}
+
+// TestHoskingCtxCancelPromptly is the acceptance check: cancelling a
+// paper-scale 171,000-point generation returns well before the O(n²)
+// recursion could complete.
+func TestHoskingCtxCancelPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		rng := rand.New(rand.NewPCG(1994, 5))
+		_, err := HoskingCtx(ctx, 171000, 0.8, rng)
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errs.ErrCancelled) {
+			t.Fatalf("got %v, want ErrCancelled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("generation did not stop within 10s of cancellation")
+	}
+	if el := time.Since(start); el > 11*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", el)
+	}
+}
+
+// TestHoskingResumeBitwiseIdentical interrupts a generation mid-run,
+// snapshots the recursion, resumes from the snapshot, and requires the
+// result to be bit-for-bit equal to an uninterrupted run with the same
+// seed.
+func TestHoskingResumeBitwiseIdentical(t *testing.T) {
+	const n, h = 3000, 0.8
+	seed := func() *rand.PCG { return rand.NewPCG(42, 0x6a55) }
+
+	want, st, err := HoskingResumable(context.Background(), n, h, seed(), nil)
+	if err != nil || st != nil {
+		t.Fatalf("uninterrupted run: err=%v st=%v", err, st)
+	}
+
+	cctx := &countCtx{Context: context.Background(), limit: 1500}
+	x, st, err := HoskingResumable(cctx, n, h, seed(), nil)
+	if !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("interrupted run: got %v, want ErrCancelled", err)
+	}
+	if x != nil {
+		t.Fatal("interrupted run returned a series")
+	}
+	if st == nil {
+		t.Fatal("interrupted run returned no snapshot")
+	}
+	if st.K <= 1 || st.K >= n {
+		t.Fatalf("snapshot at K=%d, want mid-run", st.K)
+	}
+	if len(st.X) != st.K || len(st.PhiPrev) != st.K || len(st.RNG) == 0 {
+		t.Fatalf("snapshot inconsistent: |X|=%d |φ|=%d |RNG|=%d", len(st.X), len(st.PhiPrev), len(st.RNG))
+	}
+
+	got, st2, err := HoskingResumable(context.Background(), n, h, rand.NewPCG(0, 0), st)
+	if err != nil || st2 != nil {
+		t.Fatalf("resumed run: err=%v st=%v", err, st2)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resumed output differs at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHoskingResumeValidation(t *testing.T) {
+	const n, h = 500, 0.8
+	cctx := &countCtx{Context: context.Background(), limit: 200}
+	_, st, err := HoskingResumable(cctx, n, h, rand.NewPCG(3, 4), nil)
+	if !errors.Is(err, errs.ErrCancelled) || st == nil {
+		t.Fatalf("setup: err=%v st=%v", err, st)
+	}
+
+	if _, _, err := HoskingResumable(context.Background(), n+1, h, rand.NewPCG(0, 0), st); !errors.Is(err, errs.ErrCheckpointMismatch) {
+		t.Errorf("wrong n: got %v, want ErrCheckpointMismatch", err)
+	}
+	if _, _, err := HoskingResumable(context.Background(), n, 0.7, rand.NewPCG(0, 0), st); !errors.Is(err, errs.ErrCheckpointMismatch) {
+		t.Errorf("wrong H: got %v, want ErrCheckpointMismatch", err)
+	}
+
+	bad := *st
+	bad.X = bad.X[:len(bad.X)-1]
+	if _, _, err := HoskingResumable(context.Background(), n, h, rand.NewPCG(0, 0), &bad); !errors.Is(err, errs.ErrCheckpointCorrupt) {
+		t.Errorf("truncated X: got %v, want ErrCheckpointCorrupt", err)
+	}
+	bad2 := *st
+	bad2.RNG = nil
+	if _, _, err := HoskingResumable(context.Background(), n, h, rand.NewPCG(0, 0), &bad2); !errors.Is(err, errs.ErrCheckpointCorrupt) {
+		t.Errorf("missing RNG: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestHoskingCtxMatchesPlain ensures the refactored shared recursion did
+// not change the legacy entry point's output.
+func TestHoskingCtxMatchesPlain(t *testing.T) {
+	const n, h = 800, 0.8
+	a, err := Hosking(n, h, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HoskingCtx(context.Background(), n, h, rand.New(rand.NewPCG(9, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package queue
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"vbr/internal/errs"
 )
 
 // LossTarget is a quality-of-service target for the capacity search:
@@ -34,8 +37,17 @@ func (t LossTarget) String() string {
 // The search assumes loss is non-increasing in capacity, which holds for
 // a work-conserving FIFO queue when Q grows with C.
 func MinCapacity(loss func(capacityBps float64) (float64, error), loBps, hiBps float64, target LossTarget) (float64, error) {
+	return MinCapacityCtx(context.Background(), loss, loBps, hiBps, target)
+}
+
+// MinCapacityCtx is MinCapacity with cooperative cancellation: the
+// context is checked before every simulation of the bisection.
+func MinCapacityCtx(ctx context.Context, loss func(capacityBps float64) (float64, error), loBps, hiBps float64, target LossTarget) (float64, error) {
 	if !(loBps > 0) || !(hiBps > loBps) {
 		return 0, fmt.Errorf("queue: bad capacity bracket [%v, %v]", loBps, hiBps)
+	}
+	if ctx.Err() != nil {
+		return 0, errs.Cancelled(ctx)
 	}
 	// Verify the bracket actually brackets the target.
 	lHi, err := loss(hiBps)
@@ -43,7 +55,8 @@ func MinCapacity(loss func(capacityBps float64) (float64, error), loBps, hiBps f
 		return 0, err
 	}
 	if lHi > target.Pl {
-		return 0, fmt.Errorf("queue: loss %v at max capacity %v still above target %v", lHi, hiBps, target.Pl)
+		return 0, fmt.Errorf("queue: loss %v at max capacity %v still above target %v: %w",
+			lHi, hiBps, target.Pl, errs.ErrTargetUnreachable)
 	}
 	lLo, err := loss(loBps)
 	if err != nil {
@@ -53,6 +66,9 @@ func MinCapacity(loss func(capacityBps float64) (float64, error), loBps, hiBps f
 		return loBps, nil
 	}
 	for i := 0; i < 50 && hiBps-loBps > 1e-4*hiBps; i++ {
+		if ctx.Err() != nil {
+			return 0, errs.Cancelled(ctx)
+		}
 		mid := (loBps + hiBps) / 2
 		l, err := loss(mid)
 		if err != nil {
@@ -80,16 +96,35 @@ type QCCurveConfig struct {
 	Target    LossTarget
 	TmaxGrid  []float64 // buffer delays to evaluate (seconds)
 	UseSlices bool      // simulate at slice granularity (the paper's choice)
+	// Resume supplies points from an earlier, interrupted sweep: grid
+	// entries whose T_max exactly matches a resume point are reused
+	// instead of re-searched. Points not on the grid are ignored.
+	Resume []QCPoint
+	// Faults, when non-nil, injects the schedule into every simulation
+	// of the sweep.
+	Faults *FaultSchedule
 }
 
 // QCCurve computes a Fig. 14 curve: for each T_max, the minimum capacity
 // per source achieving the loss target.
 func QCCurve(cfg QCCurveConfig) ([]QCPoint, error) {
+	return QCCurveCtx(context.Background(), cfg)
+}
+
+// QCCurveCtx computes a Q–C curve with cancellation and resume: on a
+// cancelled context it returns the points completed so far together with
+// an error matching errs.ErrCancelled, so the caller can checkpoint the
+// partial curve and finish it in a later run via Resume.
+func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 	if cfg.Mux == nil {
 		return nil, fmt.Errorf("queue: nil multiplexer")
 	}
 	if len(cfg.TmaxGrid) == 0 {
 		return nil, fmt.Errorf("queue: empty T_max grid")
+	}
+	resumed := make(map[float64]float64, len(cfg.Resume))
+	for _, p := range cfg.Resume {
+		resumed[p.TmaxSec] = p.PerSourceBps
 	}
 	n := float64(cfg.Mux.N)
 	mean := cfg.Mux.Trace.MeanRate() * n
@@ -98,12 +133,19 @@ func QCCurve(cfg QCCurveConfig) ([]QCPoint, error) {
 	points := make([]QCPoint, 0, len(cfg.TmaxGrid))
 	for _, tmax := range cfg.TmaxGrid {
 		if !(tmax >= 0) {
-			return nil, fmt.Errorf("queue: negative T_max %v", tmax)
+			return points, fmt.Errorf("queue: negative T_max %v", tmax)
+		}
+		if bps, ok := resumed[tmax]; ok {
+			points = append(points, QCPoint{TmaxSec: tmax, PerSourceBps: bps})
+			continue
+		}
+		if ctx.Err() != nil {
+			return points, fmt.Errorf("queue: Q-C sweep interrupted at T_max=%v: %w", tmax, errs.Cancelled(ctx))
 		}
 		tm := tmax
 		lossAt := func(c float64) (float64, error) {
 			q := tm * c / 8 // Q = T_max · (N·C) in bytes; c is aggregate bits/s
-			r, err := cfg.Mux.AverageLoss(c, q, cfg.UseSlices, Options{})
+			r, err := cfg.Mux.AverageLossCtx(ctx, c, q, cfg.UseSlices, Options{Faults: cfg.Faults})
 			if err != nil {
 				return 0, err
 			}
@@ -112,9 +154,9 @@ func QCCurve(cfg QCCurveConfig) ([]QCPoint, error) {
 			}
 			return r.Pl, nil
 		}
-		c, err := MinCapacity(lossAt, mean*0.5, peak, cfg.Target)
+		c, err := MinCapacityCtx(ctx, lossAt, mean*0.5, peak, cfg.Target)
 		if err != nil {
-			return nil, fmt.Errorf("queue: T_max=%v: %w", tmax, err)
+			return points, fmt.Errorf("queue: T_max=%v: %w", tmax, err)
 		}
 		points = append(points, QCPoint{TmaxSec: tmax, PerSourceBps: c / n})
 	}
@@ -163,6 +205,13 @@ type SMGConfig struct {
 // SMG computes Fig. 15: the required per-source allocation against N at a
 // fixed buffer delay.
 func SMG(cfg SMGConfig) ([]SMGPoint, error) {
+	return SMGCtx(context.Background(), cfg)
+}
+
+// SMGCtx is SMG with cooperative cancellation; on a cancelled context it
+// returns the points completed so far with an error matching
+// errs.ErrCancelled.
+func SMGCtx(ctx context.Context, cfg SMGConfig) ([]SMGPoint, error) {
 	if cfg.NewMux == nil {
 		return nil, fmt.Errorf("queue: nil multiplexer factory")
 	}
@@ -174,15 +223,18 @@ func SMG(cfg SMGConfig) ([]SMGPoint, error) {
 	}
 	out := make([]SMGPoint, 0, len(cfg.Ns))
 	for _, n := range cfg.Ns {
+		if ctx.Err() != nil {
+			return out, fmt.Errorf("queue: SMG sweep interrupted at N=%d: %w", n, errs.Cancelled(ctx))
+		}
 		mux, err := cfg.NewMux(n)
 		if err != nil {
-			return nil, err
+			return out, err
 		}
 		mean := mux.Trace.MeanRate() * float64(n)
 		peak := mux.Trace.PeakRate() * float64(n) * 1.05
 		lossAt := func(c float64) (float64, error) {
 			q := cfg.TmaxSec * c / 8
-			r, err := mux.AverageLoss(c, q, cfg.UseSlices, Options{})
+			r, err := mux.AverageLossCtx(ctx, c, q, cfg.UseSlices, Options{})
 			if err != nil {
 				return 0, err
 			}
@@ -191,9 +243,9 @@ func SMG(cfg SMGConfig) ([]SMGPoint, error) {
 			}
 			return r.Pl, nil
 		}
-		c, err := MinCapacity(lossAt, mean*0.5, peak, cfg.Target)
+		c, err := MinCapacityCtx(ctx, lossAt, mean*0.5, peak, cfg.Target)
 		if err != nil {
-			return nil, fmt.Errorf("queue: N=%d: %w", n, err)
+			return out, fmt.Errorf("queue: N=%d: %w", n, err)
 		}
 		out = append(out, SMGPoint{N: n, PerSourceBps: c / float64(n)})
 	}

@@ -1,0 +1,191 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// This file adds deterministic fault injection to the §5 FIFO server:
+// seeded schedules of capacity-degradation and outage episodes, applied
+// multiplicatively to the service rate. The degraded-service regime is
+// where LRD video is hardest to carry (cf. Kalyanaraman et al., "TCP
+// over ABR with LRD VBR background traffic"): during an episode the
+// queue drains slower — or not at all — and the loss process
+// concentrates exactly the way the paper's Fig. 17 burst analysis
+// anticipates. Schedules are pure data derived from a seed, so a fault
+// run is exactly reproducible: identical schedule + trace ⇒ identical
+// P_l and P_l-WES.
+
+// FaultEpisode is one contiguous service degradation: for Length
+// intervals starting at Start, the server runs at Factor times its
+// nominal capacity. Factor 0 is a full outage.
+type FaultEpisode struct {
+	Start  int     // first affected interval (inclusive)
+	Length int     // number of affected intervals
+	Factor float64 // capacity multiplier in [0, 1]
+}
+
+// FaultSchedule is a set of non-overlapping episodes sorted by start.
+// The zero value is a clean schedule (no faults).
+type FaultSchedule struct {
+	Episodes []FaultEpisode
+}
+
+// Validate checks episode ranges, ordering and disjointness. A nil
+// schedule is valid (no faults).
+func (fs *FaultSchedule) Validate() error {
+	if fs == nil {
+		return nil
+	}
+	prevEnd := 0
+	for i, e := range fs.Episodes {
+		if e.Start < 0 || e.Length < 1 {
+			return fmt.Errorf("queue: fault episode %d has bad extent (start=%d, length=%d)", i, e.Start, e.Length)
+		}
+		if e.Factor < 0 || e.Factor > 1 {
+			return fmt.Errorf("queue: fault episode %d has factor %v outside [0,1]", i, e.Factor)
+		}
+		if e.Start < prevEnd {
+			return fmt.Errorf("queue: fault episode %d overlaps its predecessor", i)
+		}
+		prevEnd = e.Start + e.Length
+	}
+	return nil
+}
+
+// FactorAt returns the capacity multiplier in effect during interval i
+// (1 outside every episode). Episodes are binary-searched, so the call
+// is O(log e) inside the simulator's per-interval loop.
+func (fs *FaultSchedule) FactorAt(i int) float64 {
+	if fs == nil || len(fs.Episodes) == 0 {
+		return 1
+	}
+	// Last episode with Start <= i.
+	idx := sort.Search(len(fs.Episodes), func(j int) bool { return fs.Episodes[j].Start > i }) - 1
+	if idx < 0 {
+		return 1
+	}
+	if e := fs.Episodes[idx]; i < e.Start+e.Length {
+		return e.Factor
+	}
+	return 1
+}
+
+// DegradedIntervals returns the total number of intervals covered by
+// episodes, clipped to [0, n).
+func (fs *FaultSchedule) DegradedIntervals(n int) int {
+	if fs == nil {
+		return 0
+	}
+	total := 0
+	for _, e := range fs.Episodes {
+		lo, hi := e.Start, e.Start+e.Length
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// FaultConfig parameterizes random schedule generation.
+type FaultConfig struct {
+	// MeanGap is the mean number of clean intervals between episodes
+	// (exponentially distributed).
+	MeanGap float64
+	// MeanLength is the mean episode length in intervals (exponential,
+	// at least 1).
+	MeanLength float64
+	// OutageProb is the probability that an episode is a full outage
+	// (Factor 0) rather than a partial degradation.
+	OutageProb float64
+	// MinFactor is the lower bound of the degradation factor; partial
+	// episodes draw Factor uniformly from [MinFactor, 1).
+	MinFactor float64
+}
+
+// Validate checks the generation parameters.
+func (c FaultConfig) Validate() error {
+	switch {
+	case !(c.MeanGap > 0):
+		return fmt.Errorf("queue: fault mean gap must be positive, got %v", c.MeanGap)
+	case !(c.MeanLength >= 1):
+		return fmt.Errorf("queue: fault mean length must be ≥ 1, got %v", c.MeanLength)
+	case c.OutageProb < 0 || c.OutageProb > 1:
+		return fmt.Errorf("queue: outage probability must be in [0,1], got %v", c.OutageProb)
+	case c.MinFactor < 0 || c.MinFactor >= 1:
+		return fmt.Errorf("queue: min factor must be in [0,1), got %v", c.MinFactor)
+	}
+	return nil
+}
+
+// GenerateFaults draws a schedule covering intervals [0, n) from the
+// seeded PCG stream: alternating exponential clean gaps and degradation
+// episodes. The same (seed, n, cfg) always yields the same schedule.
+func GenerateFaults(seed uint64, n int, cfg FaultConfig) (*FaultSchedule, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("queue: fault horizon must be ≥ 1 interval, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xfa17))
+	fs := &FaultSchedule{}
+	pos := 0
+	for {
+		gap := int(rng.ExpFloat64() * cfg.MeanGap)
+		pos += gap
+		if pos >= n {
+			break
+		}
+		length := int(rng.ExpFloat64() * cfg.MeanLength)
+		if length < 1 {
+			length = 1
+		}
+		if pos+length > n {
+			length = n - pos
+		}
+		factor := 0.0
+		if rng.Float64() >= cfg.OutageProb {
+			factor = cfg.MinFactor + rng.Float64()*(1-cfg.MinFactor)
+		}
+		fs.Episodes = append(fs.Episodes, FaultEpisode{Start: pos, Length: length, Factor: factor})
+		pos += length
+	}
+	return fs, fs.Validate()
+}
+
+// drainBetween integrates the bytes a faulted server drains over the
+// wall-clock span [t0, t1), given the nominal drain rate in bytes/s and
+// the interval duration that indexes the schedule. Used by the
+// cell-exact simulator, whose drain spans can cross interval (hence
+// episode) boundaries.
+func (fs *FaultSchedule) drainBetween(t0, t1, drainPerSec, interval float64) float64 {
+	if t1 <= t0 {
+		return 0
+	}
+	if fs == nil || len(fs.Episodes) == 0 {
+		return drainPerSec * (t1 - t0)
+	}
+	var drained float64
+	t := t0
+	for t < t1 {
+		i := int(t / interval)
+		end := float64(i+1) * interval
+		if end > t1 {
+			end = t1
+		}
+		if end <= t { // guard against float rounding stalls
+			end = t1
+		}
+		drained += fs.FactorAt(i) * drainPerSec * (end - t)
+		t = end
+	}
+	return drained
+}

@@ -1,10 +1,15 @@
 package queue
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 
+	"vbr/internal/errs"
+	"vbr/internal/runner"
 	"vbr/internal/trace"
 )
 
@@ -23,7 +28,9 @@ type Mux struct {
 
 	// Lag combinations and their aggregate workloads are deterministic
 	// given Seed, so they are computed once and reused across the many
-	// simulations of a capacity search.
+	// simulations of a capacity search. The mutex makes the lazy build
+	// safe under the parallel runner.
+	mu          sync.Mutex
 	cachedFrame []Workload
 	cachedSlice []Workload
 }
@@ -42,9 +49,13 @@ func NewMux(tr *trace.Trace, n int, minLag int, seed uint64) (*Mux, error) {
 	if minLag < 0 {
 		return nil, fmt.Errorf("queue: min lag must be ≥ 0, got %d", minLag)
 	}
-	if n > 1 && minLag*n >= len(tr.Frames) {
-		return nil, fmt.Errorf("queue: cannot place %d lags ≥ %d apart in %d frames",
-			n, minLag, len(tr.Frames))
+	// N·MinLag == len(frames) is the exactly-feasible zero-slack
+	// placement (equally spaced lags around the circle), which the
+	// constructive Lags sampler supports; only N·MinLag > len is
+	// infeasible.
+	if n > 1 && minLag*n > len(tr.Frames) {
+		return nil, fmt.Errorf("queue: cannot place %d lags ≥ %d apart in %d frames: %w",
+			n, minLag, len(tr.Frames), errs.ErrInfeasibleLags)
 	}
 	return &Mux{Trace: tr, N: n, MinLagFrames: minLag, Seed: seed}, nil
 }
@@ -60,7 +71,7 @@ func (m *Mux) Lags(rng *rand.Rand) []int {
 	if m.N == 1 {
 		return []int{0}
 	}
-	slack := l - m.N*m.MinLagFrames // > 0, enforced by NewMux
+	slack := l - m.N*m.MinLagFrames // ≥ 0, enforced by NewMux
 	offsets := make([]float64, m.N)
 	for i := range offsets {
 		offsets[i] = rng.Float64() * float64(slack)
@@ -129,8 +140,11 @@ func (m *Mux) Combos() int {
 
 // workloads returns (building and caching on first use) the aggregate
 // workloads of the Combos lag combinations drawn deterministically from
-// Seed.
+// Seed. Safe for concurrent use; the cached workloads are read-only
+// after the build.
 func (m *Mux) workloads(useSlices bool) ([]Workload, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if useSlices && m.cachedSlice != nil {
 		return m.cachedSlice, nil
 	}
@@ -162,25 +176,55 @@ func (m *Mux) workloads(useSlices bool) ([]Workload, error) {
 	return ws, nil
 }
 
+// comboFailHook, when non-nil, is invoked before each lag combination's
+// simulation. Tests use it to inject per-combination failures and
+// panics; it is never set in production code.
+var comboFailHook func(combo int) error
+
 // AverageLoss runs the fluid simulation over Combos lag combinations and
 // returns the mean overall and worst-errored-second loss rates, plus the
 // per-window loss series of the first combination when requested.
 func (m *Mux) AverageLoss(capacityBps, bufferBytes float64, useSlices bool, opts Options) (*Result, error) {
+	return m.AverageLossCtx(context.Background(), capacityBps, bufferBytes, useSlices, opts)
+}
+
+// AverageLossCtx is AverageLoss with cancellation and panic-safe
+// parallelism: the lag combinations run concurrently across worker
+// goroutines, a combination that fails or panics is excluded, and the
+// averages are taken over the survivors (per-combo failures are reported
+// in Result.ComboErrors). It fails outright only when the context is
+// cancelled or every combination failed.
+func (m *Mux) AverageLossCtx(ctx context.Context, capacityBps, bufferBytes float64, useSlices bool, opts Options) (*Result, error) {
 	ws, err := m.workloads(useSlices)
 	if err != nil {
 		return nil, err
 	}
-	combos := len(ws)
-	avg := &Result{}
-	for c, w := range ws {
+	results := runner.Run(ctx, len(ws), runner.Options{
+		Label: func(i int) string { return fmt.Sprintf("lag combo %d", i) },
+	}, func(_ context.Context, c int) (*Result, error) {
+		if comboFailHook != nil {
+			if err := comboFailHook(c); err != nil {
+				return nil, err
+			}
+		}
 		o := opts
 		if c > 0 {
 			o.WindowIntervals = 0 // window series only from the first combo
 		}
-		r, err := Simulate(w, capacityBps, bufferBytes, o)
-		if err != nil {
-			return nil, err
-		}
+		return Simulate(ws[c], capacityBps, bufferBytes, o)
+	})
+	if ctx.Err() != nil {
+		// A partial average over whichever combos happened to finish
+		// would be silently biased; cancellation aborts the call.
+		return nil, fmt.Errorf("queue: multiplexer average interrupted: %w", errs.Cancelled(ctx))
+	}
+	ok, _ := runner.Split(results)
+	if len(ok) == 0 {
+		return nil, fmt.Errorf("queue: %w: %w", errs.ErrAllCombosFailed, errors.Join(runner.Errors(results)...))
+	}
+	avg := &Result{CombosTotal: len(ws), CombosUsed: len(ok), ComboErrors: runner.Errors(results)}
+	for _, res := range ok {
+		r := res.Value
 		avg.TotalBytes += r.TotalBytes
 		avg.LostBytes += r.LostBytes
 		avg.Pl += r.Pl
@@ -188,11 +232,11 @@ func (m *Mux) AverageLoss(capacityBps, bufferBytes float64, useSlices bool, opts
 		if r.MaxBacklog > avg.MaxBacklog {
 			avg.MaxBacklog = r.MaxBacklog
 		}
-		if c == 0 {
+		if res.Index == 0 {
 			avg.WindowLoss = r.WindowLoss
 		}
 	}
-	avg.Pl /= float64(combos)
-	avg.PlWES /= float64(combos)
+	avg.Pl /= float64(len(ok))
+	avg.PlWES /= float64(len(ok))
 	return avg, nil
 }

@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+
+	"vbr/internal/errs"
 )
 
 // CellBytes is the payload of one fixed-size cell (ATM: 48 bytes).
@@ -24,17 +26,18 @@ type Workload struct {
 	Interval float64   // interval duration in seconds
 }
 
-// Validate checks workload consistency.
+// Validate checks workload consistency. Failures match
+// errs.ErrInvalidWorkload.
 func (w Workload) Validate() error {
 	if len(w.Bytes) == 0 {
-		return fmt.Errorf("queue: empty workload")
+		return fmt.Errorf("queue: empty workload: %w", errs.ErrInvalidWorkload)
 	}
 	if !(w.Interval > 0) {
-		return fmt.Errorf("queue: interval must be positive, got %v", w.Interval)
+		return fmt.Errorf("queue: interval must be positive, got %v: %w", w.Interval, errs.ErrInvalidWorkload)
 	}
 	for i, v := range w.Bytes {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("queue: invalid arrival %v at %d", v, i)
+			return fmt.Errorf("queue: invalid arrival %v at %d: %w", v, i, errs.ErrInvalidWorkload)
 		}
 	}
 	return nil
@@ -75,6 +78,13 @@ type Result struct {
 	// WindowLoss is the per-window loss-rate series when a window was
 	// requested (Fig. 17's running loss process); nil otherwise.
 	WindowLoss []float64
+	// CombosTotal/CombosUsed report graceful degradation of a
+	// multiplexer average: how many lag combinations were attempted and
+	// how many survived to be averaged. Zero outside AverageLoss runs.
+	CombosTotal int
+	CombosUsed  int
+	// ComboErrors lists the failures of excluded lag combinations.
+	ComboErrors []error
 }
 
 // Options selects simulation granularity and instrumentation.
@@ -88,6 +98,9 @@ type Options struct {
 	SecondIntervals int
 	// Seed drives RandomSpacing cell placement in SimulateCells.
 	Seed uint64
+	// Faults, when non-nil, applies a deterministic schedule of
+	// capacity-degradation and outage episodes to the server.
+	Faults *FaultSchedule
 }
 
 // Simulate runs the discrete-time fluid FIFO queue: during each interval
@@ -108,6 +121,9 @@ func Simulate(w Workload, capacityBps, bufferBytes float64, opts Options) (*Resu
 	if bufferBytes < 0 {
 		return nil, fmt.Errorf("queue: buffer must be ≥ 0, got %v", bufferBytes)
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	servicePerInterval := capacityBps / 8 * w.Interval
 
 	secN := opts.SecondIntervals
@@ -124,7 +140,11 @@ func Simulate(w Workload, capacityBps, bufferBytes float64, opts Options) (*Resu
 	var winArr, winLost float64
 	for i, a := range w.Bytes {
 		res.TotalBytes += a
-		net := q + a - servicePerInterval
+		service := servicePerInterval
+		if opts.Faults != nil {
+			service *= opts.Faults.FactorAt(i)
+		}
+		net := q + a - service
 		var lost float64
 		if net > bufferBytes {
 			lost = net - bufferBytes
@@ -206,6 +226,9 @@ func SimulateCells(w Workload, capacityBps, bufferBytes float64, spacing Spacing
 	if bufferBytes < 0 {
 		return nil, fmt.Errorf("queue: buffer must be ≥ 0, got %v", bufferBytes)
 	}
+	if err := opts.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	drainPerSec := capacityBps / 8
 
 	secN := opts.SecondIntervals
@@ -251,8 +274,12 @@ func SimulateCells(w Workload, capacityBps, bufferBytes float64, spacing Spacing
 			default:
 				return nil, fmt.Errorf("queue: unknown spacing %d", spacing)
 			}
-			// Drain since the last event.
-			q = math.Max(0, q-drainPerSec*(t-lastT))
+			// Drain since the last event (episode-aware when faulted).
+			if opts.Faults != nil {
+				q = math.Max(0, q-opts.Faults.drainBetween(lastT, t, drainPerSec, w.Interval))
+			} else {
+				q = math.Max(0, q-drainPerSec*(t-lastT))
+			}
 			lastT = t
 			if q+CellBytes > bufferBytes {
 				lost += CellBytes

@@ -1,0 +1,148 @@
+// Package runner executes independent work items across a bounded pool
+// of worker goroutines with panic isolation and graceful degradation.
+//
+// The §5 experiments are embarrassingly parallel at two levels — the six
+// lag combinations of a multiplexer average and the (N, target, T_max)
+// grid points of the Fig. 14 study — but a single panicking or failing
+// item must not kill the whole run: the paper's methodology averages
+// over lag combinations, so a run that loses one combination can still
+// report a valid average over the survivors. Run therefore recovers
+// panics into typed *PanicError values, attaches per-item errors, and
+// always returns a result for every item.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"vbr/internal/errs"
+)
+
+// Result is the outcome of one work item. Exactly one of Value or Err is
+// meaningful: Err == nil means Value is the item's result.
+type Result[T any] struct {
+	Index int    // position in the submitted item order
+	Label string // optional caller-assigned label
+	Value T
+	Err   error
+}
+
+// PanicError wraps a recovered panic from a work item.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // stack trace captured at recovery
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panicked: %v", e.Value)
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Workers bounds concurrent goroutines. Zero or negative selects
+	// min(items, GOMAXPROCS).
+	Workers int
+	// Label names item i for error reports; nil leaves labels empty.
+	Label func(i int) string
+}
+
+// Run executes fn for items 0..n-1 across worker goroutines and returns
+// one Result per item, in item order. Panics inside fn are recovered
+// into *PanicError. After ctx is cancelled, unstarted items are not run
+// and report a cancellation error; items already in flight run to
+// completion (fn receives ctx and may cut itself short).
+func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) []Result[T] {
+	results := make([]Result[T], n)
+	for i := range results {
+		results[i].Index = i
+		if opts.Label != nil {
+			results[i].Label = opts.Label(i)
+		}
+	}
+	if n == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i].Value, results[i].Err = runOne(ctx, i, fn)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			// Mark everything not yet handed out as cancelled.
+			for j := i; j < n; j++ {
+				results[j].Err = errs.Cancelled(ctx)
+			}
+			break feed
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for j := i; j < n; j++ {
+				results[j].Err = errs.Cancelled(ctx)
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// runOne executes one item under panic recovery.
+func runOne[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
+
+// Split partitions results into survivors and failures, preserving item
+// order within each partition.
+func Split[T any](rs []Result[T]) (ok, failed []Result[T]) {
+	for _, r := range rs {
+		if r.Err == nil {
+			ok = append(ok, r)
+		} else {
+			failed = append(failed, r)
+		}
+	}
+	return ok, failed
+}
+
+// Errors returns one descriptive error per failed item, in item order.
+func Errors[T any](rs []Result[T]) []error {
+	var out []error
+	for _, r := range rs {
+		if r.Err == nil {
+			continue
+		}
+		if r.Label != "" {
+			out = append(out, fmt.Errorf("%s: %w", r.Label, r.Err))
+		} else {
+			out = append(out, fmt.Errorf("item %d: %w", r.Index, r.Err))
+		}
+	}
+	return out
+}

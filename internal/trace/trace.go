@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vbr/internal/errs"
 	"vbr/internal/stats"
 )
 
@@ -26,26 +27,27 @@ type Trace struct {
 	SlicesPerFrame int     // the paper's 30
 }
 
-// Validate checks the structural invariants of the trace.
+// Validate checks the structural invariants of the trace. Failures match
+// errs.ErrInvalidTrace.
 func (tr *Trace) Validate() error {
 	if len(tr.Frames) == 0 {
-		return fmt.Errorf("trace: no frames")
+		return fmt.Errorf("trace: no frames: %w", errs.ErrInvalidTrace)
 	}
 	if tr.FrameRate <= 0 {
-		return fmt.Errorf("trace: frame rate must be positive, got %v", tr.FrameRate)
+		return fmt.Errorf("trace: frame rate must be positive, got %v: %w", tr.FrameRate, errs.ErrInvalidTrace)
 	}
 	if tr.Slices != nil {
 		if tr.SlicesPerFrame < 1 {
-			return fmt.Errorf("trace: slices present but SlicesPerFrame=%d", tr.SlicesPerFrame)
+			return fmt.Errorf("trace: slices present but SlicesPerFrame=%d: %w", tr.SlicesPerFrame, errs.ErrInvalidTrace)
 		}
 		if len(tr.Slices) != len(tr.Frames)*tr.SlicesPerFrame {
-			return fmt.Errorf("trace: %d slices inconsistent with %d frames × %d",
-				len(tr.Slices), len(tr.Frames), tr.SlicesPerFrame)
+			return fmt.Errorf("trace: %d slices inconsistent with %d frames × %d: %w",
+				len(tr.Slices), len(tr.Frames), tr.SlicesPerFrame, errs.ErrInvalidTrace)
 		}
 	}
 	for i, v := range tr.Frames {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("trace: invalid frame size %v at %d", v, i)
+			return fmt.Errorf("trace: invalid frame size %v at %d: %w", v, i, errs.ErrInvalidTrace)
 		}
 	}
 	return nil

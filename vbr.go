@@ -25,11 +25,13 @@
 package vbr
 
 import (
+	"context"
 	"io"
 
 	"vbr/internal/arma"
 	"vbr/internal/core"
 	"vbr/internal/dist"
+	"vbr/internal/errs"
 	"vbr/internal/lrd"
 	"vbr/internal/queue"
 	"vbr/internal/scenes"
@@ -267,4 +269,68 @@ func DetectScenes(frames []float64, cfg SceneConfig) ([]DetectedScene, error) {
 // SceneCuts returns detected scene-change positions.
 func SceneCuts(frames []float64, cfg SceneConfig) ([]int, error) {
 	return scenes.Cuts(frames, cfg)
+}
+
+// ------------------------------------------------------------------
+// Resilient execution: error taxonomy, cancellation, fault injection.
+//
+// Long-running entry points have context-aware variants on their own
+// types (Model.GenerateCtx, Mux.AverageLossCtx, QCCurveCtx below); the
+// plain forms are equivalent to passing context.Background(). Failures
+// across the package wrap the sentinel errors re-exported here, so
+// callers classify them with errors.Is rather than string matching.
+// The panic-isolating parallel runner (internal/runner) is generic and
+// cannot be re-exported as a type alias under this module's Go version;
+// its behavior surfaces through SimResult-style combo error reporting
+// on Mux.AverageLossCtx.
+
+// Sentinel errors, matchable with errors.Is. Cancellation errors also
+// match context.Canceled / context.DeadlineExceeded.
+var (
+	ErrCancelled          = errs.ErrCancelled
+	ErrInvalidTrace       = errs.ErrInvalidTrace
+	ErrInvalidModel       = errs.ErrInvalidModel
+	ErrInvalidWorkload    = errs.ErrInvalidWorkload
+	ErrInfeasibleLags     = errs.ErrInfeasibleLags
+	ErrCheckpointVersion  = errs.ErrCheckpointVersion
+	ErrCheckpointCorrupt  = errs.ErrCheckpointCorrupt
+	ErrCheckpointMismatch = errs.ErrCheckpointMismatch
+	ErrTargetUnreachable  = errs.ErrTargetUnreachable
+	ErrAllCombosFailed    = errs.ErrAllCombosFailed
+)
+
+// QCCurveCtx computes a Fig. 14 curve under a context: cancellation
+// returns the completed points alongside an error matching ErrCancelled,
+// and cfg.Resume skips grid points carried over from a previous partial
+// run.
+func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
+	return queue.QCCurveCtx(ctx, cfg)
+}
+
+// SMGCtx computes the Fig. 15 analysis under a context.
+func SMGCtx(ctx context.Context, cfg SMGConfig) ([]SMGPoint, error) {
+	return queue.SMGCtx(ctx, cfg)
+}
+
+// MinCapacityFnCtx is MinCapacityFn under a context, checked between
+// bisection iterations.
+func MinCapacityFnCtx(ctx context.Context, loss func(capacityBps float64) (float64, error), loBps, hiBps float64, target LossTarget) (float64, error) {
+	return queue.MinCapacityCtx(ctx, loss, loBps, hiBps, target)
+}
+
+// FaultEpisode is one capacity-degradation or outage episode of a
+// deterministic server fault schedule.
+type FaultEpisode = queue.FaultEpisode
+
+// FaultSchedule is a reproducible schedule of server faults applied to
+// the FIFO server during simulation (SimOptions.Faults).
+type FaultSchedule = queue.FaultSchedule
+
+// FaultConfig parameterizes random fault schedule generation.
+type FaultConfig = queue.FaultConfig
+
+// GenerateFaults draws a deterministic fault schedule over n arrival
+// intervals: identical seeds and configs yield identical schedules.
+func GenerateFaults(seed uint64, n int, cfg FaultConfig) (*FaultSchedule, error) {
+	return queue.GenerateFaults(seed, n, cfg)
 }
