@@ -1,15 +1,20 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke ci clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain static analysis (determinism, floateq, ctxcheck, wrapcheck,
+# seedplumb); exits 1 on findings.
+lint:
+	$(GO) run ./cmd/vbrlint ./...
 
 test:
 	$(GO) test ./...
@@ -29,7 +34,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
 
-ci: build vet test race fuzz-smoke
+ci: build vet lint test race fuzz-smoke
 
 clean:
 	$(GO) clean ./...

@@ -45,6 +45,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return cli.Usagef("unknown scale %q (want quick or paper)", *scaleFlag)
 	}
 
+	//vbrlint:ignore determinism wall-clock is display-only here: elapsed-time banner, never fed into generation
 	start := time.Now()
 	suite, err := experiments.NewSuite(scale)
 	if err != nil {
@@ -58,6 +59,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		//vbrlint:ignore determinism wall-clock is display-only here: per-step timing line, never fed into results
 		t0 := time.Now()
 		r, err := fn()
 		if err != nil {
@@ -88,7 +90,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	// Figures 1–12: print compact summaries.
 	if err := summary(func() error {
-		r, err := suite.Fig1(2000)
+		r, err := suite.Fig1Ctx(ctx, 2000)
 		if err != nil {
 			return err
 		}
@@ -98,7 +100,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig2()
+		r, err := suite.Fig2Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -117,7 +119,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig3()
+		r, err := suite.Fig3Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -127,7 +129,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig4()
+		r, err := suite.Fig4Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -138,7 +140,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig5()
+		r, err := suite.Fig5Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -149,7 +151,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig6()
+		r, err := suite.Fig6Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -159,7 +161,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig7()
+		r, err := suite.Fig7Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -170,7 +172,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig8()
+		r, err := suite.Fig8Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -180,7 +182,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig9()
+		r, err := suite.Fig9Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -191,7 +193,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig10()
+		r, err := suite.Fig10Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -201,7 +203,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig11()
+		r, err := suite.Fig11Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -211,7 +213,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	if err := summary(func() error {
-		r, err := suite.Fig12()
+		r, err := suite.Fig12Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -240,22 +242,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if err := step("Transport modes", func() (interface{ Format() string }, error) { return suite.ExtTransport() }); err != nil {
 			return err
 		}
-		if err := step("Bufferless admission", func() (interface{ Format() string }, error) { return suite.ExtAdmission() }); err != nil {
+		if err := step("Bufferless admission", func() (interface{ Format() string }, error) { return suite.ExtAdmissionCtx(ctx) }); err != nil {
 			return err
 		}
-		if err := step("SRD augmentations", func() (interface{ Format() string }, error) { return suite.ExtSRD() }); err != nil {
+		if err := step("SRD augmentations", func() (interface{ Format() string }, error) { return suite.ExtSRDCtx(ctx) }); err != nil {
 			return err
 		}
 		if err := step("Interframe coding", func() (interface{ Format() string }, error) { return suite.ExtInterframe() }); err != nil {
 			return err
 		}
-		if err := step("Scene detection", func() (interface{ Format() string }, error) { return suite.ExtScenes() }); err != nil {
+		if err := step("Scene detection", func() (interface{ Format() string }, error) { return suite.ExtScenesCtx(ctx) }); err != nil {
 			return err
 		}
 		if err := step("Server faults", func() (interface{ Format() string }, error) { return suite.ExtFaultsCtx(ctx) }); err != nil {
 			return err
 		}
-		if err := step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelity() }); err != nil {
+		if err := step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelityCtx(ctx) }); err != nil {
 			return err
 		}
 	}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"os"
+	"sort"
 
 	"vbr/internal/checkpoint"
 	"vbr/internal/cli"
@@ -170,7 +171,14 @@ func generateCheckpointed(ctx context.Context, m core.Model, n int, opts core.Ge
 		if err != nil {
 			return nil, fmt.Errorf("loading checkpoint: %w", err)
 		}
-		for k, want := range meta {
+		// Sorted keys so a mismatch always reports the same field first.
+		keys := make([]string, 0, len(meta))
+		for k := range meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			want := meta[k]
 			if got := rec.Meta[k]; got != want {
 				return nil, fmt.Errorf("checkpoint %s was written with %s=%s, current run has %s: %w",
 					ckptPath, k, got, want, errs.ErrCheckpointMismatch)

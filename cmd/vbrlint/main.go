@@ -1,0 +1,125 @@
+// Command vbrlint runs the repo's domain static-analysis suite: five
+// analyzers (determinism, floateq, ctxcheck, wrapcheck, seedplumb)
+// built purely on the standard library's go/ast and go/types, enforcing
+// the reproducibility invariants the paper's figures depend on.
+//
+//	vbrlint ./...                 # lint the whole module
+//	vbrlint -json ./internal/fgn  # machine-readable diagnostics
+//	vbrlint -run floateq,ctxcheck ./...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vbr/internal/cli"
+	"vbr/internal/lint"
+)
+
+func main() {
+	os.Exit(cli.Main("vbrlint", run))
+}
+
+// errFindings makes findings exit with cli.ExitFailure (1) while load
+// and usage problems surface as usage errors (2).
+var errFindings = fmt.Errorf("findings reported")
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vbrlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		runSel  = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		modDir  = fs.String("C", "", "module root (default: nearest go.mod above the working directory)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: vbrlint [-json] [-run names] [-C dir] patterns...\n")
+		fs.PrintDefaults()
+	}
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		return cli.Usagef("no packages to lint (try vbrlint ./...)")
+	}
+
+	analyzers, err := selectAnalyzers(*runSel)
+	if err != nil {
+		return err
+	}
+
+	loader, err := lint.NewLoader(*modDir)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	diags := lint.RunAnalyzers(pkgs, analyzers)
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModDir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			return fmt.Errorf("vbrlint: encoding diagnostics: %w", err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if !*jsonOut {
+		fmt.Fprintf(stdout, "%d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+	}
+	if len(diags) > 0 {
+		return errFindings
+	}
+	return nil
+}
+
+func selectAnalyzers(sel string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if sel == "" {
+		return all, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, cli.Usagef("unknown analyzer %q (known: %s)", name, strings.Join(lint.AnalyzerNames(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -142,6 +142,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			opts.Faults = sched
 			outages := 0
 			for _, e := range sched.Episodes {
+				//vbrlint:ignore floateq Factor 0 is the exact outage sentinel assigned from config literals, never computed
 				if e.Factor == 0 {
 					outages++
 				}

@@ -2,6 +2,7 @@ package vbr
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -28,7 +29,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"vbrtrace", "vbranalyze", "vbrgen", "vbrsim", "vbrexperiments"} {
+		for _, cmd := range []string{"vbrtrace", "vbranalyze", "vbrgen", "vbrsim", "vbrexperiments", "vbrlint"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -199,6 +200,54 @@ func TestCLIExitCodes(t *testing.T) {
 	// -h prints usage and exits 0, matching the flag package convention.
 	if code, out := runCmdExit(t, "vbrgen", "-h"); code != 0 || !strings.Contains(out, "Usage") {
 		t.Errorf("vbrgen -h: exit %d\n%s", code, out)
+	}
+}
+
+// TestCLILint pins the vbrlint contract: exit 0 on the repo itself
+// (the tree stays lint-clean), exit 1 with file:line diagnostics on the
+// fixture packages, and valid JSON under -json.
+func TestCLILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	out := runCmd(t, "vbrlint", "./...")
+	if !strings.Contains(out, "0 finding(s)") {
+		t.Errorf("vbrlint ./... should report a clean tree:\n%s", out)
+	}
+
+	code, out := runCmdExit(t, "vbrlint", "./internal/lint/testdata/src/floateq")
+	if code != 1 {
+		t.Errorf("vbrlint on fixtures: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "fixture.go:5:11:") || !strings.Contains(out, "[floateq]") {
+		t.Errorf("vbrlint diagnostics missing file:line anchors:\n%s", out)
+	}
+
+	code, out = runCmdExit(t, "vbrlint", "-json", "./internal/lint/testdata/src/seedplumb")
+	if code != 1 {
+		t.Errorf("vbrlint -json on fixtures: exit %d, want 1\n%s", code, out)
+	}
+	jsonStart := strings.Index(out, "[")
+	jsonEnd := strings.LastIndex(out, "]")
+	if jsonStart < 0 || jsonEnd < jsonStart {
+		t.Fatalf("vbrlint -json produced no JSON array:\n%s", out)
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out[jsonStart:jsonEnd+1]), &diags); err != nil {
+		t.Fatalf("vbrlint -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(diags) == 0 || diags[0].Analyzer != "seedplumb" || diags[0].Line == 0 {
+		t.Errorf("vbrlint -json diagnostics malformed: %+v", diags)
+	}
+
+	// Unknown analyzer selection is a usage error.
+	if code, out := runCmdExit(t, "vbrlint", "-run", "nosuch", "./internal/errs"); code != 2 {
+		t.Errorf("vbrlint -run nosuch: exit %d, want 2\n%s", code, out)
 	}
 }
 

@@ -215,6 +215,7 @@ func FitAR(xs []float64, p int) (Model, float64, error) {
 	for _, v := range xs {
 		c0 += (v - mean) * (v - mean)
 	}
+	//vbrlint:ignore floateq exact-zero guard: only a literally constant series has zero energy c0
 	if c0 == 0 {
 		return Model{}, 0, fmt.Errorf("arma: constant series")
 	}

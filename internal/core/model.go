@@ -82,6 +82,12 @@ func DefaultFitOptions() FitOptions {
 // the empirical log-log CCDF tail (the Fig. 4 straight line), and H by
 // the aggregated Whittle estimator of §3.2.3.
 func Fit(frames []float64, opts FitOptions) (Model, error) {
+	return FitCtx(context.Background(), frames, opts)
+}
+
+// FitCtx is Fit with cooperative cancellation, checked between the
+// estimation stages (the Whittle minimization dominates at paper scale).
+func FitCtx(ctx context.Context, frames []float64, opts FitOptions) (Model, error) {
 	if len(frames) < 1000 {
 		return Model{}, fmt.Errorf("core: need ≥ 1000 frames to fit, got %d", len(frames))
 	}
@@ -99,6 +105,9 @@ func Fit(frames []float64, opts FitOptions) (Model, error) {
 	if err != nil {
 		return Model{}, fmt.Errorf("core: tail fit: %w", err)
 	}
+	if ctx.Err() != nil {
+		return Model{}, errs.Cancelled(ctx)
+	}
 
 	positive := true
 	for _, v := range frames {
@@ -115,6 +124,9 @@ func Fit(frames []float64, opts FitOptions) (Model, error) {
 	}
 	if err != nil {
 		return Model{}, fmt.Errorf("core: Whittle fit: %w", err)
+	}
+	if ctx.Err() != nil {
+		return Model{}, errs.Cancelled(ctx)
 	}
 	h := wh.H
 	if h >= 0.98 {
@@ -268,10 +280,7 @@ func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float
 	case HoskingExact:
 		x, err = fgn.HoskingCtx(ctx, n, m.Hurst, rng)
 	case DaviesHarteFast:
-		if ctx.Err() != nil {
-			return nil, errs.Cancelled(ctx)
-		}
-		x, err = fgn.DaviesHarte(n, m.Hurst, rng)
+		x, err = fgn.DaviesHarteCtx(ctx, n, m.Hurst, rng)
 	default:
 		return nil, fmt.Errorf("core: unknown generator %d", opts.Generator)
 	}

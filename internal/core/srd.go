@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -52,6 +53,12 @@ func (m Model) GenerateWithARMA(n int, srd arma.Model, opts GenOptions) ([]float
 // Gaussian backbone and M the (standardized) chain level path. weight w
 // in [0, 1) sets the share of variance carried by the scene process.
 func (m Model) GenerateMarkovModulated(n int, chain *arma.MarkovChain, weight float64, opts GenOptions) ([]float64, error) {
+	return m.GenerateMarkovModulatedCtx(context.Background(), n, chain, weight, opts)
+}
+
+// GenerateMarkovModulatedCtx is GenerateMarkovModulated with
+// cooperative cancellation through the Gaussian backbone generation.
+func (m Model) GenerateMarkovModulatedCtx(ctx context.Context, n int, chain *arma.MarkovChain, weight float64, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,7 +68,7 @@ func (m Model) GenerateMarkovModulated(n int, chain *arma.MarkovChain, weight fl
 	if weight < 0 || weight >= 1 {
 		return nil, fmt.Errorf("core: modulation weight must be in [0,1), got %v", weight)
 	}
-	x, err := m.gaussian(n, opts)
+	x, err := m.gaussianCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
 	}

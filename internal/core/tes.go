@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"vbr/internal/errs"
 )
 
 // This file implements a TES-style (Transform-Expand-Sample) traffic
@@ -32,6 +35,12 @@ import (
 // (0, 1]. Smaller alpha means stronger (but always short-range)
 // correlation.
 func (m Model) GenerateTES(n int, alpha float64, opts GenOptions) ([]float64, error) {
+	return m.GenerateTESCtx(context.Background(), n, alpha, opts)
+}
+
+// GenerateTESCtx is GenerateTES with cooperative cancellation, checked
+// every 4096 points of the modulo-1 walk.
+func (m Model) GenerateTESCtx(ctx context.Context, n int, alpha float64, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -56,6 +65,9 @@ func (m Model) GenerateTES(n int, alpha float64, opts GenOptions) ([]float64, er
 	u := rng.Float64()
 	out := make([]float64, n)
 	for k := range out {
+		if k%4096 == 0 && ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		out[k] = tab.Value(u)
 		u += alpha * (rng.Float64() - 0.5)
 		u -= math.Floor(u) // fractional part, handles negatives

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"vbr/internal/stats"
 )
 
 // SampleMoments returns the sample mean and the (population, i.e. divide
@@ -102,7 +104,7 @@ func FitParetoTail(xs []float64, tailFrac float64) (a, xStart float64, err error
 		return 0, 0, fmt.Errorf("dist: pareto tail fit has too few positive points (%d)", m)
 	}
 	den := float64(m)*sxx - sx*sx
-	if den == 0 {
+	if stats.AlmostEqual(den, 0, 0) {
 		return 0, 0, fmt.Errorf("dist: pareto tail fit degenerate (constant tail)")
 	}
 	slope := (float64(m)*sxy - sx*sy) / den

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"vbr/internal/specfn"
+	"vbr/internal/stats"
 )
 
 // Gamma is the gamma distribution with the paper's parameterization
@@ -41,11 +42,11 @@ func (d Gamma) PDF(x float64) float64 {
 	if x < 0 {
 		return 0
 	}
-	if x == 0 {
+	if stats.AlmostEqual(x, 0, 0) {
 		switch {
 		case d.Shape < 1:
 			return math.Inf(1)
-		case d.Shape == 1:
+		case stats.AlmostEqual(d.Shape, 1, 0):
 			return d.Rate
 		}
 		return 0

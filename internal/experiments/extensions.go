@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"vbr/internal/arma"
 	"vbr/internal/codec"
 	"vbr/internal/core"
+	"vbr/internal/errs"
 	"vbr/internal/lrd"
 	"vbr/internal/queue"
 	"vbr/internal/scenes"
@@ -150,6 +152,12 @@ type ExtAdmissionResult struct {
 // ExtAdmission runs the comparison at a per-interval overflow/loss budget
 // of eps.
 func (s *Suite) ExtAdmission() (*ExtAdmissionResult, error) {
+	return s.ExtAdmissionCtx(context.Background())
+}
+
+// ExtAdmissionCtx is ExtAdmission under a cancellable context, checked
+// per multiplexing level and threaded through the capacity search.
+func (s *Suite) ExtAdmissionCtx(ctx context.Context) (*ExtAdmissionResult, error) {
 	model, err := s.Model()
 	if err != nil {
 		return nil, err
@@ -165,6 +173,9 @@ func (s *Suite) ExtAdmission() (*ExtAdmissionResult, error) {
 	}
 	interval := 1 / s.Trace.FrameRate
 	for _, n := range res.Ns {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		c, err := queue.MarginalAllocation(gp, n, interval, res.Eps, 4000)
 		if err != nil {
 			return nil, err
@@ -179,13 +190,13 @@ func (s *Suite) ExtAdmission() (*ExtAdmissionResult, error) {
 		peak := s.Trace.PeakRate() * float64(n) * 1.05
 		lossAt := func(c float64) (float64, error) {
 			// Bufferless comparison: a buffer of one frame interval.
-			r, err := mux.AverageLoss(c, c/8*interval, false, queue.Options{})
+			r, err := mux.AverageLossCtx(ctx, c, c/8*interval, false, queue.Options{})
 			if err != nil {
 				return 0, err
 			}
 			return r.Pl, nil
 		}
-		cs, err := queue.MinCapacity(lossAt, mean*0.5, peak, queue.LossTarget{Pl: res.Eps})
+		cs, err := queue.MinCapacityCtx(ctx, lossAt, mean*0.5, peak, queue.LossTarget{Pl: res.Eps})
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +236,12 @@ type ExtSRDResult struct {
 // ExtSRD generates the plain model, the ARMA-augmented model and the
 // Markov-modulated model and compares short-lag correlation and H.
 func (s *Suite) ExtSRD() (*ExtSRDResult, error) {
+	return s.ExtSRDCtx(context.Background())
+}
+
+// ExtSRDCtx is ExtSRD under a cancellable context, threaded through the
+// three generator runs.
+func (s *Suite) ExtSRDCtx(ctx context.Context) (*ExtSRDResult, error) {
 	model, err := s.Model()
 	if err != nil {
 		return nil, err
@@ -234,9 +251,12 @@ func (s *Suite) ExtSRD() (*ExtSRDResult, error) {
 	opts.Generator = core.DaviesHarteFast
 	opts.Seed = 99
 
-	plain, err := model.Generate(n, opts)
+	plain, err := model.GenerateCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
 	}
 	armaTraffic, err := model.GenerateWithARMA(n, arma.Model{Phi: []float64{0.85}}, opts)
 	if err != nil {
@@ -246,7 +266,7 @@ func (s *Suite) ExtSRD() (*ExtSRDResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	markov, err := model.GenerateMarkovModulated(n, chain, 0.5, opts)
+	markov, err := model.GenerateMarkovModulatedCtx(ctx, n, chain, 0.5, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -367,6 +387,15 @@ type ExtScenesResult struct {
 // ExtScenes runs the detector against the generator's ground truth on a
 // dialogue-free synthetic movie.
 func (s *Suite) ExtScenes() (*ExtScenesResult, error) {
+	return s.ExtScenesCtx(context.Background())
+}
+
+// ExtScenesCtx is ExtScenes under a cancellable context, checked
+// between the synthesis and detection stages.
+func (s *Suite) ExtScenesCtx(ctx context.Context) (*ExtScenesResult, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	cfg := s.Cfg
 	cfg.Frames = min(cfg.Frames, 40000)
 	cfg.SlicesPerFrame = 0
@@ -378,6 +407,9 @@ func (s *Suite) ExtScenes() (*ExtScenesResult, error) {
 	frames, err := synth.MarginalMap(z, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
 	}
 	var truthCuts []int
 	for _, sc := range truth[1:] {

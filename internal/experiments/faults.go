@@ -90,6 +90,7 @@ func (s *Suite) ExtFaultsCtx(ctx context.Context) (*ExtFaultsResult, error) {
 		if faults != nil {
 			row.Degraded = float64(faults.DegradedIntervals(len(w.Bytes))) / float64(len(w.Bytes))
 			for _, e := range faults.Episodes {
+				//vbrlint:ignore floateq Factor 0 is the exact outage sentinel assigned from config literals, never computed
 				if e.Factor == 0 {
 					row.Outages++
 				}

@@ -259,7 +259,7 @@ func (s *Suite) Fig16Ctx(ctx context.Context) (*Fig16Result, error) {
 	mkTrace := func(frames []float64) (*trace.Trace, error) {
 		tr := &trace.Trace{Frames: frames, FrameRate: s.Trace.FrameRate}
 		if s.UseSlices {
-			rng := rand.New(rand.NewPCG(7, 7))
+			rng := rand.New(rand.NewPCG(s.Cfg.Seed, 7))
 			if err := tr.SlicesFromFrames(s.Trace.SlicesPerFrame, s.Cfg.SliceJitter, rng.Float64); err != nil {
 				return nil, err
 			}
@@ -434,6 +434,7 @@ func lossConcentration(windows []float64, share float64) float64 {
 	for _, v := range sorted {
 		total += v
 	}
+	//vbrlint:ignore floateq exact-zero guard before dividing by the byte total
 	if total == 0 {
 		return 0
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"vbr/internal/dist"
+	"vbr/internal/errs"
 	"vbr/internal/lrd"
 	"vbr/internal/stats"
 )
@@ -27,6 +29,14 @@ type Fig1Result struct {
 
 // Fig1 returns the (decimated) 2-hour time series and its major peaks.
 func (s *Suite) Fig1(maxPoints int) (*Fig1Result, error) {
+	return s.Fig1Ctx(context.Background(), maxPoints)
+}
+
+// Fig1Ctx is Fig1 under a cancellable context.
+func (s *Suite) Fig1Ctx(ctx context.Context, maxPoints int) (*Fig1Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	if maxPoints < 2 {
 		return nil, fmt.Errorf("experiments: need ≥ 2 points, got %d", maxPoints)
 	}
@@ -84,6 +94,14 @@ func topPeaks(xs []float64, k, minSep int) []int {
 // Fig2 returns the low-frequency content: the moving average with the
 // paper's 20,000-frame window (scaled to the trace length).
 func (s *Suite) Fig2() (*SeriesResult, error) {
+	return s.Fig2Ctx(context.Background())
+}
+
+// Fig2Ctx is Fig2 under a cancellable context.
+func (s *Suite) Fig2Ctx(ctx context.Context) (*SeriesResult, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	window := 20000 * len(s.Trace.Frames) / 171000
 	if window < 100 {
 		window = 100
@@ -119,6 +137,11 @@ type Fig3Result struct {
 // Fig3 computes histograms for five two-minute segments and the whole
 // trace.
 func (s *Suite) Fig3() (*Fig3Result, error) {
+	return s.Fig3Ctx(context.Background())
+}
+
+// Fig3Ctx is Fig3 under a cancellable context, checked per segment.
+func (s *Suite) Fig3Ctx(ctx context.Context) (*Fig3Result, error) {
 	frames := s.Trace.Frames
 	segFrames := int(120 * s.Trace.FrameRate) // two minutes
 	if segFrames > len(frames)/5 {
@@ -143,6 +166,9 @@ func (s *Suite) Fig3() (*Fig3Result, error) {
 		return sr, nil
 	}
 	for i := 0; i < 5; i++ {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		start := i * len(frames) / 5
 		seg := frames[start : start+segFrames]
 		sr, err := mkHist(seg, fmt.Sprintf("segment %d (frames %d..%d)", i+1, start, start+segFrames))
@@ -215,6 +241,15 @@ func (s *Suite) candidateModels() (normal, lognormal, gamma dist.Distribution, h
 // tail: empirical data against Normal, Gamma, Lognormal and the Pareto
 // tail of the hybrid model.
 func (s *Suite) Fig4() (*TailFitResult, error) {
+	return s.Fig4Ctx(context.Background())
+}
+
+// Fig4Ctx is Fig4 under a cancellable context, checked per candidate
+// model.
+func (s *Suite) Fig4Ctx(ctx context.Context) (*TailFitResult, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	normal, lognormal, gamma, hybrid, err := s.candidateModels()
 	if err != nil {
 		return nil, err
@@ -241,6 +276,9 @@ func (s *Suite) Fig4() (*TailFitResult, error) {
 		{"gamma/pareto", hybrid.CCDF},
 	}
 	for _, m := range models {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		sr := SeriesResult{Label: m.name}
 		var worst float64
 		for i, x := range xs {
@@ -265,6 +303,15 @@ func (s *Suite) Fig4() (*TailFitResult, error) {
 // Fig5 reproduces the log-log CDF comparison of the left tail, where the
 // Gamma body should fit well.
 func (s *Suite) Fig5() (*TailFitResult, error) {
+	return s.Fig5Ctx(context.Background())
+}
+
+// Fig5Ctx is Fig5 under a cancellable context, checked per candidate
+// model.
+func (s *Suite) Fig5Ctx(ctx context.Context) (*TailFitResult, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	normal, lognormal, gamma, hybrid, err := s.candidateModels()
 	if err != nil {
 		return nil, err
@@ -295,6 +342,9 @@ func (s *Suite) Fig5() (*TailFitResult, error) {
 		{"gamma/pareto", hybrid.CDF},
 	}
 	for _, m := range models {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		sr := SeriesResult{Label: m.name}
 		var worst float64
 		for i, x := range res.Empirical.X {
@@ -331,6 +381,14 @@ type Fig6Result struct {
 
 // Fig6 computes the density comparison.
 func (s *Suite) Fig6() (*Fig6Result, error) {
+	return s.Fig6Ctx(context.Background())
+}
+
+// Fig6Ctx is Fig6 under a cancellable context.
+func (s *Suite) Fig6Ctx(ctx context.Context) (*Fig6Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	_, _, _, hybrid, err := s.candidateModels()
 	if err != nil {
 		return nil, err
@@ -390,6 +448,14 @@ type Fig7Result struct {
 // Fig7 computes the autocorrelation to lag 10,000 (scaled for shorter
 // traces).
 func (s *Suite) Fig7() (*Fig7Result, error) {
+	return s.Fig7Ctx(context.Background())
+}
+
+// Fig7Ctx is Fig7 under a cancellable context.
+func (s *Suite) Fig7Ctx(ctx context.Context) (*Fig7Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	maxLag := 10000
 	if maxLag > len(s.Trace.Frames)/4 {
 		maxLag = len(s.Trace.Frames) / 4
@@ -446,6 +512,14 @@ type Fig8Result struct {
 // Fig8 computes the periodogram of the frame series (log-binned for
 // display) and the low-frequency power-law fit.
 func (s *Suite) Fig8() (*Fig8Result, error) {
+	return s.Fig8Ctx(context.Background())
+}
+
+// Fig8Ctx is Fig8 under a cancellable context.
+func (s *Suite) Fig8Ctx(ctx context.Context) (*Fig8Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	freqs, ords := stats.Periodogram(s.Trace.Frames)
 	if len(freqs) == 0 {
 		return nil, fmt.Errorf("experiments: empty periodogram")
@@ -500,6 +574,14 @@ type Fig9Result struct {
 
 // Fig9 computes mean estimates with CIs on geometric prefixes.
 func (s *Suite) Fig9() (*Fig9Result, error) {
+	return s.Fig9Ctx(context.Background())
+}
+
+// Fig9Ctx is Fig9 under a cancellable context.
+func (s *Suite) Fig9Ctx(ctx context.Context) (*Fig9Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	frames := s.Trace.Frames
 	var prefixes []int
 	for n := 100; n < len(frames); n *= 2 {
@@ -542,8 +624,17 @@ type Fig10Result struct {
 
 // Fig10 computes the aggregated processes X^(m) for m = 100, 500, 1000.
 func (s *Suite) Fig10() (*Fig10Result, error) {
+	return s.Fig10Ctx(context.Background())
+}
+
+// Fig10Ctx is Fig10 under a cancellable context, checked per
+// aggregation level.
+func (s *Suite) Fig10Ctx(ctx context.Context) (*Fig10Result, error) {
 	res := &Fig10Result{}
 	for _, m := range []int{100, 500, 1000} {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		if len(s.Trace.Frames)/m < 20 {
 			continue
 		}
@@ -578,6 +669,14 @@ type Fig11Result struct {
 
 // Fig11 computes the variance-time plot and its H estimate.
 func (s *Suite) Fig11() (*Fig11Result, error) {
+	return s.Fig11Ctx(context.Background())
+}
+
+// Fig11Ctx is Fig11 under a cancellable context.
+func (s *Suite) Fig11Ctx(ctx context.Context) (*Fig11Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	vt, err := lrd.VarianceTime(s.Trace.Frames, 1, 0, 0)
 	if err != nil {
 		return nil, err
@@ -599,6 +698,14 @@ type Fig12Result struct {
 
 // Fig12 computes the pox diagram of R/S and its H estimate.
 func (s *Suite) Fig12() (*Fig12Result, error) {
+	return s.Fig12Ctx(context.Background())
+}
+
+// Fig12Ctx is Fig12 under a cancellable context.
+func (s *Suite) Fig12Ctx(ctx context.Context) (*Fig12Result, error) {
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	rs, err := lrd.RS(s.Trace.Frames, 16, 30, 16, 0, 0)
 	if err != nil {
 		return nil, err

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"vbr/internal/core"
 	"vbr/internal/dist"
+	"vbr/internal/errs"
 )
 
 // This file reproduces the §5.2 discussion of mapping-table tail
@@ -39,6 +41,12 @@ type ExtTailFidelityResult struct {
 
 // ExtTailFidelity sweeps the mapping-table resolution.
 func (s *Suite) ExtTailFidelity() (*ExtTailFidelityResult, error) {
+	return s.ExtTailFidelityCtx(context.Background())
+}
+
+// ExtTailFidelityCtx is ExtTailFidelity under a cancellable context,
+// checked per table resolution and threaded through each generator run.
+func (s *Suite) ExtTailFidelityCtx(ctx context.Context) (*ExtTailFidelityResult, error) {
 	model, err := s.Model()
 	if err != nil {
 		return nil, err
@@ -55,11 +63,14 @@ func (s *Suite) ExtTailFidelity() (*ExtTailFidelityResult, error) {
 		ExpectedMax: gp.Quantile(math.Pow(0.5, 1/float64(n))),
 	}
 	for _, size := range []int{100, 1000, 10000, 100000} {
+		if ctx.Err() != nil {
+			return nil, errs.Cancelled(ctx)
+		}
 		opts := core.DefaultGenOptions()
 		opts.Generator = core.DaviesHarteFast
 		opts.Seed = 777
 		opts.TableSize = size
-		frames, err := model.Generate(n, opts)
+		frames, err := model.GenerateCtx(ctx, n, opts)
 		if err != nil {
 			return nil, err
 		}

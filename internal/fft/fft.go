@@ -211,6 +211,7 @@ func Autocorrelation(x []float64, maxLag int) ([]float64, error) {
 
 	r := make([]float64, maxLag+1)
 	c0 := real(c[0])
+	//vbrlint:ignore floateq exact-zero guard: only a literally constant series has zero energy c0 (stats would be an import cycle)
 	if c0 == 0 {
 		// Constant series: define r(0)=1, r(k)=0 to keep callers total.
 		r[0] = 1

@@ -33,6 +33,8 @@ func validHurst(h float64) bool { return h > 0 && h < 1 }
 //	ρ_k = Π_{i=1..k} (i - 1 + d) / (i - d),
 //
 // evaluated by the stable recurrence ρ_k = ρ_{k-1}·(k-1+d)/(k-d).
+//
+//vbrlint:ignore ctxcheck bounded O(maxLag) arithmetic recurrence with no blocking calls
 func FarimaACF(h float64, maxLag int) ([]float64, error) {
 	if !validHurst(h) {
 		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
@@ -54,6 +56,8 @@ func FarimaACF(h float64, maxLag int) ([]float64, error) {
 // Gaussian noise with Hurst parameter H:
 //
 //	ρ_k = ½(|k+1|^{2H} − 2|k|^{2H} + |k−1|^{2H}).
+//
+//vbrlint:ignore ctxcheck bounded O(maxLag) arithmetic recurrence with no blocking calls
 func FGNACF(h float64, maxLag int) ([]float64, error) {
 	if !validHurst(h) {
 		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
@@ -232,6 +236,7 @@ func snapshotState(n int, h float64, k int, v, nPrev, dPrev float64, x, phiPrev 
 // validateState checks a resume snapshot against the requested run and
 // restores the random source from it.
 func validateState(st *HoskingState, n int, h float64, src MarshalableSource) error {
+	//vbrlint:ignore floateq resuming a checkpoint requires bitwise-identical H, not approximate equality
 	if st.N != n || st.H != h {
 		return fmt.Errorf("fgn: snapshot is for n=%d H=%v, run wants n=%d H=%v: %w",
 			st.N, st.H, n, h, errs.ErrCheckpointMismatch)
@@ -258,6 +263,13 @@ func validateState(st *HoskingState, n int, h float64, src MarshalableSource) er
 // whose eigenvalues (the FFT of the first row) are provably non-negative
 // for FGN, giving an exact O(n log n) sampler.
 func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
+	return DaviesHarteCtx(context.Background(), n, h, rng)
+}
+
+// DaviesHarteCtx is DaviesHarte with cooperative cancellation, checked
+// between the pipeline stages (ACF build, eigenvalue FFT, spectrum
+// randomization, synthesis FFT).
+func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
 	}
@@ -268,6 +280,9 @@ func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
 		return []float64{rng.NormFloat64()}, nil
 	}
 
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	// First row of the circulant: γ_0..γ_n, γ_{n-1}..γ_1.
 	rho, err := FGNACF(h, n)
 	if err != nil {
@@ -290,6 +305,9 @@ func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
 		row[m-k] = complex(rho[k], 0)
 	}
 
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	lambda := fft.Forward(row)
 	// Eigenvalues must be (numerically) non-negative.
 	for i := range lambda {
@@ -315,6 +333,9 @@ func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
 		w[m-k] = complex(re, -im)
 	}
 
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
+	}
 	z := fft.Forward(w)
 	out := make([]float64, n)
 	for i := range out {
@@ -344,6 +365,7 @@ func Standardize(xs []float64) []float64 {
 		ss += d * d
 	}
 	sd := math.Sqrt(ss / float64(n))
+	//vbrlint:ignore floateq exact-zero guard: only a literally constant series has sd == 0, and any positive sd must divide
 	if sd == 0 {
 		for i := range xs {
 			xs[i] = 0

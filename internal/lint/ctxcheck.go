@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxScopePkgs are the long-running generation/simulation packages
+// whose exported loop-bearing entry points must be cancellable: fGn
+// generation is O(n²), the queueing sweeps run minutes at paper scale,
+// and PR 1's checkpoint/resume layer only works if cancellation can
+// reach every loop.
+var ctxScopePkgs = map[string]bool{
+	"vbr/internal/fgn":         true,
+	"vbr/internal/core":        true,
+	"vbr/internal/queue":       true,
+	"vbr/internal/experiments": true,
+}
+
+// CtxCheckAnalyzer enforces context plumbing: exported loop-bearing
+// functions in the scope packages must accept a context.Context (or be
+// a documented compatibility wrapper with a *Ctx sibling), and
+// context.Background() may appear only inside those wrappers and in
+// internal/cli, where the root signal context is created.
+var CtxCheckAnalyzer = &Analyzer{
+	Name: "ctxcheck",
+	Doc: "exported loop-bearing functions in fgn/core/queue/experiments must take " +
+		"context.Context; context.Background() only in *Ctx compat wrappers and internal/cli",
+	Run: runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	info := pass.TypesInfo()
+	inScope := ctxScopePkgs[pass.Path()]
+	for _, f := range pass.Files() {
+		// Rule A: exported functions containing loops must be
+		// cancellable unless they are the plain half of a Foo/FooCtx
+		// compatibility pair (whose loops live in the Ctx variant's
+		// callees) or carry an ignore directive documenting why the
+		// loop is bounded. Functions without an error result are
+		// skipped: they have no channel to surface ctx.Err(), and in
+		// this codebase they are uniformly cheap accessors/formatters.
+		if inScope {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				if !containsLoop(fd.Body) || hasContextParam(info, fd) {
+					continue
+				}
+				if !returnsError(info, fd) {
+					continue
+				}
+				if hasCtxSibling(pass.Files(), fd) {
+					continue
+				}
+				pass.Reportf(fd.Name.Pos(), "exported %s contains a loop but takes no context.Context; plumb ctx (or annotate why the loop is bounded)", fd.Name.Name)
+			}
+		}
+		// Rule B: context.Background() severs cancellation, so it is
+		// only legitimate where a fresh root context is the point.
+		if pass.Path() == "vbr/internal/cli" {
+			continue
+		}
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(info, call); !isPkgFunc(fn, "context", "Background") {
+				return true
+			}
+			if fd := enclosingFuncDecl(stack); fd != nil && hasCtxSibling(pass.Files(), fd) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.Background() outside a *Ctx compatibility wrapper severs cancellation; accept and pass through a ctx instead")
+			return true
+		})
+	}
+}

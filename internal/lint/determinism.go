@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// randV2 is the only sanctioned randomness package; v1 math/rand has an
+// implicitly seeded global source and is banned outright.
+const (
+	randV1 = "math/rand"
+	randV2 = "math/rand/v2"
+)
+
+// randV2Constructors are the package-level functions of math/rand/v2
+// that build explicit sources or generators — the deterministic API.
+// Every other package-level function draws from the global, process-
+// seeded source and is flagged.
+var randV2Constructors = map[string]bool{
+	"New":        true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// DeterminismAnalyzer enforces the reproducibility ground rules of the
+// generation and simulation paths: randomness must flow from explicit
+// seeded sources (Eqs. 6–13 are only reproducible when the innovation
+// stream is), wall-clock time must not influence results, and map
+// iteration must not feed ordered output.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid global math/rand functions, math/rand v1, time.Now in " +
+		"generation/simulation packages, and map iteration feeding printed output",
+	Run: runDeterminism,
+}
+
+// timeNowExemptPkgs are packages whose job is process scaffolding, not
+// simulation, where wall-clock use is inherent.
+var timeNowExemptPkgs = map[string]bool{
+	"vbr/internal/cli": true,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		// Ban v1 math/rand at the import site: its global source is
+		// seeded from process state, so any use is nondeterministic.
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == randV1 {
+				pass.Reportf(imp.Pos(), "import of math/rand (v1): use math/rand/v2 with an explicit seeded source")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pkgLevelCallTo(info, n, randV2); ok && !randV2Constructors[name] {
+					pass.Reportf(n.Pos(), "rand.%s draws from the global process-seeded source; use a *rand.Rand built from rand.NewPCG with a plumbed seed", name)
+				}
+				if fn := calleeFunc(info, n); isPkgFunc(fn, "time", "Now") && !timeNowExemptPkgs[pass.Path()] {
+					pass.Reportf(n.Pos(), "time.Now in %s: wall-clock time must not influence generation or simulation results", pass.Path())
+				}
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, info, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeOutput flags `for k := range m` over a map whose body
+// prints: map order is randomized per iteration, so any output produced
+// inside the loop differs between runs. Sorting the keys first turns
+// the range into a slice iteration, which the check ignores.
+func checkMapRangeOutput(pass *Pass, info *types.Info, rng *ast.RangeStmt) {
+	t := info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var printed *ast.CallExpr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if printed != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := pkgLevelCallTo(info, call, "fmt"); ok {
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				printed = call
+				return false
+			}
+		}
+		return true
+	})
+	if printed != nil {
+		pass.Reportf(rng.Pos(), "map iteration feeds printed output in nondeterministic order; sort the keys and range over the slice")
+	}
+}

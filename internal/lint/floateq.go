@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEqAnalyzer flags == and != between floating-point operands.
+// Rounding makes exact float equality a portability hazard: Hosking's
+// recursion (Eqs. 10–12) and the Whittle estimator both accumulate
+// error, so comparisons must state an explicit tolerance
+// (stats.AlmostEqual) or carry a //vbrlint:ignore floateq directive
+// explaining why bitwise equality is intended.
+var FloatEqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands; use stats.AlmostEqual or annotate intentional exact compares",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := info.TypeOf(be.X), info.TypeOf(be.Y)
+			if xt == nil || yt == nil || !isFloat(xt) || !isFloat(yt) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "floating-point %s comparison; use an explicit tolerance (stats.AlmostEqual) or annotate the intended exact compare", be.Op)
+			return true
+		})
+	}
+}

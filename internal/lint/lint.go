@@ -1,0 +1,206 @@
+// Package lint implements vbrlint, the repo's domain static-analysis
+// suite. It is built purely on the standard library's go/parser, go/ast,
+// go/types and go/token packages (no golang.org/x/tools dependency) and
+// enforces the invariants the paper reproduction relies on: determinism
+// (seeded randomness only, no wall-clock in generation or simulation
+// paths), numeric safety (no float ==), context plumbing, and error
+// hygiene (%w wrapping, errors.Is for sentinels).
+//
+// A finding can be suppressed with a directive comment either on the
+// flagged line or on the line immediately above it:
+//
+//	//vbrlint:ignore <analyzer> <reason>
+//
+// The analyzer name must match one of the registered analyzers and the
+// reason must be non-empty; malformed directives are themselves reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Diagnostic is a single finding, anchored to a position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+// String renders the conventional file:line:col: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	// ignores maps "file:line" to the set of analyzer names suppressed
+	// at that line (the directive line itself and the line below it).
+	ignores map[string]map[string]bool
+}
+
+// Fset returns the token file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files (tests excluded).
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-check results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Path returns the package import path.
+func (p *Pass) Path() string { return p.Pkg.Path }
+
+// Reportf records a finding at pos unless an ignore directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
+	if set, ok := p.ignores[key]; ok && set[p.Analyzer.Name] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full registered suite, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer,
+		FloatEqAnalyzer,
+		CtxCheckAnalyzer,
+		WrapCheckAnalyzer,
+		SeedPlumbAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the registered analyzer names in suite order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+const directivePrefix = "//vbrlint:ignore"
+
+// collectDirectives scans a package's comments for //vbrlint:ignore
+// directives, returning the suppression index and diagnostics for
+// malformed directives (unknown analyzer, missing reason).
+func collectDirectives(pkg *Package, known map[string]bool) (map[string]map[string]bool, []Diagnostic) {
+	ignores := map[string]map[string]bool{}
+	var bad []Diagnostic
+	report := func(pos token.Position, format string, args ...any) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "directive",
+			Pos:      pos,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(pos, "malformed directive: want //vbrlint:ignore <analyzer> <reason>")
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					report(pos, "directive names unknown analyzer %q (known: %s)",
+						name, strings.Join(sortedKeys(known), ", "))
+					continue
+				}
+				if len(fields) < 2 {
+					report(pos, "directive for %q is missing a reason", name)
+					continue
+				}
+				// The directive suppresses findings on its own line
+				// (trailing comment) and on the following line
+				// (standalone comment above the flagged statement).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					if ignores[key] == nil {
+						ignores[key] = map[string]bool{}
+					}
+					ignores[key][name] = true
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RunAnalyzers applies the given analyzers to each package and returns
+// all findings sorted by position. Malformed ignore directives are
+// reported once per package regardless of the analyzer selection.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores, bad := collectDirectives(pkg, known)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, ignores: ignores}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Line != diags[j].Line {
+			return diags[i].Line < diags[j].Line
+		}
+		if diags[i].Col != diags[j].Col {
+			return diags[i].Col < diags[j].Col
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

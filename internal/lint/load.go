@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit the
+// analyzers operate on. Test files (_test.go) are excluded: the
+// invariants vbrlint enforces govern production code paths, and tests
+// legitimately use literal seeds and exact comparisons.
+type Package struct {
+	Path  string // import path ("vbr/internal/fgn")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library: intra-module imports are type-checked from
+// source recursively, and standard-library imports go through the
+// compiler's export-data importer (falling back to the slower
+// from-source importer if export data is unavailable).
+type Loader struct {
+	ModPath string
+	ModDir  string
+	Fset    *token.FileSet
+
+	std      types.Importer
+	stdSrc   types.ImporterFrom
+	pkgs     map[string]*Package
+	typePkgs map[string]*types.Package
+	loading  map[string]bool
+}
+
+// NewLoader builds a Loader for the module rooted at modDir. If modDir
+// is empty the module root is found by walking up from the working
+// directory to the nearest go.mod.
+func NewLoader(modDir string) (*Loader, error) {
+	if modDir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, fmt.Errorf("lint: getwd: %w", err)
+		}
+		modDir, err = findModuleRoot(wd)
+		if err != nil {
+			return nil, err
+		}
+	}
+	modPath, err := modulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModPath:  modPath,
+		ModDir:   modDir,
+		Fset:     fset,
+		std:      importer.Default(),
+		stdSrc:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:     map[string]*Package{},
+		typePkgs: map[string]*types.Package{},
+		loading:  map[string]bool{},
+	}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves patterns ("./...", "./internal/fgn", an import path, or
+// a directory) into parsed, type-checked packages. Directories without
+// buildable non-test Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		dir = filepath.Clean(dir)
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			subdirs, err := goDirs(l.ModDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subdirs {
+				add(d)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			if strings.HasPrefix(root, l.ModPath) {
+				root = "./" + strings.TrimPrefix(strings.TrimPrefix(root, l.ModPath), "/")
+			}
+			subdirs, err := goDirs(filepath.Join(l.ModDir, root))
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range subdirs {
+				add(d)
+			}
+		case pat == l.ModPath || strings.HasPrefix(pat, l.ModPath+"/"):
+			add(filepath.Join(l.ModDir, strings.TrimPrefix(strings.TrimPrefix(pat, l.ModPath), "/")))
+		default:
+			if filepath.IsAbs(pat) {
+				add(pat)
+			} else {
+				add(filepath.Join(l.ModDir, pat))
+			}
+		}
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		names, err := goFileNames(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue
+		}
+		path, err := l.importPathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory under an explicit
+// import path. The golden-file tests use this to check fixtures in
+// testdata (which the go tool ignores) under the package paths the
+// scoped analyzers expect.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	return l.loadDir(dir, importPath)
+}
+
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModDir, dir)
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is outside module %s: %w", dir, l.ModDir, err)
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// goDirs returns every directory under root holding at least one
+// non-test .go file, skipping testdata, vendor and hidden directories.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lint: walking %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	l.typePkgs[path] = tpkg
+	return pkg, nil
+}
+
+// loaderImporter adapts the Loader for go/types: module-local imports
+// are type-checked from source, everything else is standard library.
+type loaderImporter Loader
+
+func (im *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(im)
+	if tp, ok := l.typePkgs[path]; ok {
+		return tp, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := filepath.Join(l.ModDir, strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/"))
+		pkg, err := l.loadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	tp, err := l.std.Import(path)
+	if err != nil {
+		// No export data (cold build cache): fall back to the source
+		// importer, which only needs $GOROOT/src.
+		tp, err = l.stdSrc.ImportFrom(path, l.ModDir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: importing %s: %w", path, err)
+		}
+	}
+	l.typePkgs[path] = tp
+	return tp, nil
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SeedPlumbAnalyzer enforces seed plumbing: every rand.NewPCG source in
+// production code must derive its seed argument from configuration (a
+// Seed field, parameter or flag), never a bare literal. A hard-coded
+// seed silently fixes the sample path, so independent replications —
+// the basis of the paper's confidence intervals — all see the same
+// innovations. Stream-selector constants in the second argument are
+// fine; they deliberately decorrelate substreams of one run.
+var SeedPlumbAnalyzer = &Analyzer{
+	Name: "seedplumb",
+	Doc:  "rand.NewPCG's first argument must come from a Seed field/parameter, not a compile-time constant",
+	Run:  runSeedPlumb,
+}
+
+func runSeedPlumb(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if !isPkgFunc(fn, randV2, "NewPCG") || len(call.Args) == 0 {
+				return true
+			}
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Value != nil {
+				pass.Reportf(call.Args[0].Pos(), "rand.NewPCG seed is a compile-time constant; derive it from a Seed option, parameter or flag so replications can vary")
+			}
+			return true
+		})
+	}
+}

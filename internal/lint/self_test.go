@@ -1,0 +1,31 @@
+package lint
+
+import "testing"
+
+// TestRepoLintsClean runs the full analyzer suite over the entire
+// module, so `go test ./...` alone catches lint regressions without a
+// separate vbrlint invocation. The repo must stay at zero findings:
+// intentional exceptions carry //vbrlint:ignore directives.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the whole module is not short")
+	}
+	l, err := NewLoader("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	diags := RunAnalyzers(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); fix them or add //vbrlint:ignore <analyzer> <reason>", len(diags))
+	}
+}

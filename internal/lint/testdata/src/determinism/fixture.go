@@ -1,0 +1,45 @@
+// Fixture for the determinism analyzer: banned v1 import, global
+// rand/v2 functions, time.Now, and map iteration feeding output.
+package fixture
+
+import (
+	"fmt"
+	mrand "math/rand" // want "import of math/rand .v1."
+	"math/rand/v2"
+	"time"
+)
+
+func globalSource() float64 {
+	n := rand.IntN(10)                 // want "rand.IntN draws from the global process-seeded source"
+	return rand.Float64() + float64(n) // want "rand.Float64 draws from the global process-seeded source"
+}
+
+func seededSource(seed uint64) float64 {
+	r := rand.New(rand.NewPCG(seed, 1)) // constructors are the sanctioned API
+	return r.Float64()
+}
+
+func v1Use() int {
+	return mrand.Int() // only the import is flagged; v1 is banned wholesale
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now in vbr/test/determinism"
+}
+
+func printedMapOrder(m map[string]int) {
+	for k, v := range m { // want "map iteration feeds printed output in nondeterministic order"
+		fmt.Println(k, v)
+	}
+}
+
+func collectedMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // no print in the body: collecting keys is fine
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+	return keys
+}

@@ -1,0 +1,25 @@
+// Fixture for the ignore directive: suppression above and trailing,
+// plus malformed directives, checked against the floateq analyzer.
+package fixture
+
+func suppressedAbove(a, b float64) bool {
+	//vbrlint:ignore floateq fixture: bitwise equality intended
+	return a == b
+}
+
+func suppressedTrailing(a, b float64) bool {
+	return a == b //vbrlint:ignore floateq fixture: bitwise equality intended
+}
+
+func unsuppressed(a, b float64) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//vbrlint:ignore ctxcheck directive names the wrong analyzer so floateq still fires
+	return a == b // want "floating-point == comparison"
+}
+
+/* want "directive names unknown analyzer" */ //vbrlint:ignore nosuch some reason
+
+/* want "missing a reason" */ //vbrlint:ignore floateq

@@ -1,0 +1,22 @@
+// Fixture for the floateq analyzer: ==/!= between float operands.
+package fixture
+
+func eq64(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func converted(a float64, b int) bool {
+	return a == float64(b) // want "floating-point == comparison"
+}
+
+func intEq(a, b int) bool {
+	return a == b // integers compare exactly; not flagged
+}
+
+func ordering(a, b float64) bool {
+	return a < b // only == and != are flagged
+}

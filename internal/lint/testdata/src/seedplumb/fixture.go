@@ -1,0 +1,25 @@
+// Fixture for the seedplumb analyzer: rand.NewPCG seeds must be
+// plumbed from configuration, not hard-coded.
+package fixture
+
+import "math/rand/v2"
+
+type options struct{ Seed uint64 }
+
+const fixedSeed = 7
+
+func literalSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(42, 1)) // want "rand.NewPCG seed is a compile-time constant"
+}
+
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewPCG(fixedSeed, 1)) // want "rand.NewPCG seed is a compile-time constant"
+}
+
+func fieldSeed(opts options) *rand.Rand {
+	return rand.New(rand.NewPCG(opts.Seed, 1)) // stream selector constants are fine
+}
+
+func paramSeed(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed+1, 0xabc))
+}

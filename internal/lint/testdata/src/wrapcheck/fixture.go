@@ -1,0 +1,52 @@
+// Fixture for the wrapcheck analyzer: %w wrapping and errors.Is
+// matching against the real internal/errs sentinels.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+
+	"vbr/internal/errs"
+)
+
+func wrapVerb(err error) error {
+	return fmt.Errorf("loading trace: %v", err) // want "error argument formatted with %v"
+}
+
+func wrapString(name string, err error) error {
+	return fmt.Errorf("file %s: %s", name, err) // want "error argument formatted with %s"
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("loading trace: %w", err)
+}
+
+func wrapNoError(name string, n int) error {
+	return fmt.Errorf("file %s has %d frames", name, n)
+}
+
+func compareEq(err error) bool {
+	return err == errs.ErrCancelled // want "error compared with =="
+}
+
+func compareNeq(err error) bool {
+	return err != errs.ErrInvalidModel // want "error compared with !="
+}
+
+func compareNil(err error) bool {
+	return err == nil // the nil check idiom is fine
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, errs.ErrCancelled)
+}
+
+func switchTag(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case errs.ErrCancelled: // want "switch on error value compares with =="
+		return "cancelled"
+	}
+	return "other"
+}

@@ -29,6 +29,7 @@ func regress(x, y []float64) (slope float64, err error) {
 		sxy += x[i] * y[i]
 	}
 	den := n*sxx - sx*sx
+	//vbrlint:ignore floateq exact-zero guard: the regression denominator vanishes only for a constant abscissa
 	if den == 0 {
 		return 0, fmt.Errorf("lrd: regression degenerate (constant abscissa)")
 	}
@@ -95,6 +96,7 @@ func VarianceTime(xs []float64, minM, fitLo, fitHi int) (*VarianceTimeResult, er
 		fitHi = maxM
 	}
 	v0 := stats.Variance(xs)
+	//vbrlint:ignore floateq exact-zero guard: only a literally constant series has zero variance
 	if v0 == 0 {
 		return nil, fmt.Errorf("lrd: constant series has no variance-time structure")
 	}
@@ -163,6 +165,7 @@ func rsStatistic(xs []float64) (float64, bool) {
 		ss += (v - mean) * (v - mean)
 	}
 	s := math.Sqrt(ss / float64(n))
+	//vbrlint:ignore floateq exact-zero guard: only a literally constant window has zero deviation
 	if s == 0 {
 		return 0, false
 	}

@@ -88,9 +88,11 @@ func Render(series []Series, opts Options) (string, error) {
 	if usable == 0 {
 		return "", fmt.Errorf("plot: no drawable points")
 	}
+	//vbrlint:ignore floateq degenerate-range guard: min and max are copies of the same input value, not computed
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//vbrlint:ignore floateq degenerate-range guard: min and max are copies of the same input value, not computed
 	if maxY == minY {
 		maxY = minY + 1
 	}

@@ -64,6 +64,8 @@ func MarginalAllocation(d dist.Distribution, n int, intervalSec, eps float64, ta
 // at the given capacity stays within the overflow budget — the admission
 // control decision a switch would make per call request. Returns 0 when
 // even one source does not fit.
+//
+//vbrlint:ignore ctxcheck bounded linear scan over candidate source counts; no blocking calls
 func AdmissibleSources(d dist.Distribution, capacityBps, intervalSec, eps float64, tablePts, maxN int) (int, error) {
 	if maxN < 1 {
 		return 0, fmt.Errorf("queue: maxN must be ≥ 1, got %d", maxN)

@@ -22,6 +22,7 @@ func (t LossTarget) String() string {
 	if t.UseWES {
 		name = "Pl-WES"
 	}
+	//vbrlint:ignore floateq Pl 0 is the exact zero-loss sentinel assigned from literals, never computed
 	if t.Pl == 0 {
 		return name + "=0"
 	}
@@ -167,6 +168,8 @@ func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 // paper identifies — as the point of maximum curvature on log-log axes,
 // estimated by the largest second difference of log(C/N) against
 // log(T_max).
+//
+//vbrlint:ignore ctxcheck bounded pass over the precomputed capacity curve; no blocking calls
 func Knee(points []QCPoint) (QCPoint, error) {
 	if len(points) < 3 {
 		return QCPoint{}, fmt.Errorf("queue: knee needs ≥ 3 points, got %d", len(points))

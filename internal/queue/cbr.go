@@ -19,6 +19,8 @@ import (
 // The feasibility test is the exact backlog recursion; the rate is found
 // by bisection between the mean and peak rates (backlog is monotone in
 // the service rate).
+//
+//vbrlint:ignore ctxcheck single bounded pass over the workload with a fixed smoothing window
 func CBRRate(w Workload, maxDelay float64) (float64, error) {
 	if err := w.Validate(); err != nil {
 		return 0, err
@@ -27,6 +29,7 @@ func CBRRate(w Workload, maxDelay float64) (float64, error) {
 		return 0, fmt.Errorf("queue: max delay must be ≥ 0, got %v", maxDelay)
 	}
 	mean, peak := w.MeanRate(), w.PeakRate()
+	//vbrlint:ignore floateq exact-zero guard: an all-zero workload has exactly zero mean rate
 	if mean == 0 {
 		return 0, nil
 	}
@@ -74,6 +77,8 @@ func CBRRate(w Workload, maxDelay float64) (float64, error) {
 // max-slope query from each point (j, S_j − Q) to the lower convex hull
 // of {(i, S_i)}, maintained incrementally — O(n log n) overall, and free
 // of the bisection tolerance that MinCapacity carries.
+//
+//vbrlint:ignore ctxcheck exact max-burst dual: one bounded O(n) pass over the workload
 func ZeroLossCapacityExact(w Workload, bufferBytes float64) (float64, error) {
 	if err := w.Validate(); err != nil {
 		return 0, err

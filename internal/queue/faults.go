@@ -34,6 +34,8 @@ type FaultSchedule struct {
 
 // Validate checks episode ranges, ordering and disjointness. A nil
 // schedule is valid (no faults).
+//
+//vbrlint:ignore ctxcheck bounded validation scan over the configured episodes
 func (fs *FaultSchedule) Validate() error {
 	if fs == nil {
 		return nil
@@ -128,6 +130,8 @@ func (c FaultConfig) Validate() error {
 // GenerateFaults draws a schedule covering intervals [0, n) from the
 // seeded PCG stream: alternating exponential clean gaps and degradation
 // episodes. The same (seed, n, cfg) always yields the same schedule.
+//
+//vbrlint:ignore ctxcheck bounded arithmetic construction of the episode schedule
 func GenerateFaults(seed uint64, n int, cfg FaultConfig) (*FaultSchedule, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("queue: fault horizon must be ≥ 1 interval, got %d", n)

@@ -92,6 +92,8 @@ func (m *Mux) Lags(rng *rand.Rand) []int {
 
 // FrameWorkload sums the N lagged frame series into one aggregate
 // workload at frame granularity.
+//
+//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
 func (m *Mux) FrameWorkload(lags []int) (Workload, error) {
 	if len(lags) != m.N {
 		return Workload{}, fmt.Errorf("queue: %d lags for %d sources", len(lags), m.N)
@@ -109,6 +111,8 @@ func (m *Mux) FrameWorkload(lags []int) (Workload, error) {
 // SliceWorkload sums the N lagged slice series into one aggregate
 // workload at slice granularity (the resolution the paper's simulations
 // use). The trace must carry slice data.
+//
+//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
 func (m *Mux) SliceWorkload(lags []int) (Workload, error) {
 	if m.Trace.Slices == nil {
 		return Workload{}, fmt.Errorf("queue: trace has no slice data")

@@ -30,6 +30,8 @@ type LayeredWorkload struct {
 // the given base fraction (0 < baseFrac ≤ 1) of each interval's bytes in
 // the base layer — the constant-proportion layering of scalable
 // intraframe coders.
+//
+//vbrlint:ignore ctxcheck single bounded pass splitting bytes per frame
 func SplitLayers(w Workload, baseFrac float64) (LayeredWorkload, error) {
 	if err := w.Validate(); err != nil {
 		return LayeredWorkload{}, err
@@ -50,6 +52,8 @@ func SplitLayers(w Workload, baseFrac float64) (LayeredWorkload, error) {
 }
 
 // Validate checks the layered workload's consistency.
+//
+//vbrlint:ignore ctxcheck bounded validation scan over the layered workload
 func (lw LayeredWorkload) Validate() error {
 	if len(lw.Base) == 0 || len(lw.Base) != len(lw.Enhancement) {
 		return fmt.Errorf("queue: layered workload shape %d/%d", len(lw.Base), len(lw.Enhancement))
@@ -82,6 +86,8 @@ type LayeredResult struct {
 // buffer degenerates to FIFO without priority). Base traffic uses the
 // whole buffer. Within an interval, base arrivals are admitted before
 // enhancement arrivals, modeling strict priority.
+//
+//vbrlint:ignore ctxcheck O(n) fluid arithmetic per run; cancellation happens at run granularity in the drivers by design
 func SimulatePriority(lw LayeredWorkload, capacityBps, bufferBytes, thresholdBytes float64) (*LayeredResult, error) {
 	if err := lw.Validate(); err != nil {
 		return nil, err

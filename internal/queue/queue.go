@@ -28,6 +28,8 @@ type Workload struct {
 
 // Validate checks workload consistency. Failures match
 // errs.ErrInvalidWorkload.
+//
+//vbrlint:ignore ctxcheck bounded validation scan over the workload
 func (w Workload) Validate() error {
 	if len(w.Bytes) == 0 {
 		return fmt.Errorf("queue: empty workload: %w", errs.ErrInvalidWorkload)
@@ -111,6 +113,8 @@ type Options struct {
 // continuously ("we would expect real coders to be pipelined") rather
 // than as frame-sized batches. Use SimulateCells for the cell-exact
 // ablation.
+//
+//vbrlint:ignore ctxcheck O(n) fluid recursion per run; cancellation happens at run granularity via AverageLossCtx by design
 func Simulate(w Workload, capacityBps, bufferBytes float64, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -162,6 +166,7 @@ func Simulate(w Workload, capacityBps, bufferBytes float64, opts Options) (*Resu
 		secArr += a
 		secLost += lost
 		if (i+1)%secN == 0 || i == len(w.Bytes)-1 {
+			//vbrlint:ignore floateq worstDen 0 is the exact not-yet-seen sentinel; any real window stores a positive sum
 			if secArr > 0 && (worstDen == 0 || secLost/secArr > worstNum/worstDen) {
 				worstNum, worstDen = secLost, secArr
 			}
@@ -216,6 +221,8 @@ const (
 // continuously at capacity; a cell arriving to a buffer with less than one
 // cell of free space is dropped whole. This is the high-fidelity ablation
 // for the fluid model, relevant when the buffer holds only a few cells.
+//
+//vbrlint:ignore ctxcheck O(n) fluid recursion per run; cancellation happens at run granularity via AverageLossCtx by design
 func SimulateCells(w Workload, capacityBps, bufferBytes float64, spacing Spacing, opts Options) (*Result, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
@@ -300,6 +307,7 @@ func SimulateCells(w Workload, capacityBps, bufferBytes float64, spacing Spacing
 		secArr += bytes
 		secLost += lost
 		if (i+1)%secN == 0 || i == len(w.Bytes)-1 {
+			//vbrlint:ignore floateq worstDen 0 is the exact not-yet-seen sentinel; any real window stores a positive sum
 			if secArr > 0 && (worstDen == 0 || secLost/secArr > worstNum/worstDen) {
 				worstNum, worstDen = secLost, secArr
 			}

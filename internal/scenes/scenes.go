@@ -126,6 +126,7 @@ func Cuts(frames []float64, cfg Config) ([]int, error) {
 	}
 	sort.Float64s(valid)
 	noise := valid[len(valid)/2]
+	//vbrlint:ignore floateq exact-zero guard: the median deviation is zero only for piecewise-constant input
 	if noise == 0 {
 		// Piecewise-exactly-constant input: any nonzero difference is a
 		// cut; use the smallest positive difference as the scale.
@@ -135,6 +136,7 @@ func Cuts(frames []float64, cfg Config) ([]int, error) {
 				break
 			}
 		}
+		//vbrlint:ignore floateq exact-zero guard: a zero fallback scale means a literally constant series
 		if noise == 0 {
 			return nil, nil // constant series: no cuts
 		}

@@ -109,11 +109,13 @@ func gammaContFracQ(a, x float64) float64 {
 // by Halley iterations on P, as in Numerical Recipes §6.2.1.
 func GammaPInv(a, p float64) float64 {
 	if a <= 0 || p < 0 || p >= 1 || math.IsNaN(a) || math.IsNaN(p) {
+		//vbrlint:ignore floateq p is compared against the exact unit-interval boundary, a representable constant
 		if p == 1 {
 			return math.Inf(1)
 		}
 		return math.NaN()
 	}
+	//vbrlint:ignore floateq p is compared against the exact unit-interval boundary, a representable constant
 	if p == 0 {
 		return 0
 	}
@@ -196,8 +198,10 @@ func NormPDF(x float64) float64 {
 func NormCDFInv(p float64) float64 {
 	if math.IsNaN(p) || p <= 0 || p >= 1 {
 		switch {
+		//vbrlint:ignore floateq p is compared against the exact unit-interval boundary, a representable constant
 		case p == 0:
 			return math.Inf(-1)
+		//vbrlint:ignore floateq p is compared against the exact unit-interval boundary, a representable constant
 		case p == 1:
 			return math.Inf(1)
 		}

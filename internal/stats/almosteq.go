@@ -1,0 +1,35 @@
+package stats
+
+import "math"
+
+// AlmostEqual reports whether a and b agree to within eps, using a
+// hybrid absolute/relative criterion: true when |a-b| ≤ eps or
+// |a-b| ≤ eps·max(|a|, |b|). With eps = 0 it demands bitwise value
+// equality, so exact guards (sentinel zeros, resume invariants) can be
+// expressed through the same audited entry point instead of a raw
+// float comparison.
+//
+// Edge cases follow IEEE 754 semantics rather than the tolerance: a
+// NaN on either side is never equal to anything (including itself),
+// and infinities are equal only to the same-signed infinity —
+// tolerances are meaningless at ±Inf, and Inf-Inf would poison the
+// difference with NaN. Subnormals fall through to the absolute branch,
+// where any eps > 0 exceeds their magnitude.
+func AlmostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		//vbrlint:ignore floateq infinities carry no tolerance; same-signed Inf is the only match
+		return a == b
+	}
+	//vbrlint:ignore floateq fast path and the documented eps=0 exact-equality contract
+	if a == b {
+		return true
+	}
+	if eps <= 0 {
+		return false
+	}
+	diff := math.Abs(a - b)
+	return diff <= eps || diff <= eps*math.Max(math.Abs(a), math.Abs(b))
+}

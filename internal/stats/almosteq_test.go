@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqualBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, 0, true},
+		{"exact zero eps zero", 0, 0, 0, true},
+		{"pos and neg zero", 0, math.Copysign(0, -1), 0, true},
+		{"tiny gap exact demanded", 1, 1 + 1e-15, 0, false},
+		{"tiny gap within rel eps", 1, 1 + 1e-15, 1e-12, true},
+		{"absolute branch near zero", 1e-14, -1e-14, 1e-12, true},
+		{"relative branch large values", 1e12, 1e12 * (1 + 1e-10), 1e-9, true},
+		{"outside tolerance", 1.0, 1.1, 1e-3, false},
+		{"negative eps behaves like exact", 2, 2.0000001, -1, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("%s: AlmostEqual(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.eps, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualNaN(t *testing.T) {
+	nan := math.NaN()
+	for _, eps := range []float64{0, 1e-9, math.Inf(1)} {
+		if AlmostEqual(nan, nan, eps) {
+			t.Errorf("NaN must not equal NaN (eps=%v)", eps)
+		}
+		if AlmostEqual(nan, 1, eps) || AlmostEqual(1, nan, eps) {
+			t.Errorf("NaN must not equal a finite value (eps=%v)", eps)
+		}
+		if AlmostEqual(nan, math.Inf(1), eps) {
+			t.Errorf("NaN must not equal +Inf (eps=%v)", eps)
+		}
+	}
+}
+
+func TestAlmostEqualInf(t *testing.T) {
+	pos, neg := math.Inf(1), math.Inf(-1)
+	if !AlmostEqual(pos, pos, 0) || !AlmostEqual(neg, neg, 1e-9) {
+		t.Error("same-signed infinities must compare equal at any eps")
+	}
+	if AlmostEqual(pos, neg, math.MaxFloat64) {
+		t.Error("opposite infinities must never compare equal")
+	}
+	if AlmostEqual(pos, math.MaxFloat64, math.MaxFloat64) {
+		t.Error("+Inf must not equal a finite value, even with a huge eps")
+	}
+}
+
+func TestAlmostEqualSubnormals(t *testing.T) {
+	small := math.SmallestNonzeroFloat64 // 2^-1074, subnormal
+	if !AlmostEqual(small, 2*small, 1e-300) {
+		t.Error("subnormal gap must fall inside any reasonable absolute eps")
+	}
+	if AlmostEqual(small, 2*small, 0) {
+		t.Error("distinct subnormals must differ under exact comparison")
+	}
+	if !AlmostEqual(small, small, 0) {
+		t.Error("a subnormal must equal itself exactly")
+	}
+	if !AlmostEqual(small, 0, 1e-300) {
+		t.Error("a subnormal is within absolute eps of zero")
+	}
+}

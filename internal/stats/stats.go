@@ -48,7 +48,7 @@ func Summarize(xs []float64) (Summary, error) {
 		ss += d * d
 	}
 	s.Std = math.Sqrt(ss / float64(len(xs)))
-	if s.Mean != 0 {
+	if !AlmostEqual(s.Mean, 0, 0) {
 		s.CoV = s.Std / s.Mean
 		s.PeakMean = s.Max / s.Mean
 	}
@@ -157,7 +157,7 @@ func AutocorrelationDirect(xs []float64, maxLag int) ([]float64, error) {
 		c0 += (v - m) * (v - m)
 	}
 	r := make([]float64, maxLag+1)
-	if c0 == 0 {
+	if AlmostEqual(c0, 0, 0) {
 		r[0] = 1
 		return r, nil
 	}
@@ -244,7 +244,7 @@ func NewECDF(xs []float64) (*ECDF, error) {
 // CDF returns the fraction of observations ≤ x.
 func (e *ECDF) CDF(x float64) float64 {
 	i := sort.SearchFloat64s(e.sorted, x)
-	for i < len(e.sorted) && e.sorted[i] == x {
+	for i < len(e.sorted) && AlmostEqual(e.sorted[i], x, 0) {
 		i++
 	}
 	return float64(i) / float64(len(e.sorted))

@@ -193,6 +193,7 @@ func (tr *Trace) ClipPeaks(maxBytes float64) (clippedFrac float64, err error) {
 			}
 		}
 	}
+	//vbrlint:ignore floateq exact-zero guard before dividing by the byte total
 	if total == 0 {
 		return 0, nil
 	}
