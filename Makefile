@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
+# Where bench-json writes its snapshot; empty picks the next free
+# BENCH_<n>.json (BENCH_0.json is the committed pre-observability
+# baseline that overhead comparisons run against).
+BENCH_OUT ?=
 
-.PHONY: all build vet lint test race fuzz-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke bench-json ci clean
 
 all: build vet lint test
 
@@ -33,6 +37,17 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/codec/
 	$(GO) test -fuzz=FuzzReadBinary -fuzztime=$(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
+
+# Pinned benchmark subset as a committed/CI JSON snapshot: the two
+# generators, the fluid queue, and the end-to-end Fig 14 sweep. The
+# text output goes through an intermediate file so a benchmark failure
+# fails the target rather than feeding benchjson an empty stream.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$' -benchmem -count=3 . > bench.out
+	@out="$(BENCH_OUT)"; \
+	if [ -z "$$out" ]; then i=0; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; out=BENCH_$$i.json; fi; \
+	$(GO) run ./cmd/benchjson -o "$$out" bench.out && echo "wrote $$out"
+	@rm -f bench.out
 
 ci: build vet lint test race fuzz-smoke
 

@@ -1,0 +1,172 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON snapshot, so benchmark results can be committed (BENCH_<n>.json)
+// and diffed across PRs or collected as CI artifacts.
+//
+// Repeated runs of the same benchmark (-count > 1) are collapsed to the
+// fastest run — the one least disturbed by scheduling noise — and the
+// GOMAXPROCS suffix (-8) is stripped from names so snapshots from
+// machines with different core counts stay comparable.
+//
+//	go test -run '^$' -bench . -benchmem -count=3 . > bench.out
+//	benchjson -o BENCH_1.json bench.out
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vbr/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main("benchjson", run))
+}
+
+// Bench is one benchmark's collapsed result.
+type Bench struct {
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the serialized form: environment header plus one entry per
+// benchmark name. encoding/json sorts the map keys, so the output is
+// deterministic for a fixed set of results.
+type Snapshot struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	Pkg        string           `json:"pkg,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "output path (default stdout)")
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return cli.Usagef("at most one input file (default stdin), got %d", fs.NArg())
+	}
+
+	in := io.Reader(os.Stdin)
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines in input")
+	}
+
+	out := io.Writer(stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("benchjson: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// parse reads `go test -bench` output, keeping the fastest run per name.
+func parse(in io.Reader) (*Snapshot, error) {
+	snap := &Snapshot{Benchmarks: make(map[string]Bench)}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if prev, ok := snap.Benchmarks[name]; ok {
+				runs := prev.Runs + 1
+				if prev.NsPerOp < b.NsPerOp {
+					b = prev
+				}
+				b.Runs = runs
+			}
+			snap.Benchmarks[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading input: %w", err)
+	}
+	return snap, nil
+}
+
+// parseBenchLine splits one result line:
+//
+//	BenchmarkName-8   	  175	 7174588 ns/op	  112 B/op	  1 allocs/op
+func parseBenchLine(line string) (string, Bench, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Bench{}, fmt.Errorf("benchjson: malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // GOMAXPROCS suffix
+		}
+	}
+	b := Bench{Runs: 1}
+	var err error
+	if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", Bench{}, fmt.Errorf("benchjson: iteration count in %q: %w", line, err)
+	}
+	// The remainder is value/unit pairs; unknown units are ignored so new
+	// -benchmem-style metrics don't break old snapshots.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Bench{}, fmt.Errorf("benchjson: value %q in %q: %w", fields[i], line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	if !(b.NsPerOp > 0) {
+		return "", Bench{}, fmt.Errorf("benchjson: no ns/op in %q", line)
+	}
+	return name, b, nil
+}

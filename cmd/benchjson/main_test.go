@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: vbr
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAblation_Hosking10k     	       8	 129020965 ns/op	  327680 B/op	       4 allocs/op
+BenchmarkAblation_Hosking10k     	       8	 134057768 ns/op	  327680 B/op	       4 allocs/op
+BenchmarkAblation_Hosking10k     	       9	 128561402 ns/op	  327680 B/op	       4 allocs/op
+BenchmarkAblation_QueueFluid-8   	     175	   7174588 ns/op	     112 B/op	       1 allocs/op
+PASS
+ok  	vbr	20.357s
+`
+
+func TestParseCollapsesToFastestRun(t *testing.T) {
+	snap, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Goos != "linux" || snap.Goarch != "amd64" || snap.Pkg != "vbr" {
+		t.Errorf("header = %q/%q/%q", snap.Goos, snap.Goarch, snap.Pkg)
+	}
+	if !strings.Contains(snap.CPU, "Xeon") {
+		t.Errorf("cpu = %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %v, want 2 entries", snap.Benchmarks)
+	}
+
+	h := snap.Benchmarks["Ablation_Hosking10k"]
+	if h.Runs != 3 {
+		t.Errorf("runs = %d, want 3", h.Runs)
+	}
+	if h.NsPerOp != 128561402 {
+		t.Errorf("ns_per_op = %v, want the fastest of the three runs", h.NsPerOp)
+	}
+	if h.Iterations != 9 || h.BytesPerOp != 327680 || h.AllocsPerOp != 4 {
+		t.Errorf("fastest run fields = %+v", h)
+	}
+
+	// The -8 GOMAXPROCS suffix must be stripped from the map key.
+	q, ok := snap.Benchmarks["Ablation_QueueFluid"]
+	if !ok {
+		t.Fatalf("suffix not stripped: keys %v", snap.Benchmarks)
+	}
+	if q.Runs != 1 || q.NsPerOp != 7174588 {
+		t.Errorf("queue fluid entry = %+v", q)
+	}
+}
+
+func TestParseRejectsMalformedLines(t *testing.T) {
+	bad := []string{
+		"BenchmarkX 12",                   // too few fields
+		"BenchmarkX notanint 5 ns/op",     // bad iteration count
+		"BenchmarkX 12 nan-like ns/oops",  // no ns/op unit
+		"BenchmarkX 12 bogus ns/op extra", // unparsable value
+	}
+	for _, line := range bad {
+		if _, err := parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+	// A benchmark whose name genuinely ends in -<digits> before the
+	// GOMAXPROCS suffix loses only the final suffix.
+	snap, err := parse(strings.NewReader("BenchmarkTable-100-8 5 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap.Benchmarks["Table-100"]; !ok {
+		t.Errorf("keys = %v, want Table-100", snap.Benchmarks)
+	}
+}

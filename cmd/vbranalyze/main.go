@@ -22,6 +22,7 @@ import (
 	"vbr/internal/cli"
 	"vbr/internal/experiments"
 	"vbr/internal/lrd"
+	"vbr/internal/obs"
 	"vbr/internal/plot"
 	"vbr/internal/scenes"
 )
@@ -45,7 +46,7 @@ func main() {
 	os.Exit(cli.Main("vbranalyze", run))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbranalyze", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -73,14 +74,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fig12  = fs.Bool("fig12", false, "Fig 12: R/S pox diagram")
 		scn    = fs.Bool("scenes", false, "scene detection and scene-level model (§4.2 extension)")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+	scope := obs.From(ctx)
 
 	suite, err := loadOrGenerate(*in, *frames, *seed)
 	if err != nil {
 		return err
 	}
+	scope.Count("trace.frames", int64(len(suite.Trace.Frames)))
 
 	any := false
 	run := func(enabled bool, fn func() error) {
@@ -89,6 +98,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		if *all || enabled {
 			any = true
+			scope.Count("analyze.analyses", 1)
 			err = fn()
 		}
 	}

@@ -15,15 +15,18 @@ import (
 	"os"
 	"time"
 
+	"strings"
+
 	"vbr/internal/cli"
 	"vbr/internal/experiments"
+	"vbr/internal/obs"
 )
 
 func main() {
 	os.Exit(cli.Main("vbrexperiments", run))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbrexperiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -31,9 +34,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		slices     = fs.Bool("slices", false, "queueing simulations at slice granularity")
 		extensions = fs.Bool("extensions", true, "also run the future-work extension studies")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+	scope := obs.From(ctx)
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -61,7 +71,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 		//vbrlint:ignore determinism wall-clock is display-only here: per-step timing line, never fed into results
 		t0 := time.Now()
+		endStep := scope.Span("experiments.step." + strings.ReplaceAll(strings.ToLower(name), " ", ""))
 		r, err := fn()
+		endStep()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -41,7 +41,7 @@ func main() {
 	os.Exit(cli.Main("vbrgen", run))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbrgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -60,10 +60,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		verify   = fs.Bool("verify", true, "measure the realization against the model")
 		ckptPath = fs.String("checkpoint", "", "checkpoint file: on interrupt the Hosking state is saved here")
 		resume   = fs.Bool("resume", false, "continue an interrupted generation from -checkpoint")
+		every    = fs.Int("checkpoint-every", 5000, "with -checkpoint, also save the state every this many points (0 = only on interrupt)")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
 
 	model := core.Model{MuGamma: *mu, SigmaGamma: *sigma, TailSlope: *tail, Hurst: *hurst}
 	if err := model.Validate(); err != nil {
@@ -89,11 +96,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	var frames []float64
-	var err error
 	switch *variant {
 	case "full":
 		if *ckptPath != "" {
-			frames, err = generateCheckpointed(ctx, model, *n, opts, *ckptPath, *resume, stderr)
+			frames, err = generateCheckpointed(ctx, model, *n, opts, *ckptPath, *resume, *every, stderr)
 		} else {
 			frames, err = model.GenerateCtx(ctx, *n, opts)
 		}
@@ -162,9 +168,21 @@ func genMeta(m core.Model, n int, opts core.GenOptions) map[string]string {
 
 // generateCheckpointed runs the resumable Hosking generation: on
 // interruption the recursion state is flushed to ckptPath before the
-// error propagates; on success a consumed checkpoint is removed.
-func generateCheckpointed(ctx context.Context, m core.Model, n int, opts core.GenOptions, ckptPath string, resume bool, stderr io.Writer) ([]float64, error) {
+// error propagates, a positive every additionally saves the state after
+// each block of that many points (so a crash, not just a signal, loses
+// bounded work); on success a consumed checkpoint is removed.
+func generateCheckpointed(ctx context.Context, m core.Model, n int, opts core.GenOptions, ckptPath string, resume bool, every int, stderr io.Writer) ([]float64, error) {
 	meta := genMeta(m, n, opts)
+	if every > 0 {
+		opts.SnapshotEvery = every
+		opts.Snapshot = func(st *fgn.HoskingState) error {
+			rec := &checkpoint.HoskingRecord{Meta: meta, State: st}
+			if err := checkpoint.SaveHosking(ckptPath, rec); err != nil {
+				return fmt.Errorf("saving periodic checkpoint: %w", err)
+			}
+			return nil
+		}
+	}
 	var state *fgn.HoskingState
 	if resume {
 		rec, err := checkpoint.LoadHosking(ckptPath)
@@ -199,9 +217,10 @@ func generateCheckpointed(ctx context.Context, m core.Model, n int, opts core.Ge
 		}
 		return nil, err
 	}
-	if resume {
-		// The checkpoint is consumed; leaving it behind would invite a
-		// second resume into an already-finished run.
+	if resume || every > 0 {
+		// The checkpoint is consumed (or superseded by the completed
+		// run); leaving it behind would invite a second resume into an
+		// already-finished run.
 		if rmErr := os.Remove(ckptPath); rmErr != nil && !errors.Is(rmErr, os.ErrNotExist) {
 			fmt.Fprintf(stderr, "warning: could not remove consumed checkpoint %s: %v\n", ckptPath, rmErr)
 		}

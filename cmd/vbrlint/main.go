@@ -22,6 +22,7 @@ import (
 
 	"vbr/internal/cli"
 	"vbr/internal/lint"
+	"vbr/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 // and usage problems surface as usage errors (2).
 var errFindings = fmt.Errorf("findings reported")
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbrlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -41,6 +42,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		list    = fs.Bool("list", false, "list analyzers and exit")
 		modDir  = fs.String("C", "", "module root (default: nearest go.mod above the working directory)")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: vbrlint [-json] [-run names] [-C dir] patterns...\n")
 		fs.PrintDefaults()
@@ -48,6 +50,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+	scope := obs.From(ctx)
 	if *list {
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
@@ -76,7 +84,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	endLint := scope.Span("lint.run")
 	diags := lint.RunAnalyzers(pkgs, analyzers)
+	endLint()
+	scope.Count("lint.packages", int64(len(pkgs)))
+	scope.Count("lint.findings", int64(len(diags)))
 	for i := range diags {
 		if rel, err := filepath.Rel(loader.ModDir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].File = rel

@@ -39,7 +39,7 @@ func main() {
 	os.Exit(cli.Main("vbrsim", run))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbrsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -68,9 +68,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		faultOutage = fs.Float64("fault-outage", 0.2, "probability an episode is a full outage")
 		faultFactor = fs.Float64("fault-factor", 0.5, "minimum capacity factor of partial degradations")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
 	if *ckptPath != "" && !*fig14 {
 		return cli.Usagef("-checkpoint applies to the -fig14 sweep")
 	}

@@ -28,6 +28,7 @@ import (
 
 	"vbr/internal/cli"
 	"vbr/internal/codec"
+	"vbr/internal/obs"
 	"vbr/internal/synth"
 	"vbr/internal/trace"
 )
@@ -52,7 +53,7 @@ func main() {
 	os.Exit(cli.Main("vbrtrace", run))
 }
 
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vbrtrace", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -74,10 +75,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		outCSV  = fs.String("csv", "", "output path for CSV frame series")
 		summary = fs.Bool("summary", true, "print Table 1/2 style summary")
 	)
+	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
 	}
-	_ = ctx // trace synthesis runs in seconds even at paper scale
+	ctx, finish, err := ob.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+	scope := obs.From(ctx) // synthesis runs in seconds even at paper scale, so ctx is otherwise unused
 
 	cfg := synth.DefaultConfig()
 	cfg.Frames = *frames
@@ -87,8 +94,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg.StdBytes = *std
 	cfg.TailSlope = *tail
 
+	endGen := scope.Span("trace.synth")
 	var tr *trace.Trace
-	var err error
 	switch *mode {
 	case "activity":
 		tr, err = synth.Generate(cfg)
@@ -122,9 +129,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	default:
 		return cli.Usagef("unknown mode %q (want activity, codec or interframe)", *mode)
 	}
+	endGen()
 	if err != nil {
 		return err
 	}
+	scope.Count("trace.frames", int64(len(tr.Frames)))
+	scope.Count("trace.slices", int64(len(tr.Slices)))
 
 	if *summary {
 		fs, err := tr.FrameStats()

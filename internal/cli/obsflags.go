@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vbr/internal/obs"
+)
+
+// ObsFlags are the observability flags shared by every command:
+// -progress, -metrics-json, and -debug-addr.
+type ObsFlags struct {
+	Progress    bool
+	MetricsPath string
+	DebugAddr   string
+}
+
+// RegisterObsFlags installs the shared observability flags on fs.
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	f := &ObsFlags{}
+	fs.BoolVar(&f.Progress, "progress", false, "emit rate-limited progress lines on stderr")
+	fs.StringVar(&f.MetricsPath, "metrics-json", "", "write an end-of-run metrics snapshot as JSON to `path`")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve net/http/pprof and expvar (metrics under \"vbr\") on `host:port`")
+	return f
+}
+
+// progressMinGap rate-limits stderr progress lines per stage.
+const progressMinGap = 250 * time.Millisecond
+
+// Observe builds the run's observability scope from the parsed flags,
+// attaches it to ctx, and returns a finish function that must run after
+// the command body (typically deferred): it closes the whole-run
+// "proc.run" span, stops the debug server, and writes the metrics
+// snapshot. The snapshot is written even when the body failed or was
+// interrupted, so aborted runs still leave their metrics behind.
+func (f *ObsFlags) Observe(ctx context.Context, stderr io.Writer) (context.Context, func() error, error) {
+	reg := obs.NewRegistry()
+	var sink obs.EventSink
+	if f.Progress {
+		sink = obs.NewLineEmitter(stderr, progressMinGap)
+	}
+	scope := obs.New(reg, sink)
+	endRun := scope.Span("proc.run")
+
+	var dbg *obs.DebugServer
+	if f.DebugAddr != "" {
+		var err error
+		dbg, err = obs.StartDebugServer(f.DebugAddr, reg)
+		if err != nil {
+			return ctx, nil, err
+		}
+		fmt.Fprintf(stderr, "debug server listening on http://%s/debug/vars\n", dbg.Addr())
+	}
+
+	finish := func() error {
+		endRun()
+		if dbg != nil {
+			if err := dbg.Close(); err != nil {
+				fmt.Fprintf(stderr, "warning: %v\n", err)
+			}
+		}
+		if f.MetricsPath == "" {
+			return nil
+		}
+		out, err := os.Create(f.MetricsPath)
+		if err != nil {
+			return fmt.Errorf("creating metrics file: %w", err)
+		}
+		if err := reg.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("closing metrics file: %w", err)
+		}
+		return nil
+	}
+	return obs.With(ctx, scope), finish, nil
+}
+
+// FinishObs runs finish and folds its error into the command result
+// without masking a primary failure. Use with a named return:
+//
+//	defer cli.FinishObs(finish, &retErr)
+func FinishObs(finish func() error, retErr *error) {
+	if err := finish(); err != nil && *retErr == nil {
+		*retErr = fmt.Errorf("writing metrics: %w", err)
+	}
+}

@@ -175,6 +175,14 @@ type GenOptions struct {
 	// the slow LRD sampling convergence discussed in §4.2.
 	Standardize bool
 	Seed        uint64
+	// SnapshotEvery, when positive together with a non-nil Snapshot,
+	// makes GenerateResumable persist a recursion checkpoint after each
+	// block of this many generated points, bounding the work lost to a
+	// crash (not just a signal). Ignored by the other generators.
+	SnapshotEvery int
+	// Snapshot receives the periodic checkpoints; see
+	// fgn.HoskingCheckpointed for the exact semantics.
+	Snapshot fgn.SnapshotFunc
 }
 
 // DefaultGenOptions mirrors the paper's generation procedure.
@@ -314,9 +322,10 @@ func (m Model) GenerateResumable(ctx context.Context, n int, opts GenOptions, re
 		return nil, nil, fmt.Errorf("core: length must be ≥ 1, got %d", n)
 	}
 	// Same derivation as gaussianCtx, so an uninterrupted resumable run
-	// matches Generate exactly.
+	// matches Generate exactly. Periodic snapshots observe the recursion
+	// without consuming randomness, so they cannot perturb the output.
 	src := rand.NewPCG(opts.Seed, 0x6a55)
-	x, st, err := fgn.HoskingResumable(ctx, n, m.Hurst, src, resume)
+	x, st, err := fgn.HoskingCheckpointed(ctx, n, m.Hurst, src, resume, opts.SnapshotEvery, opts.Snapshot)
 	if err != nil {
 		return nil, st, err
 	}

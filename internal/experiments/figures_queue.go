@@ -122,6 +122,7 @@ func (s *Suite) Fig15() (*Fig15Result, error) {
 
 // Fig15Ctx is Fig15 with cooperative cancellation.
 func (s *Suite) Fig15Ctx(ctx context.Context) (*Fig15Result, error) {
+	defer span(ctx, "fig15")()
 	targets := []queue.LossTarget{{Pl: 0}, {Pl: 1e-4}, {Pl: 1e-3}}
 	res := &Fig15Result{
 		Targets: targets,
@@ -223,6 +224,7 @@ func (s *Suite) Fig16() (*Fig16Result, error) {
 // Fig16Ctx is Fig16 with cooperative cancellation, checked in both the
 // model generation stage and every capacity search.
 func (s *Suite) Fig16Ctx(ctx context.Context) (*Fig16Result, error) {
+	defer span(ctx, "fig16")()
 	model, err := s.Model()
 	if err != nil {
 		return nil, err
@@ -372,6 +374,7 @@ func (s *Suite) Fig17() (*Fig17Result, error) {
 
 // Fig17Ctx is Fig17 with cooperative cancellation.
 func (s *Suite) Fig17Ctx(ctx context.Context) (*Fig17Result, error) {
+	defer span(ctx, "fig17")()
 	const window = 1000 // frames
 	res := &Fig17Result{TargetPl: 1e-3}
 	for _, n := range []int{1, 20} {

@@ -32,6 +32,7 @@ func fig14Key(n int, target queue.LossTarget) string {
 // every partially finished — curve; passing the same state back resumes
 // them.
 func (s *Suite) Fig14Ctx(ctx context.Context, progress *checkpoint.SearchState) (*Fig14Result, error) {
+	defer span(ctx, "fig14")()
 	type job struct {
 		n      int
 		target queue.LossTarget

@@ -6,14 +6,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"vbr/internal/core"
+	"vbr/internal/obs"
 	"vbr/internal/synth"
 	"vbr/internal/trace"
 )
+
+// span opens the per-figure wall-time span "experiments.<name>.seconds"
+// on the run's observability scope (a no-op without one):
+//
+//	defer span(ctx, "fig14")()
+func span(ctx context.Context, name string) func() {
+	return obs.From(ctx).Span("experiments." + name)
+}
 
 // Scale selects the cost of the reproduction run.
 type Scale int

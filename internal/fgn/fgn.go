@@ -21,6 +21,7 @@ import (
 
 	"vbr/internal/errs"
 	"vbr/internal/fft"
+	"vbr/internal/obs"
 )
 
 // validHurst reports whether h is a legal Hurst parameter for a
@@ -88,7 +89,7 @@ func FGNACF(h float64, maxLag int) ([]float64, error) {
 // of the Yule–Walker system, so the output has exactly the target
 // autocorrelation structure.
 func Hosking(n int, h float64, rng *rand.Rand) ([]float64, error) {
-	x, _, err := hoskingRun(context.Background(), n, h, rng, nil, nil)
+	x, _, err := hoskingRun(context.Background(), n, h, rng, nil, nil, 0, nil)
 	return x, err
 }
 
@@ -96,7 +97,7 @@ func Hosking(n int, h float64, rng *rand.Rand) ([]float64, error) {
 // recursion checks ctx once per outer iteration and returns an error
 // matching errs.ErrCancelled as soon as the context is done.
 func HoskingCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]float64, error) {
-	x, _, err := hoskingRun(ctx, n, h, rng, nil, nil)
+	x, _, err := hoskingRun(ctx, n, h, rng, nil, nil, 0, nil)
 	return x, err
 }
 
@@ -137,17 +138,38 @@ type HoskingState struct {
 // *HoskingState alongside an error matching errs.ErrCancelled; on
 // success the state is nil and x holds all n points.
 func HoskingResumable(ctx context.Context, n int, h float64, src MarshalableSource, resume *HoskingState) ([]float64, *HoskingState, error) {
+	return HoskingCheckpointed(ctx, n, h, src, resume, 0, nil)
+}
+
+// SnapshotFunc persists a periodic recursion snapshot. A non-nil error
+// aborts the generation: a run that believes it is checkpointed but
+// cannot actually write checkpoints should fail loudly, not complete
+// unprotected.
+type SnapshotFunc func(*HoskingState) error
+
+// HoskingCheckpointed is HoskingResumable with periodic checkpointing:
+// when save is non-nil and every is positive, a snapshot is taken and
+// handed to save after each block of every points, so a crashed (not
+// just signalled) run loses at most one block of work. Snapshots are
+// taken at the top of an outer iteration, before the iteration consumes
+// randomness, which keeps resumed output bitwise identical.
+func HoskingCheckpointed(ctx context.Context, n int, h float64, src MarshalableSource, resume *HoskingState, every int, save SnapshotFunc) ([]float64, *HoskingState, error) {
 	if src == nil {
 		return nil, nil, fmt.Errorf("fgn: resumable generation needs a marshalable source")
 	}
-	return hoskingRun(ctx, n, h, rand.New(src), src, resume)
+	return hoskingRun(ctx, n, h, rand.New(src), src, resume, every, save)
 }
 
-// hoskingRun is the shared recursion behind Hosking, HoskingCtx and
-// HoskingResumable. src may be nil (no checkpointing); resume may be nil
-// (fresh start, requires src to be at its initial position for
-// reproducibility across save/restore cycles).
-func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src MarshalableSource, resume *HoskingState) ([]float64, *HoskingState, error) {
+// progressEvery is the outer-iteration stride at which the Hosking
+// recursion reports progress and flushes its point counter.
+const progressEvery = 4096
+
+// hoskingRun is the shared recursion behind Hosking, HoskingCtx,
+// HoskingResumable and HoskingCheckpointed. src may be nil (no
+// checkpointing); resume may be nil (fresh start, requires src to be at
+// its initial position for reproducibility across save/restore cycles);
+// save with a positive every enables periodic snapshots.
+func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src MarshalableSource, resume *HoskingState, every int, save SnapshotFunc) ([]float64, *HoskingState, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
 	}
@@ -158,6 +180,8 @@ func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src Marsh
 	if err != nil {
 		return nil, nil, err
 	}
+	scope := obs.From(ctx)
+	defer scope.Span("fgn.hosking")()
 
 	x := make([]float64, n)
 	phi := make([]float64, n)     // φ_{k,·}, reused in place
@@ -178,13 +202,37 @@ func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src Marsh
 		x[0] = rng.NormFloat64() // X_0 ~ N(0, v_0), v_0 = 1
 	}
 
+	// fresh is the point X_0 drawn outside the recursion on a fresh
+	// start.
+	fresh := 0
+	if resume == nil {
+		fresh = 1
+	}
+
+	// Progress flushes and periodic snapshots fire when k reaches a
+	// precomputed mark rather than via per-iteration modulo checks:
+	// inlining those checks into the loop body measurably slowed the
+	// inner recursion loops (~15% on n=10k), so the hot loop pays one
+	// integer compare and the side work lives in hoskingTicker.fire.
+	t := hoskingTicker{scope: scope, n: n, h: h, k0: k0, fresh: fresh, every: every, save: save, src: src}
+	next := t.firstMark()
+
 	for k := k0; k < n; k++ {
 		if ctx.Err() != nil {
+			scope.Count("fgn.hosking.points", int64(k-k0+fresh-t.counted))
 			var st *HoskingState
 			if src != nil {
 				st = snapshotState(n, h, k, v, nPrev, dPrev, x, phiPrev, src)
+				scope.Count("checkpoint.snapshots", 1)
 			}
 			return nil, st, fmt.Errorf("fgn: Hosking generation interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
+		}
+		if k == next {
+			var st *HoskingState
+			next, st, err = t.fire(k, v, nPrev, dPrev, x, phiPrev)
+			if err != nil {
+				return nil, st, err
+			}
 		}
 
 		// N_k and D_k (Eqs. 7–8).
@@ -216,7 +264,66 @@ func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src Marsh
 		copy(phiPrev[1:k+1], phi[1:k+1])
 		nPrev, dPrev = nk, dk
 	}
+	scope.Count("fgn.hosking.points", int64(n-k0+fresh-t.counted))
+	scope.Progress("fgn.hosking", int64(n), int64(n))
 	return x, nil, nil
+}
+
+// hoskingTicker schedules the recursion's periodic side work —
+// progress/counter flushes every progressEvery points and snapshots
+// every `every` points — as precomputed marks, so hoskingRun's hot
+// loop tests a single integer equality per iteration and the cold
+// paths stay out of its body.
+type hoskingTicker struct {
+	scope   *obs.Scope
+	n       int
+	h       float64
+	k0      int
+	fresh   int
+	counted int // points already flushed into fgn.hosking.points
+	every   int
+	save    SnapshotFunc
+	src     MarshalableSource
+
+	nextProg int
+	nextSnap int
+}
+
+// firstMark initialises the progress and snapshot marks and returns
+// the first point index at which fire must run. Marks at or beyond n
+// simply never fire.
+func (t *hoskingTicker) firstMark() int {
+	t.nextProg = t.k0 + progressEvery
+	t.nextSnap = t.n // snapshots disabled: mark is unreachable
+	if t.save != nil && t.every > 0 {
+		t.nextSnap = t.k0 + t.every
+	}
+	return min(t.nextProg, t.nextSnap)
+}
+
+// fire runs the side work due at point k — kept out of hoskingRun's
+// loop body deliberately — and returns the next mark. On a failed
+// snapshot save it returns the snapshot alongside the error so the
+// caller can hand both to its caller.
+//
+//go:noinline
+func (t *hoskingTicker) fire(k int, v, nPrev, dPrev float64, x, phiPrev []float64) (int, *HoskingState, error) {
+	if k == t.nextProg {
+		done := k - t.k0 + t.fresh
+		t.scope.Count("fgn.hosking.points", int64(done-t.counted))
+		t.counted = done
+		t.scope.Progress("fgn.hosking", int64(k), int64(t.n))
+		t.nextProg += progressEvery
+	}
+	if k == t.nextSnap {
+		st := snapshotState(t.n, t.h, k, v, nPrev, dPrev, x, phiPrev, t.src)
+		t.scope.Count("checkpoint.snapshots", 1)
+		if err := t.save(st); err != nil {
+			return 0, st, fmt.Errorf("fgn: saving periodic snapshot at point %d of %d: %w", k, t.n, err)
+		}
+		t.nextSnap += t.every
+	}
+	return min(t.nextProg, t.nextSnap), nil, nil
 }
 
 // snapshotState copies the live recursion state into an owned snapshot.
@@ -270,6 +377,8 @@ func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
 // between the pipeline stages (ACF build, eigenvalue FFT, spectrum
 // randomization, synthesis FFT).
 func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]float64, error) {
+	scope := obs.From(ctx)
+	defer scope.Span("fgn.daviesharte")()
 	if n < 1 {
 		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
 	}
@@ -341,6 +450,7 @@ func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]fl
 	for i := range out {
 		out[i] = real(z[i])
 	}
+	scope.Count("fgn.daviesharte.points", int64(n))
 	return out, nil
 }
 

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvar's registry is process-global and Publish panics on duplicate
+// names, so the "vbr" variable is published once and indirects through
+// an atomic pointer to whatever registry the latest debug server wants
+// exported.
+var (
+	expvarReg  atomic.Pointer[Registry]
+	expvarOnce sync.Once
+)
+
+// publishRegistry exports reg under the expvar name "vbr".
+func publishRegistry(reg *Registry) {
+	expvarReg.Store(reg)
+	expvarOnce.Do(func() {
+		expvar.Publish("vbr", expvar.Func(func() any {
+			if r := expvarReg.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+// DebugServer is the opt-in diagnostics HTTP server behind -debug-addr:
+// /debug/vars serves expvar (with the metrics registry under "vbr") and
+// /debug/pprof/* serves the standard profiles.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr (port 0 picks a free port) and serves
+// in a background goroutine until Close.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	publishRegistry(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// ErrServerClosed (and the listener-closed error on Close) is the
+		// normal shutdown path; the server is best-effort diagnostics, so
+		// other serve failures are dropped rather than crashing the run.
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// Addr returns the bound address, useful with ":0" listeners.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close immediately shuts the server down.
+func (d *DebugServer) Close() error {
+	if err := d.srv.Close(); err != nil {
+		return fmt.Errorf("obs: closing debug server: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerServesExpvarAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fgn.hosking.points").Add(123)
+	srv, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := get(t, "http://"+srv.Addr()+"/debug/vars")
+	var vars struct {
+		VBR Snapshot `json:"vbr"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if vars.VBR.Counters["fgn.hosking.points"] != 123 {
+		t.Errorf("vbr counters = %+v, want fgn.hosking.points=123", vars.VBR.Counters)
+	}
+
+	if idx := get(t, "http://"+srv.Addr()+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", idx)
+	}
+}
+
+// TestDebugServerRestartRebinds covers the expvar duplicate-publish
+// trap: a second server (fresh registry) must start cleanly and export
+// the new registry's values.
+func TestDebugServerRestartRebinds(t *testing.T) {
+	first := NewRegistry()
+	first.Counter("run").Add(1)
+	srv1, err := StartDebugServer("127.0.0.1:0", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.Close()
+
+	second := NewRegistry()
+	second.Counter("run").Add(2)
+	srv2, err := StartDebugServer("127.0.0.1:0", second)
+	if err != nil {
+		t.Fatalf("second StartDebugServer: %v", err)
+	}
+	defer srv2.Close()
+
+	var vars struct {
+		VBR Snapshot `json:"vbr"`
+	}
+	if err := json.Unmarshal([]byte(get(t, "http://"+srv2.Addr()+"/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.VBR.Counters["run"] != 2 {
+		t.Errorf("run = %d, want 2 (latest registry wins)", vars.VBR.Counters["run"])
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

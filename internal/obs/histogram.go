@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram buckets are fixed powers of two: bucket i (1 ≤ i ≤
+// histBuckets-2) covers [2^(histMinExp+i-1), 2^(histMinExp+i)). Bucket 0
+// is the underflow/invalid bucket — zero, negatives, NaN, -Inf, and
+// anything below 2^histMinExp, subnormals included. The last bucket is
+// overflow: +Inf and anything at or above 2^histMaxExp. The range spans
+// sub-nanosecond span durations (2^-30 s ≈ 0.93 ns) up to terabyte-scale
+// byte counts (2^40 ≈ 1.1e12), so one fixed layout serves every metric.
+const (
+	histMinExp  = -30
+	histMaxExp  = 40
+	histBuckets = histMaxExp - histMinExp + 2
+)
+
+// bucketIndex maps an observation to its bucket.
+func bucketIndex(v float64) int {
+	if math.IsNaN(v) || v <= 0 {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets - 1
+	}
+	// Frexp writes v = frac · 2^exp with frac ∈ [0.5, 1), so v lies in
+	// [2^(exp-1), 2^exp) and its bucket is exp - histMinExp.
+	_, exp := math.Frexp(v)
+	i := exp - histMinExp
+	if i < 1 {
+		return 0
+	}
+	if i > histBuckets-2 {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketLower returns the inclusive lower bound of bucket i ≥ 1.
+func bucketLower(i int) float64 {
+	return math.Ldexp(1, histMinExp+i-1)
+}
+
+// Histogram is a lock-free fixed-bucket log-scale histogram. Count
+// includes every observation; Sum, Min and Max cover only finite
+// observations (NaN and ±Inf land in their buckets but would poison the
+// aggregates — and could not be serialized to JSON). Build histograms
+// through a Registry: the zero value records observations but reports
+// zero Min/Max extremes.
+type Histogram struct {
+	count   atomic.Int64
+	finite  atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// newHistogram seeds the extremes at ±Inf so the min/max CAS races
+// cleanly from the first observation on.
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.count.Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.finite.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	casFloat(&h.minBits, v, func(cur float64) bool { return v < cur })
+	casFloat(&h.maxBits, v, func(cur float64) bool { return v > cur })
+}
+
+// casFloat installs v while better(current) holds, retrying on
+// contention.
+func casFloat(bits *atomic.Uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := bits.Load()
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of finite observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCount is one occupied bucket of a snapshot: N observations in
+// [Lo, Le), where Lo is 0 for the underflow/invalid bucket.
+type BucketCount struct {
+	Lo float64 `json:"lo"`
+	Le float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Occupied
+// finite buckets are listed in ascending order; Overflow counts
+// observations at or above the largest bound (including +Inf). Min and
+// Max are zero when no finite observation was recorded.
+type HistogramSnapshot struct {
+	Count    int64         `json:"count"`
+	Sum      float64       `json:"sum"`
+	Min      float64       `json:"min"`
+	Max      float64       `json:"max"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow int64         `json:"overflow,omitempty"`
+}
+
+// Snapshot copies the histogram. Each field is read atomically; a
+// concurrent Observe may straddle the reads, so totals are only exact
+// once writers have quiesced.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	if h.finite.Load() > 0 {
+		s.Min = math.Float64frombits(h.minBits.Load())
+		s.Max = math.Float64frombits(h.maxBits.Load())
+	}
+	for i := 0; i < histBuckets-1; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := BucketCount{Le: bucketLower(i + 1), N: n}
+		if i > 0 {
+			b.Lo = bucketLower(i)
+		}
+		s.Buckets = append(s.Buckets, b)
+	}
+	s.Overflow = h.buckets[histBuckets-1].Load()
+	return s
+}

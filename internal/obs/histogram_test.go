@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexEdgeCases(t *testing.T) {
+	last := histBuckets - 1
+	cases := []struct {
+		name string
+		v    float64
+		want int
+	}{
+		{"zero", 0, 0},
+		{"negative", -1, 0},
+		{"negative infinity", math.Inf(-1), 0},
+		{"NaN", math.NaN(), 0},
+		{"smallest subnormal", 5e-324, 0},
+		{"largest subnormal", math.Float64frombits(0x000fffffffffffff), 0},
+		{"just below range", math.Ldexp(1, histMinExp-1), 0},
+		{"bottom of bucket 1", math.Ldexp(1, histMinExp), 1},
+		{"top of bucket 1", math.Nextafter(math.Ldexp(1, histMinExp+1), 0), 1},
+		{"one", 1, 1 - histMinExp},
+		{"just below one", math.Nextafter(1, 0), -histMinExp},
+		{"two", 2, 2 - histMinExp},
+		{"top finite bucket", math.Nextafter(math.Ldexp(1, histMaxExp), 0), histBuckets - 2},
+		{"at overflow bound", math.Ldexp(1, histMaxExp), last},
+		{"max float", math.MaxFloat64, last},
+		{"positive infinity", math.Inf(1), last},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("%s: bucketIndex(%g) = %d, want %d", c.name, c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketLowerMatchesIndex(t *testing.T) {
+	// Every finite bucket's lower bound must map back into that bucket,
+	// and the value just below it into the previous one.
+	for i := 1; i <= histBuckets-2; i++ {
+		lo := bucketLower(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLower(%d)=%g) = %d", i, lo, got)
+		}
+		below := math.Nextafter(lo, 0)
+		if got := bucketIndex(below); got != i-1 {
+			t.Fatalf("bucketIndex(just below bucket %d) = %d, want %d", i, got, i-1)
+		}
+	}
+}
+
+func TestHistogramNonFiniteObservations(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3 (non-finite observations still count)", s.Count)
+	}
+	if s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("Sum/Min/Max = %g/%g/%g, want all zero with no finite observations", s.Sum, s.Min, s.Max)
+	}
+	if s.Overflow != 1 {
+		t.Errorf("Overflow = %d, want 1 (+Inf only)", s.Overflow)
+	}
+	// NaN and -Inf share the underflow/invalid bucket, whose Lo is 0.
+	if len(s.Buckets) != 1 || s.Buckets[0].Lo != 0 || s.Buckets[0].N != 2 {
+		t.Errorf("Buckets = %+v, want one underflow bucket with N=2", s.Buckets)
+	}
+}
+
+func TestHistogramFiniteAggregates(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []float64{4, 0.25, 1, 1.5, 0} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 6.75 {
+		t.Errorf("Sum = %g, want 6.75", s.Sum)
+	}
+	// Zero is invalid (bucket 0) but finite, so it participates in
+	// Min/Max and Sum: the recorded minimum is 0, not 0.25.
+	if s.Min != 0 || s.Max != 4 {
+		t.Errorf("Min/Max = %g/%g, want 0/4", s.Min, s.Max)
+	}
+	// Buckets must come out in ascending order with contiguous bounds.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Lo < s.Buckets[i-1].Le {
+			t.Errorf("buckets out of order: %+v", s.Buckets)
+		}
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total+s.Overflow != s.Count {
+		t.Errorf("bucket totals %d + overflow %d != count %d", total, s.Overflow, s.Count)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const goroutines = 32
+	const perG = 1000
+	h := newHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	// Integer-valued partial sums are exact in float64 at this scale, so
+	// the CAS-accumulated sum must be exact too.
+	if s.Sum != goroutines*perG {
+		t.Errorf("Sum = %g, want %d", s.Sum, goroutines*perG)
+	}
+	if s.Min != 1 || s.Max != 1 {
+		t.Errorf("Min/Max = %g/%g, want 1/1", s.Min, s.Max)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].N != goroutines*perG {
+		t.Errorf("Buckets = %+v, want all %d observations in one bucket", s.Buckets, goroutines*perG)
+	}
+}
+
+func TestHistogramConcurrentMinMax(t *testing.T) {
+	const goroutines = 32
+	h := newHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine observes a distinct power of two, so the true
+			// extremes are known regardless of interleaving.
+			h.Observe(math.Ldexp(1, g-16))
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Min != math.Ldexp(1, -16) {
+		t.Errorf("Min = %g, want 2^-16", s.Min)
+	}
+	if s.Max != math.Ldexp(1, 15) {
+		t.Errorf("Max = %g, want 2^15", s.Max)
+	}
+}

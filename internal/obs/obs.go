@@ -1,0 +1,112 @@
+// Package obs is the stdlib-only observability layer of the pipeline: an
+// atomic metrics registry (counters, gauges, log-scale histograms),
+// span-style wall-clock timers, and a typed progress-event stream.
+//
+// Everything hangs off a *Scope, which is nil-safe by convention: every
+// method no-ops on a nil receiver, so uninstrumented call paths pay one
+// pointer check and instrumented packages never need to guard call
+// sites. Scopes travel through the call tree on the context (With/From),
+// which the hot entry points already carry for cancellation.
+//
+// Wall-clock time read inside this package (span timers, progress rate
+// and ETA) is display-only: it never feeds back into generation or
+// simulation results, which stay bit-reproducible from their seeds. The
+// time.Now sites therefore carry vbrlint ignore directives instead of a
+// package-wide determinism exemption; see DESIGN.md.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Scope binds a metrics registry to an optional progress sink. The zero
+// of *Scope — nil — is a valid, fully inert scope.
+type Scope struct {
+	reg  *Registry
+	sink EventSink
+}
+
+// New builds a scope over reg (a fresh registry when nil) reporting
+// progress to sink (may be nil for metrics-only scopes).
+func New(reg *Registry, sink EventSink) *Scope {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Scope{reg: reg, sink: sink}
+}
+
+// Registry exposes the underlying registry; nil on a nil scope.
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Count adds delta to the named counter.
+func (s *Scope) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.reg.Counter(name).Add(delta)
+}
+
+// SetGauge sets the named gauge to v.
+func (s *Scope) SetGauge(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.reg.Gauge(name).Set(v)
+}
+
+// Observe records v into the named histogram.
+func (s *Scope) Observe(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.reg.Histogram(name).Observe(v)
+}
+
+// Span starts a wall-clock timer and returns the function that stops it,
+// recording the elapsed seconds into the histogram "<name>.seconds".
+// Typical use: defer scope.Span("fgn.hosking")().
+func (s *Scope) Span(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	//vbrlint:ignore determinism span timers are display-only wall time; they never influence generated or simulated values
+	start := time.Now()
+	return func() {
+		//vbrlint:ignore determinism span timers are display-only wall time; they never influence generated or simulated values
+		s.reg.Histogram(name + ".seconds").Observe(time.Since(start).Seconds())
+	}
+}
+
+// Progress emits a progress event for stage. total ≤ 0 means the total
+// is unknown. Emission is synchronous; sinks are expected to be cheap
+// and to rate-limit themselves.
+func (s *Scope) Progress(stage string, done, total int64) {
+	if s == nil || s.sink == nil {
+		return
+	}
+	s.sink.Emit(Event{Stage: stage, Done: done, Total: total})
+}
+
+// ctxKey is the private context key carrying a *Scope.
+type ctxKey struct{}
+
+// With returns a context carrying s.
+func With(ctx context.Context, s *Scope) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// From extracts the scope from ctx, or nil when none was attached — the
+// nil result is itself a valid inert scope.
+func From(ctx context.Context) *Scope {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Scope)
+	return s
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestNilScopeNoOps locks in the package's central convention: every
+// Scope method must be callable on a nil receiver without panicking or
+// allocating state.
+func TestNilScopeNoOps(t *testing.T) {
+	var s *Scope
+	s.Count("c", 1)
+	s.SetGauge("g", 2)
+	s.Observe("h", 3)
+	s.Progress("stage", 1, 10)
+	end := s.Span("span")
+	if end == nil {
+		t.Fatal("nil scope Span returned nil, want callable no-op")
+	}
+	end()
+	if s.Registry() != nil {
+		t.Error("nil scope Registry() != nil")
+	}
+}
+
+func TestScopeContextRoundTrip(t *testing.T) {
+	if got := From(context.Background()); got != nil {
+		t.Errorf("From(bare context) = %v, want nil", got)
+	}
+	if got := From(nil); got != nil { //nolint:staticcheck // nil ctx is an explicit supported input
+		t.Errorf("From(nil) = %v, want nil", got)
+	}
+	s := New(nil, nil)
+	ctx := With(context.Background(), s)
+	if got := From(ctx); got != s {
+		t.Errorf("From(With(ctx, s)) = %p, want %p", got, s)
+	}
+}
+
+func TestScopeMetricsReachRegistry(t *testing.T) {
+	reg := NewRegistry()
+	s := New(reg, nil)
+	s.Count("points", 41)
+	s.Count("points", 1)
+	s.SetGauge("temp", 2.5)
+	s.Observe("sizes", 100)
+	end := s.Span("work")
+	end()
+
+	snap := reg.Snapshot()
+	if snap.Counters["points"] != 42 {
+		t.Errorf("counter points = %d, want 42", snap.Counters["points"])
+	}
+	if snap.Gauges["temp"] != 2.5 {
+		t.Errorf("gauge temp = %g, want 2.5", snap.Gauges["temp"])
+	}
+	if snap.Histograms["sizes"].Count != 1 {
+		t.Errorf("histogram sizes count = %d, want 1", snap.Histograms["sizes"].Count)
+	}
+	sp, ok := snap.Histograms["work.seconds"]
+	if !ok || sp.Count != 1 {
+		t.Errorf("span histogram work.seconds = %+v ok=%v, want one observation", sp, ok)
+	}
+	if sp.Min < 0 {
+		t.Errorf("span duration %g < 0", sp.Min)
+	}
+}
+
+func TestNewWithNilRegistry(t *testing.T) {
+	s := New(nil, nil)
+	if s.Registry() == nil {
+		t.Fatal("New(nil, nil) scope has nil registry")
+	}
+	s.Count("c", 1)
+	if got := s.Registry().Counter("c").Value(); got != 1 {
+		t.Errorf("counter = %d, want 1", got)
+	}
+}
+
+// recordingSink captures emitted events for assertions.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recordingSink) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+func TestScopeProgressEmits(t *testing.T) {
+	sink := &recordingSink{}
+	s := New(nil, sink)
+	s.Progress("gen", 5, 10)
+	s.Progress("gen", 10, 10)
+	if len(sink.events) != 2 {
+		t.Fatalf("got %d events, want 2", len(sink.events))
+	}
+	if sink.events[0] != (Event{Stage: "gen", Done: 5, Total: 10}) {
+		t.Errorf("event 0 = %+v", sink.events[0])
+	}
+	if !sink.events[1].Final() {
+		t.Errorf("event done=total not Final: %+v", sink.events[1])
+	}
+	if (Event{Stage: "gen", Done: 3, Total: 0}).Final() {
+		t.Error("unknown-total event reported Final")
+	}
+}
+
+// TestRegistryConcurrentExactTotals drives 32 goroutines through every
+// metric kind and checks the totals are exact — run under -race this
+// also proves the lock/atomic discipline.
+func TestRegistryConcurrentExactTotals(t *testing.T) {
+	const goroutines = 32
+	const perG = 1000
+	reg := NewRegistry()
+	s := New(reg, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Count("total", 1)
+				reg.Gauge("acc").Add(1)
+				s.Observe("obs", 2)
+			}
+		}()
+	}
+	wg.Wait()
+	const want = goroutines * perG
+	if got := reg.Counter("total").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := reg.Gauge("acc").Value(); got != want {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	h := reg.Histogram("obs").Snapshot()
+	if h.Count != want {
+		t.Errorf("histogram count = %d, want %d", h.Count, want)
+	}
+	if h.Sum != 2*want {
+		t.Errorf("histogram sum = %g, want %d", h.Sum, 2*want)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Add(7)
+	reg.Gauge("b.level").Set(1.25)
+	reg.Histogram("c.sizes").Observe(512)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["a.count"] != 7 {
+		t.Errorf("counters = %+v", snap.Counters)
+	}
+	if snap.Gauges["b.level"] != 1.25 {
+		t.Errorf("gauges = %+v", snap.Gauges)
+	}
+	h := snap.Histograms["c.sizes"]
+	if h.Count != 1 || h.Sum != 512 || h.Min != 512 || h.Max != 512 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if len(h.Buckets) != 1 || h.Buckets[0].Lo != 512 || h.Buckets[0].Le != 1024 {
+		t.Errorf("buckets = %+v, want one bucket [512, 1024)", h.Buckets)
+	}
+}
+
+// TestWriteJSONWithNonFinites checks the one encoding trap: histograms
+// that saw NaN or ±Inf must still serialize (those values are kept out
+// of Sum/Min/Max by design).
+func TestWriteJSONWithNonFinites(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("weird")
+	h.Observe(1)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with non-finite observations: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	w := snap.Histograms["weird"]
+	if w.Count != 4 || w.Sum != 1 || w.Min != 1 || w.Max != 1 {
+		t.Errorf("snapshot = %+v, want count 4 with finite aggregates from the single 1", w)
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one progress report from an instrumented stage. Done counts
+// completed work units; Total ≤ 0 means the total is unknown.
+type Event struct {
+	Stage string
+	Done  int64
+	Total int64
+}
+
+// Final reports whether the event marks stage completion.
+func (e Event) Final() bool { return e.Total > 0 && e.Done >= e.Total }
+
+// EventSink consumes progress events. Implementations must be safe for
+// concurrent use: parallel stages emit from multiple goroutines.
+type EventSink interface {
+	Emit(Event)
+}
+
+// LineEmitter renders progress events as single-line reports on a
+// writer (typically stderr), rate-limited per stage so tight emitters
+// cost one mutexed time read per event. Final events (done == total)
+// always print, so every stage's completion is visible.
+type LineEmitter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	minGap time.Duration
+	stages map[string]*stageClock
+}
+
+// stageClock tracks per-stage emission state.
+type stageClock struct {
+	start    time.Time
+	lastEmit time.Time
+}
+
+// NewLineEmitter builds a line emitter printing to w at most once per
+// minGap per stage (0 disables rate limiting).
+func NewLineEmitter(w io.Writer, minGap time.Duration) *LineEmitter {
+	return &LineEmitter{w: w, minGap: minGap, stages: make(map[string]*stageClock)}
+}
+
+// Emit implements EventSink. Rate and ETA are computed from the elapsed
+// wall time since the stage's first event; both are display-only.
+func (e *LineEmitter) Emit(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//vbrlint:ignore determinism progress rate/ETA display is the one legitimate wall-clock consumer; it never feeds results
+	now := time.Now()
+	sc, ok := e.stages[ev.Stage]
+	if !ok {
+		sc = &stageClock{start: now}
+		e.stages[ev.Stage] = sc
+	}
+	if !ev.Final() && !sc.lastEmit.IsZero() && now.Sub(sc.lastEmit) < e.minGap {
+		return
+	}
+	sc.lastEmit = now
+
+	line := fmt.Sprintf("progress %s: %d", ev.Stage, ev.Done)
+	if ev.Total > 0 {
+		line += fmt.Sprintf("/%d (%.1f%%)", ev.Total, 100*float64(ev.Done)/float64(ev.Total))
+	}
+	elapsed := now.Sub(sc.start).Seconds()
+	if elapsed > 0 && ev.Done > 0 {
+		rate := float64(ev.Done) / elapsed
+		line += fmt.Sprintf(" %.0f/s", rate)
+		if ev.Total > ev.Done {
+			eta := float64(ev.Total-ev.Done) / rate
+			line += fmt.Sprintf(" eta %s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+		}
+	}
+	fmt.Fprintln(e.w, line)
+}

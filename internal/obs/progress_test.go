@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLineEmitterFormat(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewLineEmitter(&buf, 0)
+	e.Emit(Event{Stage: "gen", Done: 25, Total: 100})
+	line := buf.String()
+	if !strings.HasPrefix(line, "progress gen: 25/100 (25.0%)") {
+		t.Errorf("line = %q, want prefix %q", line, "progress gen: 25/100 (25.0%)")
+	}
+}
+
+func TestLineEmitterUnknownTotal(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewLineEmitter(&buf, 0)
+	e.Emit(Event{Stage: "scan", Done: 7})
+	line := buf.String()
+	if !strings.HasPrefix(line, "progress scan: 7") {
+		t.Errorf("line = %q", line)
+	}
+	if strings.Contains(line, "%") || strings.Contains(line, "eta") {
+		t.Errorf("unknown-total line should carry no percentage or ETA: %q", line)
+	}
+}
+
+func TestLineEmitterRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	// An hour-long gap guarantees every non-final event after the first
+	// falls inside the window.
+	e := NewLineEmitter(&buf, time.Hour)
+	e.Emit(Event{Stage: "gen", Done: 1, Total: 10})
+	e.Emit(Event{Stage: "gen", Done: 2, Total: 10}) // suppressed
+	e.Emit(Event{Stage: "gen", Done: 3, Total: 10}) // suppressed
+	e.Emit(Event{Stage: "gen", Done: 10, Total: 10})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (first + final):\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "1/10") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10/10 (100.0%)") {
+		t.Errorf("final line = %q, want the completion event to bypass the rate limit", lines[1])
+	}
+}
+
+func TestLineEmitterStagesIndependent(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewLineEmitter(&buf, time.Hour)
+	e.Emit(Event{Stage: "a", Done: 1, Total: 10})
+	e.Emit(Event{Stage: "b", Done: 1, Total: 10})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2 (per-stage rate limits):\n%s", len(lines), buf.String())
+	}
+}
+
+func TestLineEmitterConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewLineEmitter(&buf, 0)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := int64(1); i <= 50; i++ {
+				e.Emit(Event{Stage: "par", Done: i, Total: 50})
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	// The mutex must keep lines whole: every line starts with the prefix.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.HasPrefix(line, "progress par: ") {
+			t.Fatalf("interleaved output line: %q", line)
+		}
+	}
+}

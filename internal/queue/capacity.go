@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"vbr/internal/errs"
+	"vbr/internal/obs"
 )
 
 // LossTarget is a quality-of-service target for the capacity search:
@@ -50,7 +51,11 @@ func MinCapacityCtx(ctx context.Context, loss func(capacityBps float64) (float64
 	if ctx.Err() != nil {
 		return 0, errs.Cancelled(ctx)
 	}
-	// Verify the bracket actually brackets the target.
+	scope := obs.From(ctx)
+	scope.Count("queue.capacity.searches", 1)
+	// Verify the bracket actually brackets the target. These two
+	// endpoint evaluations are not counted as bisection probes:
+	// queue.capacity.probes reports search effort, bounded at 50.
 	lHi, err := loss(hiBps)
 	if err != nil {
 		return 0, err
@@ -64,15 +69,20 @@ func MinCapacityCtx(ctx context.Context, loss func(capacityBps float64) (float64
 		return 0, err
 	}
 	if lLo <= target.Pl {
+		scope.Observe("queue.capacity.bracket.relwidth", 0)
 		return loBps, nil
 	}
+	probes := 0
 	for i := 0; i < 50 && hiBps-loBps > 1e-4*hiBps; i++ {
 		if ctx.Err() != nil {
+			scope.Count("queue.capacity.probes", int64(probes))
 			return 0, errs.Cancelled(ctx)
 		}
 		mid := (loBps + hiBps) / 2
+		probes++
 		l, err := loss(mid)
 		if err != nil {
+			scope.Count("queue.capacity.probes", int64(probes))
 			return 0, err
 		}
 		if l <= target.Pl {
@@ -81,6 +91,8 @@ func MinCapacityCtx(ctx context.Context, loss func(capacityBps float64) (float64
 			loBps = mid
 		}
 	}
+	scope.Count("queue.capacity.probes", int64(probes))
+	scope.Observe("queue.capacity.bracket.relwidth", (hiBps-loBps)/hiBps)
 	return hiBps, nil
 }
 
@@ -131,6 +143,7 @@ func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 	mean := cfg.Mux.Trace.MeanRate() * n
 	peak := cfg.Mux.Trace.PeakRate() * n * 1.05 // headroom for slice-level peaks
 
+	scope := obs.From(ctx)
 	points := make([]QCPoint, 0, len(cfg.TmaxGrid))
 	for _, tmax := range cfg.TmaxGrid {
 		if !(tmax >= 0) {
@@ -138,6 +151,7 @@ func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 		}
 		if bps, ok := resumed[tmax]; ok {
 			points = append(points, QCPoint{TmaxSec: tmax, PerSourceBps: bps})
+			scope.Progress("queue.qccurve", int64(len(points)), int64(len(cfg.TmaxGrid)))
 			continue
 		}
 		if ctx.Err() != nil {
@@ -160,6 +174,8 @@ func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 			return points, fmt.Errorf("queue: T_max=%v: %w", tmax, err)
 		}
 		points = append(points, QCPoint{TmaxSec: tmax, PerSourceBps: c / n})
+		scope.Count("queue.curve.points", 1)
+		scope.Progress("queue.qccurve", int64(len(points)), int64(len(cfg.TmaxGrid)))
 	}
 	return points, nil
 }
@@ -224,6 +240,7 @@ func SMGCtx(ctx context.Context, cfg SMGConfig) ([]SMGPoint, error) {
 	if !(cfg.TmaxSec >= 0) {
 		return nil, fmt.Errorf("queue: negative T_max")
 	}
+	scope := obs.From(ctx)
 	out := make([]SMGPoint, 0, len(cfg.Ns))
 	for _, n := range cfg.Ns {
 		if ctx.Err() != nil {
@@ -251,6 +268,8 @@ func SMGCtx(ctx context.Context, cfg SMGConfig) ([]SMGPoint, error) {
 			return out, fmt.Errorf("queue: N=%d: %w", n, err)
 		}
 		out = append(out, SMGPoint{N: n, PerSourceBps: c / float64(n)})
+		scope.Count("queue.smg.points", 1)
+		scope.Progress("queue.smg", int64(len(out)), int64(len(cfg.Ns)))
 	}
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"vbr/internal/errs"
+	"vbr/internal/obs"
 	"vbr/internal/runner"
 	"vbr/internal/trace"
 )
@@ -222,10 +223,21 @@ func (m *Mux) AverageLossCtx(ctx context.Context, capacityBps, bufferBytes float
 		// would be silently biased; cancellation aborts the call.
 		return nil, fmt.Errorf("queue: multiplexer average interrupted: %w", errs.Cancelled(ctx))
 	}
-	ok, _ := runner.Split(results)
+	ok, failed := runner.Split(results)
+	// Metrics are recorded at combo granularity, not inside the
+	// per-interval fluid loop, so the simulator hot path stays
+	// instrumentation-free.
+	scope := obs.From(ctx)
+	scope.Count("queue.combos.done", int64(len(ok)))
+	scope.Count("queue.combos.failed", int64(len(failed)))
 	if len(ok) == 0 {
 		return nil, fmt.Errorf("queue: %w: %w", errs.ErrAllCombosFailed, errors.Join(runner.Errors(results)...))
 	}
+	var bytes float64
+	for _, res := range ok {
+		bytes += res.Value.TotalBytes
+	}
+	scope.Count("queue.bytes.simulated", int64(bytes))
 	avg := &Result{CombosTotal: len(ws), CombosUsed: len(ok), ComboErrors: runner.Errors(results)}
 	for _, res := range ok {
 		r := res.Value

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"vbr/internal/errs"
+	"vbr/internal/obs"
 )
 
 // Result is the outcome of one work item. Exactly one of Value or Err is
@@ -74,6 +75,7 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		workers = n
 	}
 
+	scope := obs.From(ctx)
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -81,7 +83,16 @@ func Run[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				scope.Count("runner.tasks.started", 1)
 				results[i].Value, results[i].Err = runOne(ctx, i, fn)
+				switch results[i].Err.(type) {
+				case nil:
+					scope.Count("runner.tasks.done", 1)
+				case *PanicError:
+					scope.Count("runner.tasks.panics", 1)
+				default:
+					scope.Count("runner.tasks.failed", 1)
+				}
 			}
 		}()
 	}
