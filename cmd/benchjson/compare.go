@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// loadSnapshot reads a committed benchjson snapshot.
+func loadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("benchjson: decoding %s: %w", path, err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: %s holds no benchmarks", path)
+	}
+	return &snap, nil
+}
+
+// runCompare diffs two snapshots and fails when any benchmark present
+// in both regressed its ns/op by more than threshold. Benchmarks that
+// exist on only one side are reported but never fail the run: adding or
+// retiring a benchmark is not a regression.
+func runCompare(stdout io.Writer, oldPath, newPath string, threshold float64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldSnap.Benchmarks))
+	for name := range oldSnap.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range newSnap.Benchmarks {
+		if _, ok := oldSnap.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	tw := newColumnWriter(stdout)
+	tw.row("benchmark", "old ns/op", "new ns/op", "delta", "")
+	var regressions []string
+	for _, name := range names {
+		o, haveOld := oldSnap.Benchmarks[name]
+		n, haveNew := newSnap.Benchmarks[name]
+		switch {
+		case !haveNew:
+			tw.row(name, formatNs(o.NsPerOp), "-", "removed", "")
+		case !haveOld:
+			tw.row(name, "-", formatNs(n.NsPerOp), "added", "")
+		default:
+			delta := (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			mark := ""
+			if delta > threshold {
+				mark = "REGRESSION"
+				regressions = append(regressions, fmt.Sprintf("%s (+%.1f%%)", name, delta*100))
+			}
+			tw.row(name, formatNs(o.NsPerOp), formatNs(n.NsPerOp), fmt.Sprintf("%+.1f%%", delta*100), mark)
+		}
+	}
+	tw.flush()
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchjson: %d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressions), threshold*100, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintf(stdout, "no regression beyond %.0f%%\n", threshold*100)
+	return nil
+}
+
+// formatNs prints an ns/op figure with the precision go test uses.
+func formatNs(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// columnWriter right-pads cells into aligned columns. text/tabwriter
+// would do, but buffering rows keeps the output deterministic and the
+// dependency surface identical to the rest of the command.
+type columnWriter struct {
+	out  io.Writer
+	rows [][]string
+}
+
+func newColumnWriter(out io.Writer) *columnWriter { return &columnWriter{out: out} }
+
+func (c *columnWriter) row(cells ...string) { c.rows = append(c.rows, cells) }
+
+func (c *columnWriter) flush() {
+	var width []int
+	for _, row := range c.rows {
+		for i, cell := range row {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range c.rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", width[i]-len(cell)))
+			}
+		}
+		fmt.Fprintln(c.out, strings.TrimRight(b.String(), " "))
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnap commits a snapshot to a temp file.
+func writeSnap(t *testing.T, dir, name string, benches map[string]Bench) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Snapshot{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]Bench{
+		"Fast":    {NsPerOp: 100},
+		"Slow":    {NsPerOp: 1e6},
+		"Retired": {NsPerOp: 50},
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]Bench{
+		"Fast":  {NsPerOp: 110},   // +10% — inside threshold
+		"Slow":  {NsPerOp: 0.9e6}, // improvement
+		"Added": {NsPerOp: 42},
+	})
+	var out bytes.Buffer
+	if err := runCompare(&out, oldPath, newPath, 0.25); err != nil {
+		t.Fatalf("runCompare: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"Fast", "+10.0%", "removed", "added", "no regression"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "REGRESSION") {
+		t.Errorf("unexpected regression mark:\n%s", text)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]Bench{
+		"Hot": {NsPerOp: 100},
+		"OK":  {NsPerOp: 200},
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]Bench{
+		"Hot": {NsPerOp: 140}, // +40% over a 25% threshold
+		"OK":  {NsPerOp: 201},
+	})
+	var out bytes.Buffer
+	err := runCompare(&out, oldPath, newPath, 0.25)
+	if err == nil {
+		t.Fatalf("runCompare passed despite regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "Hot") || !strings.Contains(err.Error(), "+40.0%") {
+		t.Errorf("error %q should name the regressed benchmark and delta", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table should mark the regression:\n%s", out.String())
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	good := writeSnap(t, dir, "good.json", map[string]Bench{"A": {NsPerOp: 1}})
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runCompare(&out, filepath.Join(dir, "missing.json"), good, 0.25); err == nil {
+		t.Error("missing old snapshot accepted")
+	}
+	if err := runCompare(&out, good, empty, 0.25); err == nil {
+		t.Error("empty new snapshot accepted")
+	}
+}

@@ -7,8 +7,14 @@
 // GOMAXPROCS suffix (-8) is stripped from names so snapshots from
 // machines with different core counts stay comparable.
 //
+// With -compare, benchjson instead diffs two snapshots and prints the
+// per-benchmark deltas; it exits 1 when any shared benchmark regressed
+// by more than -threshold (relative ns/op growth), making it usable as
+// a CI tripwire against a committed baseline.
+//
 //	go test -run '^$' -bench . -benchmem -count=3 . > bench.out
 //	benchjson -o BENCH_1.json bench.out
+//	benchjson -compare -threshold 0.25 BENCH_0.json BENCH_1.json
 package main
 
 import (
@@ -53,8 +59,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	outPath := fs.String("o", "", "output path (default stdout)")
+	compare := fs.Bool("compare", false, "compare two snapshots: benchjson -compare OLD NEW")
+	threshold := fs.Float64("threshold", 0.25, "relative ns/op regression that fails -compare (0.25 = +25%)")
 	if err := cli.ParseFlags(fs, args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return cli.Usagef("-compare needs exactly two snapshot files (OLD NEW), got %d", fs.NArg())
+		}
+		if !(*threshold > 0) {
+			return cli.Usagef("-threshold must be positive, got %v", *threshold)
+		}
+		return runCompare(stdout, fs.Arg(0), fs.Arg(1), *threshold)
 	}
 	if fs.NArg() > 1 {
 		return cli.Usagef("at most one input file (default stdin), got %d", fs.NArg())

@@ -1,0 +1,183 @@
+// Command vbrload is the serving benchmark for vbrd: it opens N
+// concurrent streaming clients against a running daemon, verifies every
+// stream arrives complete, and reports throughput plus time-to-first-
+// byte and per-stream latency histograms through the obs registry
+// (visible via -metrics-json and -debug-addr).
+//
+// Examples:
+//
+//	vbrd -addr :8080 &
+//	vbrload -url http://localhost:8080 -clients 8 -frames 10000
+//	vbrload -url http://localhost:8080 -clients 8 -metrics-json load.json
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"vbr/internal/cli"
+	"vbr/internal/obs"
+	"vbr/internal/runner"
+)
+
+func main() {
+	os.Exit(cli.Main("vbrload", run))
+}
+
+// clientStats is one stream's accounting.
+type clientStats struct {
+	frames int
+	bytes  int64
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("vbrload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baseURL = fs.String("url", "", "base URL of a running vbrd (e.g. http://localhost:8080)")
+		clients = fs.Int("clients", 8, "concurrent streaming clients")
+		frames  = fs.Int("frames", 10_000, "frames requested per stream")
+		seed    = fs.Uint64("seed", 1, "seed of client 0; client i uses seed+i")
+		backend = fs.String("backend", "davies-harte", "generator backend to request")
+		format  = fs.String("format", "bin", "wire format: bin or ndjson")
+	)
+	obsFlags := cli.RegisterObsFlags(fs)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if *baseURL == "" {
+		return cli.Usagef("vbrload needs -url pointing at a vbrd instance")
+	}
+	if *clients < 1 || *frames < 1 {
+		return cli.Usagef("-clients and -frames must be ≥ 1")
+	}
+	if *format != "bin" && *format != "ndjson" {
+		return cli.Usagef("-format must be bin or ndjson, got %q", *format)
+	}
+
+	obsCtx, finish, err := obsFlags.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+	scope := obs.From(obsCtx)
+
+	//vbrlint:ignore determinism load-test wall clock is display-only; it never feeds generation or simulation
+	start := time.Now()
+	results := runner.Run(obsCtx, *clients, runner.Options{
+		Workers: *clients,
+		Label:   func(i int) string { return fmt.Sprintf("client-%d", i) },
+	}, func(ctx context.Context, i int) (clientStats, error) {
+		return streamOnce(ctx, *baseURL, *frames, *seed+uint64(i), *backend, *format)
+	})
+	//vbrlint:ignore determinism load-test wall clock is display-only; it never feeds generation or simulation
+	elapsed := time.Since(start)
+
+	ok, failed := runner.Split(results)
+	var totalFrames, totalBytes int64
+	for _, r := range ok {
+		totalFrames += int64(r.Value.frames)
+		totalBytes += r.Value.bytes
+	}
+	scope.Count("load.streams.ok", int64(len(ok)))
+	scope.Count("load.streams.dropped", int64(len(failed)))
+	scope.Count("load.frames", totalFrames)
+	scope.Count("load.bytes", totalBytes)
+	sec := elapsed.Seconds()
+	if sec > 0 {
+		scope.SetGauge("load.frames_per_sec", float64(totalFrames)/sec)
+		scope.SetGauge("load.mbytes_per_sec", float64(totalBytes)/1e6/sec)
+	}
+
+	fmt.Fprintf(stdout, "vbrload: %d/%d streams complete, %d frames (%.1f MB) in %v (%.0f frames/s)\n",
+		len(ok), *clients, totalFrames, float64(totalBytes)/1e6, elapsed.Round(time.Millisecond),
+		float64(totalFrames)/sec)
+
+	if len(failed) > 0 {
+		for _, r := range failed {
+			fmt.Fprintf(stderr, "vbrload: %s: %v\n", r.Label, r.Err)
+		}
+		return fmt.Errorf("%d of %d streams dropped", len(failed), *clients)
+	}
+	return nil
+}
+
+// streamOnce runs one full trace download and verifies it is complete.
+// The ttfb and stream spans populate the "load.ttfb.seconds" and
+// "load.stream.seconds" histograms.
+func streamOnce(ctx context.Context, baseURL string, frames int, seed uint64, backend, format string) (clientStats, error) {
+	scope := obs.From(ctx)
+	endStream := scope.Span("load.stream")
+	endTTFB := scope.Span("load.ttfb")
+
+	url := fmt.Sprintf("%s/v1/trace?n=%d&seed=%d&backend=%s&format=%s", baseURL, frames, seed, backend, format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return clientStats{}, fmt.Errorf("building request: %w", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return clientStats{}, fmt.Errorf("opening stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clientStats{}, fmt.Errorf("stream rejected: HTTP %d", resp.StatusCode)
+	}
+
+	var st clientStats
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	first := true
+	tick := func(n int) {
+		if first {
+			endTTFB()
+			first = false
+		}
+		st.bytes += int64(n)
+	}
+	if format == "bin" {
+		buf := make([]byte, 8<<10)
+		for {
+			n, err := br.Read(buf)
+			if n > 0 {
+				tick(n)
+			}
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return st, fmt.Errorf("mid-stream after %d bytes: %w", st.bytes, err)
+			}
+		}
+		if st.bytes%8 != 0 {
+			return st, fmt.Errorf("truncated frame: %d bytes is not a multiple of 8", st.bytes)
+		}
+		st.frames = int(st.bytes / 8)
+	} else {
+		for {
+			line, err := br.ReadBytes('\n')
+			if len(line) > 0 {
+				tick(len(line))
+				st.frames++
+			}
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return st, fmt.Errorf("mid-stream after %d frames: %w", st.frames, err)
+			}
+		}
+	}
+	if st.frames != frames {
+		return st, fmt.Errorf("dropped stream: got %d of %d frames", st.frames, frames)
+	}
+	endStream()
+	scope.Count("load.client.frames", int64(st.frames))
+	return st, nil
+}

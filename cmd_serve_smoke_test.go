@@ -1,0 +1,288 @@
+package vbr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startVBRD launches the daemon on a random port and returns its base
+// URL, the running command, and a function that collects the remaining
+// stdout+stderr after the process exits.
+func startVBRD(t *testing.T, extraArgs ...string) (string, *exec.Cmd, func() string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(filepath.Join(binaries(t), "vbrd"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderrBuf bytes.Buffer
+	cmd.Stderr = &stderrBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The first stdout line announces the bound address.
+	br := bufio.NewReader(stdout)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading vbrd banner: %v (stderr: %s)", err, stderrBuf.String())
+	}
+	const prefix = "vbrd listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected banner %q", line)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	// Drain the remaining stdout concurrently: cmd.Wait closes the pipe,
+	// so the copy must already be running when the process exits.
+	var restBuf bytes.Buffer
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		io.Copy(&restBuf, br)
+	}()
+	rest := func() string {
+		<-drained
+		return restBuf.String() + stderrBuf.String()
+	}
+	return "http://" + addr, cmd, rest
+}
+
+// streamFrames downloads one NDJSON trace and returns the frame count.
+func streamFrames(t *testing.T, url string) (int, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	return n, sc.Err()
+}
+
+// TestCLIServeEndToEnd is the ISSUE's serving smoke: vbrd on a random
+// port, 10k frames to two concurrent clients, one async /v1/simulate
+// job, then a clean SIGTERM drain with exit code 0.
+func TestCLIServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRD(t)
+
+	// Two concurrent streaming clients, 10k frames each.
+	const frames = 10_000
+	errc := make(chan error, 2)
+	counts := make(chan int, 2)
+	for c := 0; c < 2; c++ {
+		go func(seed int) {
+			n, err := streamFrames(t, fmt.Sprintf("%s/v1/trace?n=%d&seed=%d", base, frames, seed))
+			counts <- n
+			errc <- err
+		}(c + 1)
+	}
+	for c := 0; c < 2; c++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("stream client: %v", err)
+		}
+		if n := <-counts; n != frames {
+			t.Fatalf("client got %d frames, want %d", n, frames)
+		}
+	}
+
+	// One async simulation job, driven to completion.
+	body := `{"n":3000,"capacity_bps":6e6,"buffer_bytes":250000,"seed":4}`
+	resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/simulate: %v", err)
+	}
+	var accepted struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("simulate accept: status %d, err %v", resp.StatusCode, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("simulate job did not finish")
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatalf("poll job: %v", err)
+		}
+		var job struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Pl float64 `json:"Pl"`
+			} `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		if job.State == "failed" {
+			t.Fatalf("simulate job failed: %s", job.Error)
+		}
+		if job.State == "done" {
+			if job.Result == nil {
+				t.Fatal("done job carries no result")
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Clean SIGTERM drain: exit 0 and the drain banner.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrd exited uncleanly after SIGTERM: %v\n%s", err, rest())
+	}
+	if out := rest(); !strings.Contains(out, "drained cleanly") {
+		t.Errorf("missing drain banner in output:\n%s", out)
+	}
+}
+
+// TestCLIServeDrainInFlight: SIGTERM while a large stream is mid-flight
+// must still deliver the complete stream within the drain budget.
+func TestCLIServeDrainInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRD(t, "-drain", "30s")
+
+	const frames = 171_000
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		n, err := streamFrames(t, fmt.Sprintf("%s/v1/trace?n=%d&seed=9", base, frames))
+		done <- res{n, err}
+	}()
+	time.Sleep(150 * time.Millisecond) // let the stream get going
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight stream severed by drain: %v", r.err)
+	}
+	if r.n != frames {
+		t.Fatalf("in-flight stream got %d of %d frames", r.n, frames)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrd exited uncleanly: %v\n%s", err, rest())
+	}
+}
+
+// TestCLIVBRLoad is the acceptance run: 8 concurrent vbrload clients
+// against a live vbrd, zero dropped streams, metrics in -metrics-json.
+func TestCLIVBRLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRD(t)
+	metrics := filepath.Join(t.TempDir(), "load.json")
+
+	out := runCmd(t, "vbrload",
+		"-url", base, "-clients", "8", "-frames", "2000", "-metrics-json", metrics)
+	if !strings.Contains(out, "8/8 streams complete") {
+		t.Errorf("vbrload summary missing:\n%s", out)
+	}
+
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	var snap struct {
+		Counters   map[string]int64           `json:"counters"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if got := snap.Counters["load.streams.ok"]; got != 8 {
+		t.Errorf("load.streams.ok = %d, want 8", got)
+	}
+	if got := snap.Counters["load.streams.dropped"]; got != 0 {
+		t.Errorf("load.streams.dropped = %d, want 0", got)
+	}
+	if got := snap.Counters["load.frames"]; got != 8*2000 {
+		t.Errorf("load.frames = %d, want %d", got, 8*2000)
+	}
+	for _, h := range []string{"load.ttfb.seconds", "load.stream.seconds"} {
+		if _, ok := snap.Histograms[h]; !ok {
+			t.Errorf("metrics missing histogram %q", h)
+		}
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrd exited uncleanly: %v\n%s", err, rest())
+	}
+}
+
+// TestCLIBenchCompare smokes the benchjson -compare satellite: a
+// passing diff exits 0, a regression beyond the threshold exits 1.
+func TestCLIBenchCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	dir := t.TempDir()
+	write := func(name, ns string) string {
+		path := filepath.Join(dir, name)
+		blob := fmt.Sprintf(`{"benchmarks":{"Hot":{"runs":1,"iterations":10,"ns_per_op":%s}}}`, ns)
+		if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldSnap := write("old.json", "100")
+	sameSnap := write("same.json", "105")
+	slowSnap := write("slow.json", "200")
+
+	out := runCmd(t, "benchjson", "-compare", "-threshold", "0.25", oldSnap, sameSnap)
+	if !strings.Contains(out, "no regression") {
+		t.Errorf("compare output missing pass banner:\n%s", out)
+	}
+	code, out := runCmdExit(t, "benchjson", "-compare", "-threshold", "0.25", oldSnap, slowSnap)
+	if code != 1 {
+		t.Errorf("regression compare exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Errorf("regression compare output missing marker:\n%s", out)
+	}
+}

@@ -14,12 +14,14 @@ package checkpoint
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"syscall"
 
 	"vbr/internal/errs"
 	"vbr/internal/fgn"
@@ -252,6 +254,12 @@ func LoadSearch(path string) (*SearchRecord, error) {
 // ------------------------------------------------------------------
 // encoding helpers
 
+// atomicWrite makes a checkpoint save crash-safe in two steps: the
+// bytes are written to a temp file in the target directory and fsynced
+// before an atomic rename installs them, and the directory entry is
+// fsynced afterwards so the rename itself survives a power cut. A crash
+// at any point leaves either the old complete file or the new complete
+// file — never a torn one.
 func atomicWrite(path string, fill func(*bufio.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
@@ -268,11 +276,34 @@ func atomicWrite(path string, fill func(*bufio.Writer) error) error {
 		tmp.Close()
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: syncing %s: %w", tmp.Name(), err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+// Platforms whose directory handles reject Sync (it is optional in
+// POSIX) degrade to the rename-only guarantee instead of failing the
+// save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

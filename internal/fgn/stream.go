@@ -1,0 +1,141 @@
+package fgn
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"vbr/internal/errs"
+	"vbr/internal/obs"
+)
+
+// HoskingStream is the pull-based form of the Hosking recursion: instead
+// of materializing all n points in one call, callers draw the series
+// block by block with Next. The arithmetic is identical to hoskingRun —
+// same recurrence, same order of random draws — so the concatenation of
+// all blocks is bitwise-identical to the output of Hosking(n, h, rng)
+// with an equally seeded generator.
+//
+// The recursion state (generated prefix, partial linear-prediction
+// coefficients, ρ sequence) grows with the position k; that O(n) state
+// is inherent to the exact algorithm, which conditions every point on
+// the entire past. What streaming removes is any *additional* O(n)
+// buffering between generator and consumer: each Next hands out only the
+// block just produced.
+type HoskingStream struct {
+	n   int
+	h   float64
+	rng *rand.Rand
+
+	rho     []float64
+	x       []float64
+	phi     []float64
+	phiPrev []float64
+	v       float64
+	nPrev   float64
+	dPrev   float64
+	k       int // next point to generate
+}
+
+// NewHoskingStream prepares an incremental Hosking generation of n
+// points with Hurst parameter h drawing innovations from rng. The
+// stream owns rng from this call on; drawing from it elsewhere desyncs
+// the output from the equivalent batch run.
+func NewHoskingStream(n int, h float64, rng *rand.Rand) (*HoskingStream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+	}
+	if !validHurst(h) {
+		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fgn: stream needs a random source")
+	}
+	rho, err := FarimaACF(h, n)
+	if err != nil {
+		return nil, err
+	}
+	return &HoskingStream{
+		n: n, h: h, rng: rng,
+		rho:     rho,
+		x:       make([]float64, n),
+		phi:     make([]float64, n),
+		phiPrev: make([]float64, n),
+		v:       1,
+		nPrev:   0,
+		dPrev:   1,
+	}, nil
+}
+
+// Pos returns how many points have been generated so far.
+func (s *HoskingStream) Pos() int { return s.k }
+
+// Len returns the total length of the stream.
+func (s *HoskingStream) Len() int { return s.n }
+
+// Next advances the recursion by up to len(dst) points, filling dst from
+// the front, and returns how many points were produced. After the last
+// point it returns (0, io.EOF). Cancellation is checked once per
+// generated point (the late-recursion iterations are O(n) each) and
+// surfaces as an error matching errs.ErrCancelled.
+func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
+	if s.k >= s.n {
+		return 0, io.EOF
+	}
+	if len(dst) == 0 {
+		return 0, fmt.Errorf("fgn: stream block must be non-empty")
+	}
+	want := len(dst)
+	if rem := s.n - s.k; want > rem {
+		want = rem
+	}
+	produced := 0
+	if s.k == 0 {
+		// X_0 ~ N(0, v_0), v_0 = 1, exactly as hoskingRun draws it.
+		s.x[0] = s.rng.NormFloat64()
+		dst[0] = s.x[0]
+		s.k = 1
+		produced = 1
+	}
+	for produced < want {
+		if ctx.Err() != nil {
+			return produced, fmt.Errorf("fgn: Hosking stream interrupted at point %d of %d: %w", s.k, s.n, errs.Cancelled(ctx))
+		}
+		k := s.k
+		// N_k and D_k (Eqs. 7–8).
+		nk := s.rho[k]
+		for j := 1; j < k; j++ {
+			nk -= s.phiPrev[j] * s.rho[k-j]
+		}
+		dk := s.dPrev - s.nPrev*s.nPrev/s.dPrev
+
+		phikk := nk / dk
+		s.phi[k] = phikk
+		for j := 1; j < k; j++ {
+			s.phi[j] = s.phiPrev[j] - phikk*s.phiPrev[k-j]
+		}
+
+		// Conditional mean and variance (Eqs. 11–12).
+		var m float64
+		for j := 1; j <= k; j++ {
+			m += s.phi[j] * s.x[k-j]
+		}
+		s.v *= 1 - phikk*phikk
+		if s.v < 0 {
+			// Numerically impossible for valid ρ, but guard against
+			// catastrophic cancellation at extreme H.
+			s.v = 0
+		}
+		s.x[k] = m + math.Sqrt(s.v)*s.rng.NormFloat64()
+		dst[produced] = s.x[k]
+		produced++
+
+		copy(s.phiPrev[1:k+1], s.phi[1:k+1])
+		s.nPrev, s.dPrev = nk, dk
+		s.k = k + 1
+	}
+	obs.From(ctx).Count("fgn.hosking.stream.points", int64(produced))
+	return produced, nil
+}

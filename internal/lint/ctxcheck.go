@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // ctxScopePkgs are the long-running generation/simulation packages
@@ -24,14 +25,38 @@ var ctxScopePkgs = map[string]bool{
 var CtxCheckAnalyzer = &Analyzer{
 	Name: "ctxcheck",
 	Doc: "exported loop-bearing functions in fgn/core/queue/experiments must take " +
-		"context.Context; context.Background() only in *Ctx compat wrappers and internal/cli",
+		"context.Context; context.Background() only in *Ctx compat wrappers and internal/cli; " +
+		"internal/server handlers must thread r.Context() into context-taking calls",
 	Run: runCtxCheck,
 }
 
 func runCtxCheck(pass *Pass) {
 	info := pass.TypesInfo()
 	inScope := ctxScopePkgs[pass.Path()]
+	inServer := pathHasPrefix(pass.Path(), "vbr/internal/server")
 	for _, f := range pass.Files() {
+		// Rule C: an HTTP handler that passes any context into its
+		// callees must derive that context from the request — a handler
+		// holding a detached context keeps generating for clients that
+		// hung up and ignores the daemon's drain deadline. Handlers
+		// passing no context anywhere (status and lookup endpoints) are
+		// exempt.
+		if inServer {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				req := handlerRequestParam(info, fd)
+				if req == nil {
+					continue
+				}
+				passesCtx, callsReqCtx := handlerContextUse(info, fd, req)
+				if passesCtx && !callsReqCtx {
+					pass.Reportf(fd.Name.Pos(), "handler %s passes a context to its callees but never calls r.Context(); thread the request context into generation/simulation calls", fd.Name.Name)
+				}
+			}
+		}
 		// Rule A: exported functions containing loops must be
 		// cancellable unless they are the plain half of a Foo/FooCtx
 		// compatibility pair (whose loops live in the Ctx variant's
@@ -77,4 +102,71 @@ func runCtxCheck(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// handlerRequestParam recognizes http.HandlerFunc-shaped declarations —
+// a parameter list carrying both a net/http.ResponseWriter and a
+// *net/http.Request — and returns the request parameter's object, or
+// nil when fd is not a handler.
+func handlerRequestParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	params := obj.Type().(*types.Signature).Params()
+	var req *types.Var
+	hasWriter := false
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		switch {
+		case isHTTPType(p.Type(), "ResponseWriter"):
+			hasWriter = true
+		case isPointerToHTTPType(p.Type(), "Request"):
+			req = p
+		}
+	}
+	if !hasWriter {
+		return nil
+	}
+	return req
+}
+
+// handlerContextUse walks a handler body and reports whether it passes
+// any context.Context-typed argument to a call, and whether it calls
+// Context() on the request parameter.
+func handlerContextUse(info *types.Info, fd *ast.FuncDecl, req *types.Var) (passesCtx, callsReqCtx bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" && len(call.Args) == 0 {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == req {
+				callsReqCtx = true
+			}
+		}
+		for _, arg := range call.Args {
+			if t := info.TypeOf(arg); t != nil && isContextType(t) {
+				passesCtx = true
+			}
+		}
+		return true
+	})
+	return passesCtx, callsReqCtx
+}
+
+// isHTTPType reports whether t is the named type net/http.<name>.
+func isHTTPType(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// isPointerToHTTPType reports whether t is *net/http.<name>.
+func isPointerToHTTPType(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isHTTPType(ptr.Elem(), name)
 }

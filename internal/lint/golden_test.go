@@ -62,6 +62,9 @@ func TestGolden(t *testing.T) {
 		// ctxcheck's scope rules key off the package path, so the
 		// fixture impersonates a real scope package.
 		{"ctxcheck", "vbr/internal/queue", "ctxcheck"},
+		// Rule C keys off the server package path, so this fixture
+		// impersonates it.
+		{"serverctx", "vbr/internal/server", "ctxcheck"},
 		{"wrapcheck", "vbr/test/wrapcheck", "wrapcheck"},
 		{"seedplumb", "vbr/test/seedplumb", "seedplumb"},
 		// The directive fixture reuses floateq as the carrier analyzer;

@@ -1,0 +1,43 @@
+// Package serverctx is the rule-C fixture: it is checked under the
+// synthetic import path vbr/internal/server, where HTTP handlers that
+// pass a context must derive it from the request.
+package serverctx
+
+import (
+	"context"
+	"net/http"
+)
+
+func generate(ctx context.Context, n int) []float64 {
+	out := make([]float64, n)
+	return out
+}
+
+type api struct{}
+
+// Good: the generation call runs on the request context.
+func (a *api) handleTrace(w http.ResponseWriter, r *http.Request) {
+	_ = generate(r.Context(), 100)
+}
+
+// Good: the context is derived from the request before use.
+func (a *api) handleDerived(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	_ = generate(ctx, 100)
+}
+
+// Bad: a detached context keeps generating after the client hangs up.
+func (a *api) handleDetached(w http.ResponseWriter, r *http.Request) { // want "handler handleDetached passes a context to its callees but never calls r.Context"
+	_ = generate(context.TODO(), 100)
+}
+
+// Exempt: no callee takes a context, so there is nothing to thread.
+func handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// Not a handler: ordinary functions keep their usual ctx rules.
+func helper(ctx context.Context) {
+	_ = generate(ctx, 10)
+}

@@ -1,0 +1,137 @@
+// Package server is the HTTP serving layer over the §4 generator and
+// the §5 queueing simulator: vbrd's request handlers, the async
+// simulation job queue, and their JSON wire types. It is deliberately
+// stdlib-only (net/http, Go 1.22 method patterns) and stateless apart
+// from the job store, so one process can serve many concurrent trace
+// streams in O(block) memory each.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"vbr/internal/core"
+	"vbr/internal/obs"
+)
+
+// Config parameterizes a Server. Zero values select defaults.
+type Config struct {
+	// DefaultModel seeds requests that omit model parameters; the zero
+	// Model selects the paper's Star Wars fit (Table 4).
+	DefaultModel core.Model
+	// MaxFrames caps the per-request trace length (default 4·2²⁰); a
+	// cap keeps one greedy client from pinning a worker for hours.
+	MaxFrames int
+	// SimWorkers is the number of concurrent simulation-job workers
+	// (default 2).
+	SimWorkers int
+}
+
+// paperDefault is the Table 4 Star Wars model used when a request names
+// no parameters.
+var paperDefault = core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+
+// Server owns the handlers and the simulation job queue. Its lifetime
+// is bound to the context given to New: when that context fires, job
+// workers stop and queued jobs fail with a cancellation error.
+type Server struct {
+	cfg      Config
+	lifetime context.Context
+	jobs     *jobStore
+}
+
+// New builds a server whose background work (simulation job workers)
+// lives until ctx fires. The caller owns HTTP listening and shutdown;
+// see cmd/vbrd.
+func New(ctx context.Context, cfg Config) *Server {
+	if cfg.DefaultModel == (core.Model{}) {
+		cfg.DefaultModel = paperDefault
+	}
+	if cfg.MaxFrames == 0 {
+		cfg.MaxFrames = 4 << 20
+	}
+	if cfg.SimWorkers == 0 {
+		cfg.SimWorkers = 2
+	}
+	s := &Server{
+		cfg:      cfg,
+		lifetime: ctx,
+		jobs:     newJobStore(),
+	}
+	for i := 0; i < cfg.SimWorkers; i++ {
+		go s.simWorker(ctx)
+	}
+	return s
+}
+
+// Handler returns the route table. Paths use Go 1.22 method patterns,
+// so stray methods get 405 from the mux itself.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+// writeJSON sends v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// healthStatus is the /healthz body.
+type healthStatus struct {
+	Status string   `json:"status"`
+	Jobs   jobStats `json:"jobs"`
+}
+
+// handleHealthz reports liveness plus job-queue depth; it performs no
+// generation and so takes no request context anywhere.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	obs.From(r.Context()).Count("server.healthz.requests", 1)
+	writeJSON(w, http.StatusOK, healthStatus{Status: "ok", Jobs: s.jobs.stats()})
+}
+
+// parseModel reads μΓ/σΓ/m_T/H overrides from query parameters on top
+// of the server default.
+func (s *Server) parseModel(get func(string) string) (core.Model, error) {
+	m := s.cfg.DefaultModel
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"mean", &m.MuGamma},
+		{"std", &m.SigmaGamma},
+		{"tail", &m.TailSlope},
+		{"hurst", &m.Hurst},
+	} {
+		if v := get(p.name); v != "" {
+			f, err := parseFloat(v)
+			if err != nil {
+				return core.Model{}, fmt.Errorf("server: parameter %s: %w", p.name, err)
+			}
+			*p.dst = f
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return core.Model{}, err
+	}
+	return m, nil
+}

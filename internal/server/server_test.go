@@ -1,0 +1,392 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"vbr/internal/queue"
+	"vbr/internal/stream"
+)
+
+// newTestServer wires a Server into an httptest listener with a
+// lifetime bound to the test.
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	ts := httptest.NewServer(New(ctx, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// wantFrames regenerates the reference series a trace request should
+// have served.
+func wantFrames(t *testing.T, cfg stream.Config) []float64 {
+	t.Helper()
+	src, err := stream.Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	out, err := stream.Collect(context.Background(), src)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	return out
+}
+
+func TestTraceNDJSON(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/trace?n=2000&seed=3&backend=hosking&block=256")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", got)
+	}
+	if got := resp.Header.Get("X-Vbr-Frames"); got != "2000" {
+		t.Errorf("X-Vbr-Frames %q", got)
+	}
+	want := wantFrames(t, stream.Config{
+		Model: paperDefault, N: 2000, BlockSize: 256, Seed: 3, Backend: stream.Hosking,
+	})
+	sc := bufio.NewScanner(resp.Body)
+	var got []float64
+	for sc.Scan() {
+		f, err := strconv.ParseFloat(sc.Text(), 64)
+		if err != nil {
+			t.Fatalf("line %d: %v", len(got), err)
+		}
+		got = append(got, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning body: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		// 'g'/-1 formatting round-trips float64 exactly.
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("frame %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraceBinary(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/trace?n=1500&seed=5&format=bin")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Errorf("Content-Type %q", got)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if len(raw) != 1500*8 {
+		t.Fatalf("body %d bytes, want %d", len(raw), 1500*8)
+	}
+	want := wantFrames(t, stream.Config{
+		Model: paperDefault, N: 1500, Seed: 5, Backend: stream.DaviesHarte,
+	})
+	for i := range want {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		if math.Float64bits(got) != math.Float64bits(want[i]) {
+			t.Fatalf("frame %d: got %v want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestTraceBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxFrames: 10_000})
+	for _, q := range []string{
+		"n=0",
+		"n=abc",
+		"n=20000",    // over MaxFrames
+		"hurst=1.5",  // invalid model
+		"mean=-3",    // invalid model
+		"format=xml", // unknown format
+		"backend=fourier",
+		"seed=-1",
+		"block=4096&overlap=4096&backend=davies-harte",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/trace?" + q)
+		if err != nil {
+			t.Fatalf("GET ?%s: %v", q, err)
+		}
+		var body apiError
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Errorf("?%s: undecodable error body: %v", q, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("?%s: status %d, want 400", q, resp.StatusCode)
+		}
+		if body.Error == "" {
+			t.Errorf("?%s: empty error message", q)
+		}
+	}
+}
+
+func TestTraceMethodNotAllowed(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/trace", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+// pollJob polls a job until it leaves the queued/running states.
+func pollJob(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("poll: %v", err)
+		}
+		var v JobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding job: %v", err)
+		}
+		if v.State == stateDone || v.State == stateFailed {
+			return v
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return JobView{}
+}
+
+func postSim(t *testing.T, ts *httptest.Server, req SimRequest) (*http.Response, JobView) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decoding accept body: %v", err)
+		}
+	}
+	return resp, v
+}
+
+func TestSimulateGeneratedJob(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := SimRequest{N: 5000, Seed: 11, CapacityBps: 6e6, BufferBytes: 250_000}
+	resp, accepted := postSim(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+accepted.ID {
+		t.Errorf("Location %q", loc)
+	}
+	final := pollJob(t, ts, accepted.ID)
+	if final.State != stateDone {
+		t.Fatalf("job state %q (err %q)", final.State, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done job has no result")
+	}
+
+	// The job must be the same simulation a direct caller would run.
+	frames := wantFrames(t, stream.Config{
+		Model: paperDefault, N: 5000, Seed: 11, Backend: stream.DaviesHarte,
+	})
+	want, err := queue.Simulate(
+		queue.Workload{Bytes: frames, Interval: 1.0 / 24},
+		req.CapacityBps, req.BufferBytes, queue.Options{Seed: req.Seed},
+	)
+	if err != nil {
+		t.Fatalf("reference Simulate: %v", err)
+	}
+	if math.Float64bits(final.Result.Pl) != math.Float64bits(want.Pl) {
+		t.Errorf("job Pl=%v, direct Pl=%v", final.Result.Pl, want.Pl)
+	}
+	if math.Float64bits(final.Result.MaxBacklog) != math.Float64bits(want.MaxBacklog) {
+		t.Errorf("job MaxBacklog=%v, direct %v", final.Result.MaxBacklog, want.MaxBacklog)
+	}
+}
+
+func TestSimulateUploadedFrames(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	frames := []float64{100, 900, 100, 900, 100, 900, 100, 900}
+	req := SimRequest{Frames: frames, CapacityBps: 40_000, BufferBytes: 100, IntervalSec: 0.1}
+	resp, accepted := postSim(t, ts, req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	final := pollJob(t, ts, accepted.ID)
+	if final.State != stateDone {
+		t.Fatalf("job state %q (err %q)", final.State, final.Error)
+	}
+	want, err := queue.Simulate(
+		queue.Workload{Bytes: frames, Interval: 0.1},
+		req.CapacityBps, req.BufferBytes, queue.Options{},
+	)
+	if err != nil {
+		t.Fatalf("reference Simulate: %v", err)
+	}
+	if math.Float64bits(final.Result.Pl) != math.Float64bits(want.Pl) {
+		t.Errorf("job Pl=%v, direct Pl=%v", final.Result.Pl, want.Pl)
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	ts := newTestServer(t, Config{MaxFrames: 10_000})
+	cases := []SimRequest{
+		{},                            // no capacity
+		{CapacityBps: -5},             // negative capacity
+		{CapacityBps: 1e6, N: 20_000}, // over MaxFrames
+		{CapacityBps: 1e6, Hurst: 2},  // invalid model
+		{CapacityBps: 1e6, Backend: "wavelet"},
+		{CapacityBps: 1e6, BufferBytes: -1},
+		{CapacityBps: 1e6, IntervalSec: -1},
+	}
+	for i, req := range cases {
+		resp, _ := postSim(t, ts, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Junk body.
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatalf("POST junk: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("junk body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJobNotFound(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h healthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q", h.Status)
+	}
+}
+
+// TestTraceClientDisconnect: a client that walks away mid-stream must
+// not wedge the server; subsequent requests still work.
+func TestTraceClientDisconnect(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/trace?n=500000&block=1024", nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server must still answer.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after disconnect: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp2.StatusCode)
+	}
+}
+
+// TestConcurrentTraceStreams: several clients streaming at once must
+// each get their exact, independent series.
+func TestConcurrentTraceStreams(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	const clients = 4
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(seed int) {
+			url := fmt.Sprintf("%s/v1/trace?n=3000&seed=%d&format=bin", ts.URL, seed)
+			resp, err := http.Get(url)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if len(raw) != 3000*8 {
+				errc <- fmt.Errorf("seed %d: %d bytes", seed, len(raw))
+				return
+			}
+			errc <- nil
+		}(c + 1)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Errorf("client: %v", err)
+		}
+	}
+}

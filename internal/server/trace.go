@@ -1,0 +1,168 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"vbr/internal/obs"
+	"vbr/internal/stream"
+)
+
+// Trace wire formats.
+const (
+	formatNDJSON = "ndjson" // one JSON number per line
+	formatBinary = "bin"    // little-endian float64 frames
+)
+
+// parseFloat is strconv.ParseFloat with NaN/Inf rejected: wire
+// parameters must be finite.
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid number %q: %w", s, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("number %q must be finite", s)
+	}
+	return f, nil
+}
+
+// parseStreamConfig maps /v1/trace query parameters onto a stream
+// Config. Unset parameters fall back to the server defaults; n defaults
+// to the paper's 2-hour trace length (§2: 171,000 frames).
+func (s *Server) parseStreamConfig(get func(string) string) (stream.Config, error) {
+	model, err := s.parseModel(get)
+	if err != nil {
+		return stream.Config{}, err
+	}
+	cfg := stream.Config{Model: model, N: 171_000, Backend: stream.DaviesHarte}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"n", &cfg.N},
+		{"block", &cfg.BlockSize},
+		{"overlap", &cfg.Overlap},
+		{"table", &cfg.TableSize},
+	} {
+		if v := get(p.name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return stream.Config{}, fmt.Errorf("server: parameter %s: %w", p.name, err)
+			}
+			*p.dst = i
+		}
+	}
+	if v := get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return stream.Config{}, fmt.Errorf("server: parameter seed: %w", err)
+		}
+		cfg.Seed = seed
+	}
+	if v := get("backend"); v != "" {
+		b, err := stream.ParseBackend(v)
+		if err != nil {
+			return stream.Config{}, err
+		}
+		cfg.Backend = b
+	}
+	if cfg.N > s.cfg.MaxFrames {
+		return stream.Config{}, fmt.Errorf("server: n=%d exceeds the per-request cap of %d frames", cfg.N, s.cfg.MaxFrames)
+	}
+	return cfg, nil
+}
+
+// handleTrace streams a synthetic trace as chunked NDJSON (default) or
+// raw little-endian float64 frames. Frames are produced block by block
+// from a BlockSource and flushed per block, so memory stays O(block)
+// regardless of n, and a slow or vanished client is detected through
+// r.Context() — generation stops instead of racing ahead of the socket.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	scope := obs.From(ctx)
+	scope.Count("server.trace.requests", 1)
+	defer scope.Span("server.trace")()
+
+	q := r.URL.Query()
+	cfg, err := s.parseStreamConfig(q.Get)
+	if err != nil {
+		scope.Count("server.trace.badrequest", 1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = formatNDJSON
+	}
+	if format != formatNDJSON && format != formatBinary {
+		scope.Count("server.trace.badrequest", 1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: unknown format %q (want %s or %s)", format, formatNDJSON, formatBinary))
+		return
+	}
+
+	src, err := stream.Open(cfg)
+	if err != nil {
+		scope.Count("server.trace.badrequest", 1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if format == formatBinary {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Vbr-Frames", strconv.Itoa(cfg.N))
+	w.Header().Set("X-Vbr-Backend", cfg.Backend.String())
+	w.Header().Set("X-Vbr-Seed", strconv.FormatUint(cfg.Seed, 10))
+
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	var line []byte
+	for {
+		blk, err := src.Next(ctx)
+		if err != nil {
+			if src.Pos() >= cfg.N {
+				break // io.EOF: the full trace went out
+			}
+			// Mid-stream failure: the client went away, the drain
+			// deadline fired, or generation broke. Headers are long
+			// gone, so the only honest signal is cutting the body short.
+			scope.Count("server.trace.aborted", 1)
+			return
+		}
+		if format == formatBinary {
+			for _, f := range blk {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(f))
+				if _, err := bw.Write(scratch[:]); err != nil {
+					scope.Count("server.trace.aborted", 1)
+					return
+				}
+			}
+		} else {
+			for _, f := range blk {
+				line = strconv.AppendFloat(line[:0], f, 'g', -1, 64)
+				line = append(line, '\n')
+				if _, err := bw.Write(line); err != nil {
+					scope.Count("server.trace.aborted", 1)
+					return
+				}
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			scope.Count("server.trace.aborted", 1)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	scope.Count("server.trace.completed", 1)
+	scope.Count("server.trace.frames", int64(cfg.N))
+}

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"vbr/internal/fgn"
+)
+
+// dhStitch streams fractional Gaussian noise in O(block) memory by
+// generating independent Davies–Harte chunks of length block+overlap
+// and crossfading consecutive chunks over the overlap region.
+//
+// Chunk i covers absolute frames [i·B, (i+1)·B+L): the first L samples
+// are blended with the tail carried over from chunk i−1, the middle B−L
+// are emitted as-is, and the final L become the carry for chunk i+1.
+// The blend uses power-preserving weights
+//
+//	out[j] = cos(θ_j)·carry[j] + sin(θ_j)·fresh[j],  θ_j = (j+½)/L · π/2
+//
+// so cos²+sin² = 1 keeps the mix of two independent N(0,1) samples
+// exactly N(0,1): the marginal is preserved everywhere, and only the
+// autocorrelation across a seam is approximate (each chunk is
+// internally an exact FGN segment). The seam error is what the KS and
+// Whittle-Ĥ tolerance tests bound.
+type dhStitch struct {
+	n       int
+	block   int
+	overlap int
+	h       float64
+	seed    uint64
+
+	idx   int // next chunk index
+	pos   int // frames emitted
+	carry []float64
+}
+
+// Next implements the gaussian contract: it emits one stitched block per
+// call (the final block may be short), reusing dst as the only
+// caller-visible buffer.
+func (d *dhStitch) Next(ctx context.Context, dst []float64) (int, error) {
+	if d.pos >= d.n {
+		return 0, io.EOF
+	}
+	if len(dst) < d.block {
+		return 0, fmt.Errorf("stream: davies-harte block buffer too small: %d < %d", len(dst), d.block)
+	}
+	// Each chunk draws from its own PCG stream of the shared seed, so
+	// chunks are independent and any block is regenerable in isolation.
+	rng := rand.New(rand.NewPCG(d.seed, dhStreamSalt+uint64(d.idx)))
+	chunk, err := fgn.DaviesHarteCtx(ctx, d.block+d.overlap, d.h, rng)
+	if err != nil {
+		return 0, fmt.Errorf("stream: davies-harte chunk %d: %w", d.idx, err)
+	}
+	emit := d.block
+	if rem := d.n - d.pos; emit > rem {
+		emit = rem
+	}
+	start := 0
+	if d.idx > 0 && d.overlap > 0 {
+		for ; start < d.overlap && start < emit; start++ {
+			theta := (float64(start) + 0.5) / float64(d.overlap) * (math.Pi / 2)
+			dst[start] = math.Cos(theta)*d.carry[start] + math.Sin(theta)*chunk[start]
+		}
+	}
+	copy(dst[start:emit], chunk[start:emit])
+	if d.overlap > 0 {
+		d.carry = append(d.carry[:0], chunk[d.block:]...)
+	}
+	d.idx++
+	d.pos += emit
+	return emit, nil
+}

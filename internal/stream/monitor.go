@@ -1,0 +1,134 @@
+package stream
+
+import "math"
+
+// minAggSamples is the minimum number of aggregated points a level must
+// hold before its variance enters the Ĥ fit; below that the sample
+// variance is too noisy to regress on.
+const minAggSamples = 8
+
+// aggLevel accumulates the variance of the m-aggregated series
+// X^(m)_i = (X_{im+1}+…+X_{(i+1)m})/m with Welford's update, the
+// streaming half of the §4.1 variance–time plot.
+type aggLevel struct {
+	m    int
+	acc  float64
+	fill int
+
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (l *aggLevel) add(v float64) {
+	l.acc += v
+	l.fill++
+	if l.fill < l.m {
+		return
+	}
+	s := l.acc / float64(l.m)
+	l.acc, l.fill = 0, 0
+	l.n++
+	d := s - l.mean
+	l.mean += d / float64(l.n)
+	l.m2 += d * (s - l.mean)
+}
+
+func (l *aggLevel) variance() float64 {
+	if l.n < 2 {
+		return math.NaN()
+	}
+	return l.m2 / float64(l.n)
+}
+
+// Monitor validates a stream online: it maintains Welford running
+// moments at geometrically spaced aggregation levels m = 1, 4, 16, …
+// and estimates Ĥ from the variance–time relation
+// Var(X^(m)) ∝ m^(2H−2), i.e. H = 1 + slope/2 of log Var against
+// log m. All state is O(number of levels) — a handful of scalars —
+// regardless of how many frames pass through.
+type Monitor struct {
+	levels []*aggLevel
+}
+
+// maxAggLevel picks the largest aggregation level worth tracking for a
+// stream of n frames: the level must be able to accumulate at least
+// minAggSamples aggregated points.
+func maxAggLevel(n int) int {
+	m := 1
+	for m*4*minAggSamples <= n {
+		m *= 4
+	}
+	return m
+}
+
+// NewMonitor builds a monitor with aggregation levels 1, 4, 16, …, up
+// to maxM (rounded down to a power of four).
+func NewMonitor(maxM int) *Monitor {
+	mo := &Monitor{}
+	for m := 1; m <= maxM; m *= 4 {
+		mo.levels = append(mo.levels, &aggLevel{m: m})
+	}
+	return mo
+}
+
+// Add folds one frame into every aggregation level.
+func (mo *Monitor) Add(v float64) {
+	for _, l := range mo.levels {
+		l.add(v)
+	}
+}
+
+// Probe is a point-in-time validation snapshot of a stream.
+type Probe struct {
+	// N is the number of frames observed.
+	N int64
+	// Mean and Std are the running sample moments of the raw series.
+	Mean, Std float64
+	// H is the streaming variance–time estimate of the Hurst parameter,
+	// NaN until at least two aggregation levels hold minAggSamples
+	// points. The estimator trades precision for O(1) state — treat it
+	// as a drift alarm, not a substitute for the Whittle estimator.
+	H float64
+	// Levels is the number of aggregation levels behind H.
+	Levels int
+}
+
+// Probe summarizes the monitor's current state.
+func (mo *Monitor) Probe() Probe {
+	base := mo.levels[0]
+	p := Probe{N: base.n, Mean: base.mean, H: math.NaN()}
+	if v := base.variance(); !math.IsNaN(v) {
+		p.Std = math.Sqrt(v)
+	}
+	var lx, ly []float64
+	for _, l := range mo.levels {
+		if l.n < minAggSamples {
+			continue
+		}
+		v := l.variance()
+		if math.IsNaN(v) || v <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(float64(l.m)))
+		ly = append(ly, math.Log(v))
+	}
+	if len(lx) >= 2 {
+		p.H = 1 + slope(lx, ly)/2
+		p.Levels = len(lx)
+	}
+	return p
+}
+
+// slope is the least-squares slope of y against x.
+func slope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}

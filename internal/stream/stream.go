@@ -1,0 +1,303 @@
+// Package stream generates the paper's §4 source model incrementally:
+// instead of materializing a whole trace in memory (the batch
+// core.Model.Generate path), a BlockSource hands out frame-size blocks
+// one at a time under bounded memory, which is what a long-running
+// serving daemon or an in-loop simulation consumer needs.
+//
+// Two Gaussian backends feed the Eq. 13 marginal transform:
+//
+//   - Hosking: the exact O(n²) recursion, advanced block by block
+//     (fgn.HoskingStream). The concatenated output is bitwise-identical
+//     to the batch generator with the same seed; the recursion's own
+//     O(n) state is inherent to exactness, but no extra O(n) output
+//     buffering is added.
+//   - DaviesHarte: successive independent O(B log B) circulant-embedding
+//     blocks joined by power-preserving overlap stitching, giving true
+//     O(block) memory for arbitrarily long traces at the cost of an
+//     approximate correlation structure across block seams.
+//
+// Every stream is validated online: a Monitor tracks the running
+// mean/σ and a streaming variance–time Ĥ probe, so a drifting stream
+// self-reports through the obs gauges and the Probe API instead of
+// silently serving bad traffic.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+
+	"vbr/internal/core"
+	"vbr/internal/dist"
+	"vbr/internal/fgn"
+	"vbr/internal/obs"
+	"vbr/internal/specfn"
+)
+
+// Backend selects the Gaussian engine behind a stream.
+type Backend int
+
+const (
+	// Hosking streams the paper's exact recursion; output is
+	// bitwise-identical to the batch generator (with Standardize off).
+	Hosking Backend = iota
+	// DaviesHarte streams independent circulant-embedding blocks with
+	// overlap stitching: O(block) memory, approximate seams.
+	DaviesHarte
+)
+
+// String names the backend for logs and API parameters.
+func (b Backend) String() string {
+	switch b {
+	case Hosking:
+		return "hosking"
+	case DaviesHarte:
+		return "davies-harte"
+	}
+	return fmt.Sprintf("backend(%d)", int(b))
+}
+
+// ParseBackend maps the CLI/API spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "hosking":
+		return Hosking, nil
+	case "davies-harte", "daviesharte", "dh":
+		return DaviesHarte, nil
+	}
+	return 0, fmt.Errorf("stream: unknown backend %q (want hosking or davies-harte)", s)
+}
+
+// gaussStreamSalt is the PCG stream selector of the batch generator's
+// Gaussian stage (core.gaussianCtx); the Hosking backend must use the
+// same salt for its output to be bitwise-identical to Model.Generate.
+const gaussStreamSalt = 0x6a55
+
+// dhStreamSalt offsets the per-block PCG streams of the Davies–Harte
+// backend; block i draws from stream dhStreamSalt+i of the same seed, so
+// blocks are mutually independent yet the whole trace is reproducible.
+const dhStreamSalt = 0xd41e5
+
+// Config parameterizes a stream. The zero values of BlockSize, Overlap
+// and TableSize select defaults; Model, N and (for reproducibility)
+// Seed are the caller's.
+type Config struct {
+	// Model is the four-parameter (μ_Γ, σ_Γ, m_T, H) source model.
+	Model core.Model
+	// N is the total number of frames the stream will produce.
+	N int
+	// BlockSize is the number of frames per block (default 4096).
+	BlockSize int
+	// Overlap is the Davies–Harte stitch length in frames (default
+	// BlockSize/4, ignored by the Hosking backend). It must stay below
+	// BlockSize.
+	Overlap int
+	// TableSize is the marginal mapping table resolution (default
+	// 10000, the paper's choice).
+	TableSize int
+	// Seed drives all randomness; equal configs yield equal streams.
+	Seed uint64
+	// Backend selects the Gaussian engine.
+	Backend Backend
+}
+
+// withDefaults fills the zero-valued tuning knobs.
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+	if c.Overlap == 0 {
+		c.Overlap = c.BlockSize / 4
+	}
+	if c.TableSize == 0 {
+		c.TableSize = 10000
+	}
+	return c
+}
+
+// Validate checks the (defaulted) configuration.
+func (c Config) Validate() error {
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.N < 1 {
+		return fmt.Errorf("stream: N must be ≥ 1, got %d", c.N)
+	}
+	if c.BlockSize < 1 {
+		return fmt.Errorf("stream: block size must be ≥ 1, got %d", c.BlockSize)
+	}
+	if c.Overlap < 0 || (c.Backend == DaviesHarte && c.BlockSize > 1 && c.Overlap >= c.BlockSize) {
+		return fmt.Errorf("stream: overlap must be in [0, block size), got %d with block %d", c.Overlap, c.BlockSize)
+	}
+	if c.TableSize < 2 {
+		return fmt.Errorf("stream: table size must be ≥ 2, got %d", c.TableSize)
+	}
+	switch c.Backend {
+	case Hosking, DaviesHarte:
+	default:
+		return fmt.Errorf("stream: unknown backend %d", c.Backend)
+	}
+	return nil
+}
+
+// BlockSource produces consecutive blocks of a frame-size series. It is
+// the contract between generation backends and serving consumers: the
+// returned slice is only valid until the following Next call (sources
+// reuse their block buffer — that reuse is what bounds memory), and the
+// final call after the last block returns (nil, io.EOF).
+type BlockSource interface {
+	// Next returns the next block of frames, io.EOF after the last one,
+	// or an error matching errs.ErrCancelled when ctx fires mid-stream.
+	Next(ctx context.Context) ([]float64, error)
+	// Pos reports how many frames have been produced so far.
+	Pos() int
+}
+
+// gaussian is the internal contract of the Gaussian backends: fill dst
+// from the front, report how many points were produced, io.EOF when the
+// series is exhausted.
+type gaussian interface {
+	Next(ctx context.Context, dst []float64) (int, error)
+}
+
+// Stream is a BlockSource producing model traffic: a Gaussian backend
+// block, the Eq. 13 Gamma/Pareto transform applied in place, and the
+// online Monitor updated — all in O(BlockSize) working memory.
+type Stream struct {
+	cfg   Config
+	gauss gaussian
+	tab   *dist.QuantileTable
+	gbuf  []float64
+	out   []float64
+	mon   *Monitor
+	pos   int
+
+	wantMean float64 // finite marginal mean, 0 when divergent
+	wantStd  float64 // finite marginal σ, 0 when divergent
+}
+
+// driftTol is the relative deviation of the running mean (and σ) from
+// the model marginal beyond which a stream self-reports drift, once at
+// least driftMinFrames frames are in the monitor. The tolerance is
+// deliberately loose: LRD series converge slowly (§4.2), so tight
+// bounds would false-alarm on healthy streams.
+const (
+	driftTol       = 0.25
+	driftMinFrames = 1 << 14
+)
+
+// Open builds a stream for cfg.
+func Open(cfg Config) (*Stream, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gp, err := cfg.Model.Marginal()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := gp.QuantileTable(cfg.TableSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{
+		cfg:  cfg,
+		tab:  tab,
+		gbuf: make([]float64, cfg.BlockSize),
+		out:  make([]float64, cfg.BlockSize),
+		mon:  NewMonitor(maxAggLevel(cfg.N)),
+	}
+	if mu := gp.Mean(); !math.IsInf(mu, 0) && mu > 0 {
+		s.wantMean = mu
+	}
+	if v := gp.Variance(); !math.IsInf(v, 0) && v > 0 {
+		s.wantStd = math.Sqrt(v)
+	}
+	switch cfg.Backend {
+	case Hosking:
+		rng := rand.New(rand.NewPCG(cfg.Seed, gaussStreamSalt))
+		hs, err := fgn.NewHoskingStream(cfg.N, cfg.Model.Hurst, rng)
+		if err != nil {
+			return nil, err
+		}
+		s.gauss = hs
+	case DaviesHarte:
+		s.gauss = &dhStitch{
+			n:       cfg.N,
+			block:   cfg.BlockSize,
+			overlap: cfg.Overlap,
+			h:       cfg.Model.Hurst,
+			seed:    cfg.Seed,
+		}
+	}
+	return s, nil
+}
+
+// Len returns the total number of frames the stream will produce.
+func (s *Stream) Len() int { return s.cfg.N }
+
+// Pos implements BlockSource.
+func (s *Stream) Pos() int { return s.pos }
+
+// Probe returns the current online-validation snapshot.
+func (s *Stream) Probe() Probe { return s.mon.Probe() }
+
+// Next implements BlockSource: one Gaussian block, transformed to the
+// Gamma/Pareto marginal in place and folded into the monitor. The obs
+// scope on ctx receives per-block counters, the validation gauges
+// (stream.mean, stream.std, stream.hhat) and drift warnings.
+func (s *Stream) Next(ctx context.Context) ([]float64, error) {
+	n, err := s.gauss.Next(ctx, s.gbuf)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	out := s.out[:n]
+	for i, v := range s.gbuf[:n] {
+		y := s.tab.Value(specfn.NormCDF(v))
+		out[i] = y
+		s.mon.Add(y)
+	}
+	s.pos += n
+
+	scope := obs.From(ctx)
+	scope.Count("stream.blocks", 1)
+	scope.Count("stream.frames", int64(n))
+	p := s.mon.Probe()
+	scope.SetGauge("stream.mean", p.Mean)
+	scope.SetGauge("stream.std", p.Std)
+	if !math.IsNaN(p.H) {
+		scope.SetGauge("stream.hhat", p.H)
+	}
+	if p.N >= driftMinFrames {
+		if s.wantMean > 0 && math.Abs(p.Mean-s.wantMean) > driftTol*s.wantMean {
+			scope.Count("stream.drift.mean", 1)
+		}
+		if s.wantStd > 0 && math.Abs(p.Std-s.wantStd) > driftTol*s.wantStd {
+			scope.Count("stream.drift.std", 1)
+		}
+	}
+	return out, nil
+}
+
+// Collect drains src into one materialized series. It exists for
+// consumers that genuinely need the whole trace at once (the queueing
+// simulator, tests); streaming consumers should iterate Next instead.
+func Collect(ctx context.Context, src BlockSource) ([]float64, error) {
+	var out []float64
+	for {
+		blk, err := src.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+}

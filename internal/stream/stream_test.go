@@ -1,0 +1,312 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"testing"
+
+	"vbr/internal/core"
+	"vbr/internal/dist"
+	"vbr/internal/errs"
+	"vbr/internal/lrd"
+)
+
+// paperModel mirrors the Table 4 Star Wars parameters used across the
+// repo's tests.
+func paperModel() core.Model {
+	return core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+}
+
+func collect(t *testing.T, cfg Config) []float64 {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	out, err := Collect(context.Background(), s)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if len(out) != cfg.N {
+		t.Fatalf("collected %d frames, want %d", len(out), cfg.N)
+	}
+	if s.Pos() != cfg.N {
+		t.Fatalf("Pos()=%d after drain, want %d", s.Pos(), cfg.N)
+	}
+	return out
+}
+
+// TestHoskingStreamBitwiseMatchesBatch is the block-boundary correctness
+// contract for the exact backend: streaming must not change a single
+// bit relative to the batch generator. Standardize is off because it is
+// a whole-series operation by definition; the streamed pipeline is
+// otherwise the full Gaussian→Eq. 13 path.
+func TestHoskingStreamBitwiseMatchesBatch(t *testing.T) {
+	const n, seed = 3000, 7
+	m := paperModel()
+	batch, err := m.Generate(n, core.GenOptions{
+		Generator: core.HoskingExact, TableSize: 10000, Standardize: false, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("batch Generate: %v", err)
+	}
+	streamed := collect(t, Config{Model: m, N: n, BlockSize: 256, Seed: seed, Backend: Hosking})
+	for i := range batch {
+		if math.Float64bits(batch[i]) != math.Float64bits(streamed[i]) {
+			t.Fatalf("frame %d differs: batch %v stream %v", i, batch[i], streamed[i])
+		}
+	}
+}
+
+// TestHoskingStreamBlockSizeInvariance: the block size is a transport
+// detail and must not alter the series.
+func TestHoskingStreamBlockSizeInvariance(t *testing.T) {
+	const n, seed = 1200, 3
+	m := paperModel()
+	ref := collect(t, Config{Model: m, N: n, BlockSize: n, Seed: seed, Backend: Hosking})
+	for _, bs := range []int{1, 97, 256, 5000} {
+		got := collect(t, Config{Model: m, N: n, BlockSize: bs, Seed: seed, Backend: Hosking})
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("block size %d: frame %d differs (%v vs %v)", bs, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDaviesHarteStreamMarginal: overlap stitching must preserve the
+// Gamma/Pareto marginal. The KS tolerance is looser than an iid bound
+// because LRD correlation inflates the empirical-CDF deviation.
+func TestDaviesHarteStreamMarginal(t *testing.T) {
+	m := paperModel()
+	cfg := Config{Model: m, N: 1 << 16, BlockSize: 4096, Overlap: 1024, Seed: 11, Backend: DaviesHarte}
+	frames := collect(t, cfg)
+	gp, err := m.Marginal()
+	if err != nil {
+		t.Fatalf("Marginal: %v", err)
+	}
+	d, err := dist.KolmogorovDistance(frames, gp)
+	if err != nil {
+		t.Fatalf("KolmogorovDistance: %v", err)
+	}
+	if d > 0.02 {
+		t.Errorf("KS distance to model marginal = %v, want ≤ 0.02", d)
+	}
+}
+
+// TestDaviesHarteStreamHurst: stitching seams must not destroy the
+// long-range dependence. The Whittle estimator carries a small upward
+// bias on the heavy-tailed marginal (it lands near 0.86 for H=0.8 even
+// on the batch generator), so the test compares the streamed series
+// against an equally long batch Davies–Harte run: stitching must not
+// move Ĥ beyond the combined confidence intervals.
+func TestDaviesHarteStreamHurst(t *testing.T) {
+	const n = 1 << 16
+	m := paperModel()
+	frames := collect(t, Config{Model: m, N: n, BlockSize: 4096, Overlap: 1024, Seed: 5, Backend: DaviesHarte})
+	ws, err := lrd.Whittle(frames)
+	if err != nil {
+		t.Fatalf("Whittle(stream): %v", err)
+	}
+	batch, err := m.Generate(n, core.GenOptions{
+		Generator: core.DaviesHarteFast, TableSize: 10000, Standardize: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatalf("batch Generate: %v", err)
+	}
+	wb, err := lrd.Whittle(batch)
+	if err != nil {
+		t.Fatalf("Whittle(batch): %v", err)
+	}
+	if tol := ws.CI95 + wb.CI95 + 0.01; math.Abs(ws.H-wb.H) > tol {
+		t.Errorf("stream Ĥ = %v vs batch Ĥ = %v, want within %v", ws.H, wb.H, tol)
+	}
+	// And the absolute estimate must still be unambiguously LRD near the
+	// model's H, not pulled toward 0.5 by the seams.
+	if ws.H < 0.75 || ws.H > 0.95 {
+		t.Errorf("stream Ĥ = %v, want in [0.75, 0.95] for model H=%v", ws.H, m.Hurst)
+	}
+}
+
+// TestDaviesHarteShortFinalBlock: N not a multiple of the block size
+// must still drain exactly N frames.
+func TestDaviesHarteShortFinalBlock(t *testing.T) {
+	cfg := Config{Model: paperModel(), N: 10_000, BlockSize: 4096, Overlap: 512, Seed: 2, Backend: DaviesHarte}
+	frames := collect(t, cfg)
+	for i, f := range frames {
+		if math.IsNaN(f) || f < 0 {
+			t.Fatalf("frame %d invalid: %v", i, f)
+		}
+	}
+}
+
+// TestDaviesHarteBoundedMemory is the O(block) acceptance check: a
+// 400k-frame stream must not grow the live heap anywhere near the
+// ~3.2 MB an O(n) float64 buffer would need. The streamed blocks are
+// consumed and dropped, so only the stream's own state may be live.
+func TestDaviesHarteBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile in -short mode")
+	}
+	const n, block = 400_000, 2048
+	s, err := Open(Config{Model: paperModel(), N: n, BlockSize: block, Overlap: 512, Seed: 9, Backend: DaviesHarte})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	ctx := context.Background()
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	var maxLive uint64
+	blocks := 0
+	var sum float64
+	for {
+		blk, err := s.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		for _, v := range blk {
+			sum += v
+		}
+		blocks++
+		if blocks%32 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > maxLive {
+				maxLive = ms.HeapAlloc
+			}
+		}
+	}
+	if sum <= 0 {
+		t.Fatalf("stream produced non-positive total %v", sum)
+	}
+	if s.Pos() != n {
+		t.Fatalf("Pos()=%d, want %d", s.Pos(), n)
+	}
+	// An O(n) pipeline holds ≥ n·8 B ≈ 3.2 MB of frames alive; the
+	// stream's own state is a few block-sized buffers plus the quantile
+	// table (~0.3 MB). 1.5 MB of headroom separates the two regimes.
+	const limit = 1_500_000
+	if maxLive > base+limit {
+		t.Errorf("live heap grew by %d bytes (base %d, max %d), want < %d — stream is not O(block)",
+			maxLive-base, base, maxLive, limit)
+	}
+}
+
+// TestStreamCancellation: a cancelled context surfaces as
+// errs.ErrCancelled from both backends.
+func TestStreamCancellation(t *testing.T) {
+	for _, b := range []Backend{Hosking, DaviesHarte} {
+		s, err := Open(Config{Model: paperModel(), N: 50_000, BlockSize: 1024, Seed: 1, Backend: b})
+		if err != nil {
+			t.Fatalf("%v: Open: %v", b, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if _, err := s.Next(ctx); err != nil {
+			t.Fatalf("%v: first block: %v", b, err)
+		}
+		cancel()
+		_, err = s.Next(ctx)
+		if !errors.Is(err, errs.ErrCancelled) {
+			t.Errorf("%v: after cancel got %v, want errs.ErrCancelled", b, err)
+		}
+	}
+}
+
+// TestStreamProbeTracksMoments: after a long Hosking stream the online
+// probe must sit near the model marginal and the configured H.
+func TestStreamProbeTracksMoments(t *testing.T) {
+	m := paperModel()
+	s, err := Open(Config{Model: m, N: 1 << 16, BlockSize: 4096, Seed: 13, Backend: DaviesHarte})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := Collect(context.Background(), s); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	p := s.Probe()
+	if p.N != 1<<16 {
+		t.Fatalf("probe N=%d", p.N)
+	}
+	gp, err := m.Marginal()
+	if err != nil {
+		t.Fatalf("Marginal: %v", err)
+	}
+	if rel := math.Abs(p.Mean-gp.Mean()) / gp.Mean(); rel > 0.1 {
+		t.Errorf("probe mean %v vs marginal %v (rel %v)", p.Mean, gp.Mean(), rel)
+	}
+	sd := math.Sqrt(gp.Variance())
+	if rel := math.Abs(p.Std-sd) / sd; rel > 0.25 {
+		t.Errorf("probe σ %v vs marginal %v (rel %v)", p.Std, sd, rel)
+	}
+	if math.IsNaN(p.H) || p.Levels < 2 {
+		t.Fatalf("probe Ĥ unavailable: %+v", p)
+	}
+	if p.H < 0.55 || p.H > 1.05 {
+		t.Errorf("probe Ĥ = %v, want within drift-alarm range of H=0.8", p.H)
+	}
+}
+
+// TestMonitorIIDBaseline: white noise must probe near H = 0.5 with unit
+// moments — the monitor's sanity anchor.
+func TestMonitorIIDBaseline(t *testing.T) {
+	mo := NewMonitor(maxAggLevel(1 << 16))
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 1<<16; i++ {
+		mo.Add(rng.NormFloat64())
+	}
+	p := mo.Probe()
+	if math.Abs(p.Mean) > 0.05 {
+		t.Errorf("iid mean %v", p.Mean)
+	}
+	if math.Abs(p.Std-1) > 0.05 {
+		t.Errorf("iid σ %v", p.Std)
+	}
+	if math.Abs(p.H-0.5) > 0.12 {
+		t.Errorf("iid Ĥ = %v, want ≈ 0.5", p.H)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{Model: paperModel(), N: 100}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero N", func(c *Config) { c.N = 0 }},
+		{"negative overlap", func(c *Config) { c.Overlap = -1 }},
+		{"overlap ≥ block (DH)", func(c *Config) { c.Backend = DaviesHarte; c.BlockSize = 64; c.Overlap = 64 }},
+		{"tiny table", func(c *Config) { c.TableSize = 1 }},
+		{"bad backend", func(c *Config) { c.Backend = Backend(99) }},
+		{"bad model", func(c *Config) { c.Model.Hurst = 1.5 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("%s: Open accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestBackendRoundTrip(t *testing.T) {
+	for _, b := range []Backend{Hosking, DaviesHarte} {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("round trip %v: got %v, %v", b, got, err)
+		}
+	}
+	if _, err := ParseBackend("fourier"); err == nil {
+		t.Error("ParseBackend accepted junk")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"vbr/internal/queue"
 	"vbr/internal/scenes"
 	"vbr/internal/stats"
+	"vbr/internal/stream"
 	"vbr/internal/synth"
 	"vbr/internal/trace"
 )
@@ -333,4 +334,41 @@ type FaultConfig = queue.FaultConfig
 // intervals: identical seeds and configs yield identical schedules.
 func GenerateFaults(seed uint64, n int, cfg FaultConfig) (*FaultSchedule, error) {
 	return queue.GenerateFaults(seed, n, cfg)
+}
+
+// StreamConfig parameterizes incremental block-based trace generation:
+// the model, total length, block size, Davies–Harte overlap, seed and
+// backend. Zero tuning fields select defaults.
+type StreamConfig = stream.Config
+
+// StreamBackend selects the Gaussian engine behind a stream.
+type StreamBackend = stream.Backend
+
+// Stream backends: the exact Hosking recursion (bitwise-identical to
+// batch Generate with Standardize off) and overlap-stitched Davies–Harte
+// blocks (O(block) memory, approximate seams).
+const (
+	StreamHosking     = stream.Hosking
+	StreamDaviesHarte = stream.DaviesHarte
+)
+
+// BlockSource produces consecutive frame-size blocks under bounded
+// memory; the returned slice is valid only until the next call.
+type BlockSource = stream.BlockSource
+
+// Stream is a BlockSource over the full §4 pipeline (LRD Gaussian →
+// Eq. 13 marginal), validated online by a running mean/σ and a
+// streaming variance–time Ĥ probe.
+type Stream = stream.Stream
+
+// StreamProbe is the online-validation snapshot of a Stream.
+type StreamProbe = stream.Probe
+
+// OpenStream builds a Stream for cfg.
+func OpenStream(cfg StreamConfig) (*Stream, error) { return stream.Open(cfg) }
+
+// CollectStream drains a BlockSource into one materialized series, for
+// consumers that need the whole trace at once.
+func CollectStream(ctx context.Context, src BlockSource) ([]float64, error) {
+	return stream.Collect(ctx, src)
 }

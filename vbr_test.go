@@ -2,6 +2,7 @@ package vbr
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 )
@@ -143,5 +144,30 @@ func TestPublicAPISimulate(t *testing.T) {
 	}
 	if _, err := RealizedGain(5e6, 14e6, 5.3e6); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIStream(t *testing.T) {
+	model := Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+	s, err := OpenStream(StreamConfig{Model: model, N: 2000, BlockSize: 512, Seed: 7, Backend: StreamHosking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src BlockSource = s
+	frames, err := CollectStream(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2000 {
+		t.Fatalf("collected %d frames", len(frames))
+	}
+	for i, f := range frames {
+		if !(f > 0) || math.IsInf(f, 0) {
+			t.Fatalf("frame %d = %v, want positive finite bytes", i, f)
+		}
+	}
+	p := s.Probe()
+	if p.N != 2000 || p.Mean <= 0 || p.Std <= 0 {
+		t.Errorf("probe %+v, want 2000 frames with positive moments", p)
 	}
 }
