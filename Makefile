@@ -39,11 +39,12 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=$(FUZZTIME) ./internal/trace/
 
 # Pinned benchmark subset as a committed/CI JSON snapshot: the two
-# generators, the fluid queue, and the end-to-end Fig 14 sweep. The
-# text output goes through an intermediate file so a benchmark failure
-# fails the target rather than feeding benchjson an empty stream.
+# generators, the fluid queue, the end-to-end Fig 14 sweep, and the
+# generation-cache cold/warm/batch trio. The text output goes through
+# an intermediate file so a benchmark failure fails the target rather
+# than feeding benchjson an empty stream.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$' -benchmem -count=3 . > bench.out
+	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$|ColdGenerate$$|WarmGenerate$$|BatchGenerate$$' -benchmem -count=3 . > bench.out
 	@out="$(BENCH_OUT)"; \
 	if [ -z "$$out" ]; then i=0; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; out=BENCH_$$i.json; fi; \
 	$(GO) run ./cmd/benchjson -o "$$out" bench.out && echo "wrote $$out"

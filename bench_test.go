@@ -6,6 +6,7 @@
 package vbr
 
 import (
+	"context"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -419,6 +420,56 @@ func BenchmarkExt_SceneDetection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.ExtScenes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Generation-cache benchmarks (DESIGN.md §10): the same Model.Generate
+// call cold (no pool: coefficient schedule and mapping table rebuilt
+// every time) and warm (pool pre-filled by one prior call). The warm
+// path must stay well ahead of cold — the CI baseline pins the ratio.
+
+var benchCacheModel = Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+
+func BenchmarkColdGenerate(b *testing.B) {
+	opts := DefaultGenOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		if _, err := benchCacheModel.Generate(10000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWarmGenerate(b *testing.B) {
+	opts := DefaultGenOptions()
+	opts.Pool = NewGenPool(0)
+	if _, err := benchCacheModel.Generate(10000, opts); err != nil {
+		b.Fatal(err) // fill the pool
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		if _, err := benchCacheModel.Generate(10000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Eight independently seeded traces through the worker-pool batch
+// engine sharing one pool, vs. what eight cold Generate calls would
+// cost (8× BenchmarkColdGenerate at n=4096).
+func BenchmarkBatchGenerate(b *testing.B) {
+	ctx := context.Background()
+	opts := DefaultGenOptions()
+	opts.Pool = NewGenPool(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		if _, err := benchCacheModel.GenerateBatch(ctx, 8, 4096, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"vbr/internal/cli"
+	"vbr/internal/genpool"
 	"vbr/internal/server"
 )
 
@@ -51,6 +52,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-drain budget for in-flight requests on shutdown")
 		maxFrames  = fs.Int("max-frames", 4<<20, "per-request trace length cap")
 		simWorkers = fs.Int("sim-workers", 2, "concurrent simulation-job workers")
+		poolBytes  = fs.Int64("pool-bytes", genpool.DefaultMaxBytes, "generation-cache budget in bytes (coefficient schedules, eigenvalues, mapping tables shared across requests); values <= 0 select the default")
 	)
 	obsFlags := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -74,6 +76,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	srv := server.New(base, server.Config{
 		MaxFrames:  *maxFrames,
 		SimWorkers: *simWorkers,
+		Pool:       genpool.New(*poolBytes),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -126,7 +126,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	}
 	if *point {
 		any = true
-		mux, err := queue.NewMux(suite.Trace, *nSources, 1000, *seed)
+		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: suite.Trace, N: *nSources, MinLagFrames: 1000, Seed: *seed})
 		if err != nil {
 			return err
 		}

@@ -37,7 +37,7 @@ func main() {
 
 	points, err := vbr.SMG(vbr.SMGConfig{
 		NewMux: func(n int) (*vbr.Mux, error) {
-			return vbr.NewMux(tr, n, 800, 7)
+			return vbr.NewMuxFromConfig(vbr.MuxConfig{Trace: tr, N: n, MinLagFrames: 800, Seed: 7})
 		},
 		Ns:      []int{1, 2, 5, 10, 20},
 		Target:  target,

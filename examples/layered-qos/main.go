@@ -33,7 +33,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mux, err := vbr.NewMux(tr, 1, 0, 1)
+	mux, err := vbr.NewMuxFromConfig(vbr.MuxConfig{Trace: tr, N: 1, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -68,7 +68,7 @@ func main() {
 	fmt.Println()
 	for _, src := range sources {
 		srcTr := &vbr.Trace{Frames: src.frames, FrameRate: tr.FrameRate}
-		mux, err := vbr.NewMux(srcTr, 1, 0, 1)
+		mux, err := vbr.NewMuxFromConfig(vbr.MuxConfig{Trace: srcTr, N: 1, Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -21,6 +21,7 @@ import (
 	"vbr/internal/dist"
 	"vbr/internal/errs"
 	"vbr/internal/fgn"
+	"vbr/internal/genpool"
 	"vbr/internal/lrd"
 	"vbr/internal/trace"
 )
@@ -54,7 +55,7 @@ func (m Model) Marginal() (*dist.GammaPareto, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return dist.NewGammaPareto(m.MuGamma, m.SigmaGamma, m.TailSlope)
+	return dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: m.MuGamma, SigmaGamma: m.SigmaGamma, TailSlope: m.TailSlope})
 }
 
 // FitOptions controls parameter estimation from an empirical trace.
@@ -183,6 +184,13 @@ type GenOptions struct {
 	// Snapshot receives the periodic checkpoints; see
 	// fgn.HoskingCheckpointed for the exact semantics.
 	Snapshot fgn.SnapshotFunc
+	// Pool, when non-nil, serves the seed-independent precomputations —
+	// Hosking coefficient schedules, Davies–Harte eigenvalue vectors and
+	// Eq. 13 quantile tables — from a shared cross-request cache instead
+	// of recomputing them per call. The generated output is bitwise
+	// identical either way (the cached quantities do not depend on the
+	// seed); nil preserves the cold per-call behavior exactly.
+	Pool *genpool.Pool
 }
 
 // DefaultGenOptions mirrors the paper's generation procedure.
@@ -207,7 +215,7 @@ func (m Model) GenerateCtx(ctx context.Context, n int, opts GenOptions) ([]float
 	if err != nil {
 		return nil, err
 	}
-	return m.transform(x, opts)
+	return m.transformCtx(ctx, x, opts)
 }
 
 // GenerateGaussian produces the Fig. 16 ablation with LRD but Gaussian
@@ -270,13 +278,11 @@ func (m Model) GenerateIIDCtx(ctx context.Context, n int, opts GenOptions) ([]fl
 	return out, nil
 }
 
-// gaussian runs the selected LRD engine and optionally standardizes.
-func (m Model) gaussian(n int, opts GenOptions) ([]float64, error) {
-	return m.gaussianCtx(context.Background(), n, opts)
-}
-
 // gaussianCtx runs the selected LRD engine under a context and
-// optionally standardizes.
+// optionally standardizes. With a pool in the options the
+// seed-independent half of the chosen engine (coefficient schedule or
+// eigenvalue vector) is served from cache; the seeded half draws from
+// rng in exactly the cold order, keeping the output bitwise identical.
 func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: length must be ≥ 1, got %d", n)
@@ -286,9 +292,23 @@ func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float
 	var err error
 	switch opts.Generator {
 	case HoskingExact:
-		x, err = fgn.HoskingCtx(ctx, n, m.Hurst, rng)
+		if opts.Pool != nil {
+			var c *fgn.HoskingCoeffs
+			if c, err = opts.Pool.HoskingCoeffs(ctx, m.Hurst, n); err == nil {
+				x, err = fgn.HoskingFromCoeffs(ctx, n, c, rng)
+			}
+		} else {
+			x, err = fgn.HoskingCtx(ctx, n, m.Hurst, rng)
+		}
 	case DaviesHarteFast:
-		x, err = fgn.DaviesHarteCtx(ctx, n, m.Hurst, rng)
+		if opts.Pool != nil {
+			var lam []float64
+			if lam, err = opts.Pool.DaviesHarteEigen(ctx, m.Hurst, n); err == nil {
+				x, err = fgn.DaviesHarteFromEigenCtx(ctx, n, lam, rng)
+			}
+		} else {
+			x, err = fgn.DaviesHarteCtx(ctx, n, m.Hurst, rng)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown generator %d", opts.Generator)
 	}
@@ -332,7 +352,7 @@ func (m Model) GenerateResumable(ctx context.Context, n int, opts GenOptions, re
 	if opts.Standardize {
 		fgn.Standardize(x)
 	}
-	out, err := m.transform(x, opts)
+	out, err := m.transformCtx(ctx, x, opts)
 	return out, nil, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 
 	"vbr/internal/arma"
+	"vbr/internal/dist"
 	"vbr/internal/fgn"
 	"vbr/internal/specfn"
 )
@@ -24,19 +25,26 @@ import (
 // modulation has geometrically decaying correlations, so neither alters
 // the hyperbolic tail of the autocorrelation.
 
-// GenerateWithARMA generates n frames of the full model with extra
+// GenerateWithARMA is equivalent to
+// GenerateWithARMACtx(context.Background(), ...).
+func (m Model) GenerateWithARMA(n int, srd arma.Model, opts GenOptions) ([]float64, error) {
+	return m.GenerateWithARMACtx(context.Background(), n, srd, opts)
+}
+
+// GenerateWithARMACtx generates n frames of the full model with extra
 // short-range structure: the fARIMA(0, d, 0) realization is passed
 // through the given (stationary) ARMA filter — yielding a fractional
 // ARIMA(p, d, q) process — restandardized, and transformed to the
-// Gamma/Pareto marginal.
-func (m Model) GenerateWithARMA(n int, srd arma.Model, opts GenOptions) ([]float64, error) {
+// Gamma/Pareto marginal. Cancellation propagates through the Gaussian
+// backbone generation.
+func (m Model) GenerateWithARMACtx(ctx context.Context, n int, srd arma.Model, opts GenOptions) ([]float64, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	if err := srd.Validate(); err != nil {
 		return nil, err
 	}
-	x, err := m.gaussian(n, opts)
+	x, err := m.gaussianCtx(ctx, n, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -45,7 +53,7 @@ func (m Model) GenerateWithARMA(n int, srd arma.Model, opts GenOptions) ([]float
 		return nil, err
 	}
 	fgn.Standardize(x)
-	return m.transform(x, opts)
+	return m.transformCtx(ctx, x, opts)
 }
 
 // GenerateMarkovModulated generates n frames with the activity level
@@ -83,20 +91,28 @@ func (m Model) GenerateMarkovModulatedCtx(ctx context.Context, n int, chain *arm
 		x[i] = (1-w)*x[i] + w*path[i]
 	}
 	fgn.Standardize(x)
-	return m.transform(x, opts)
+	return m.transformCtx(ctx, x, opts)
 }
 
-// transform applies the Eq. 13 marginal map to a standardized Gaussian
-// series.
-func (m Model) transform(x []float64, opts GenOptions) ([]float64, error) {
-	gp, err := m.Marginal()
-	if err != nil {
-		return nil, err
-	}
+// transformCtx applies the Eq. 13 marginal map to a standardized
+// Gaussian series, drawing the mapping table from the options' pool
+// when one is set (the table depends only on the model parameters and
+// the resolution, never the data, so pooling cannot change the output).
+func (m Model) transformCtx(ctx context.Context, x []float64, opts GenOptions) ([]float64, error) {
 	if opts.TableSize < 2 {
 		return nil, fmt.Errorf("core: table size must be ≥ 2, got %d", opts.TableSize)
 	}
-	tab, err := gp.QuantileTable(opts.TableSize)
+	var tab *dist.QuantileTable
+	var err error
+	if opts.Pool != nil {
+		tab, err = opts.Pool.QuantileTable(ctx, m.MuGamma, m.SigmaGamma, m.TailSlope, opts.TableSize)
+	} else {
+		var gp *dist.GammaPareto
+		if gp, err = m.Marginal(); err != nil {
+			return nil, err
+		}
+		tab, err = gp.QuantileTable(opts.TableSize)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -127,7 +127,7 @@ func FitGammaPareto(xs []float64, tailFrac float64) (*GammaPareto, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewGammaPareto(mean, sd, a)
+	return NewGammaParetoFromParams(GammaParetoParams{MuGamma: mean, SigmaGamma: sd, TailSlope: a})
 }
 
 // KolmogorovDistance returns the two-sided Kolmogorov–Smirnov statistic

@@ -38,25 +38,42 @@ type GammaPareto struct {
 	vari float64 // cached variance
 }
 
-// NewGammaPareto constructs the hybrid from the paper's three parameters:
-// the equivalent Gamma mean and standard deviation, and the Pareto tail
-// slope. The tail slope must be positive; slopes ≤ 2 yield infinite
-// variance and ≤ 1 infinite mean, both permitted (and flagged by
-// Mean/Variance returning +Inf).
-func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
-	body, err := GammaFromMoments(muGamma, sigmaGamma)
+// GammaParetoParams are the paper's three marginal parameters with
+// their names attached: the equivalent Gamma mean and standard
+// deviation, and the Pareto tail slope m_T.
+type GammaParetoParams struct {
+	MuGamma    float64 // μ_Γ: equivalent Gamma-body mean
+	SigmaGamma float64 // σ_Γ: equivalent Gamma-body standard deviation
+	TailSlope  float64 // m_T: Pareto tail index (log-log CCDF slope)
+}
+
+// NewGammaParetoFromParams constructs the hybrid marginal. The tail
+// slope must be positive; slopes ≤ 2 yield infinite variance and ≤ 1
+// infinite mean, both permitted (and flagged by Mean/Variance
+// returning +Inf).
+func NewGammaParetoFromParams(p GammaParetoParams) (*GammaPareto, error) {
+	body, err := GammaFromMoments(p.MuGamma, p.SigmaGamma)
 	if err != nil {
 		return nil, err
 	}
-	if !(tailSlope > 0) {
-		return nil, fmt.Errorf("dist: gamma/pareto tail slope must be > 0, got %v", tailSlope)
+	if !(p.TailSlope > 0) {
+		return nil, fmt.Errorf("dist: gamma/pareto tail slope must be > 0, got %v", p.TailSlope)
 	}
-	d := &GammaPareto{Body: body, Tail: tailSlope}
-	d.xth = (body.Shape + tailSlope) / body.Rate
+	d := &GammaPareto{Body: body, Tail: p.TailSlope}
+	d.xth = (body.Shape + p.TailSlope) / body.Rate
 	d.pth = body.CDF(d.xth)
 	d.qth = 1 - d.pth
 	d.mu, d.vari = d.moments()
 	return d, nil
+}
+
+// NewGammaPareto is equivalent to NewGammaParetoFromParams with the
+// positional arguments (μ_Γ, σ_Γ, m_T) named.
+//
+// Deprecated: use NewGammaParetoFromParams; the struct form keeps the
+// three same-typed parameters from being silently transposed.
+func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
+	return NewGammaParetoFromParams(GammaParetoParams{MuGamma: muGamma, SigmaGamma: sigmaGamma, TailSlope: tailSlope})
 }
 
 // Threshold returns x_th, the body/tail attachment point.

@@ -182,7 +182,7 @@ func (s *Suite) ExtAdmissionCtx(ctx context.Context) (*ExtAdmissionResult, error
 		}
 		res.Convo = append(res.Convo, c/float64(n))
 
-		mux, err := queue.NewMux(s.Trace, n, s.minLag(), 500+uint64(n))
+		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: n, MinLagFrames: s.minLag(), Seed: 500 + uint64(n)})
 		if err != nil {
 			return nil, err
 		}

@@ -134,7 +134,7 @@ func (s *Suite) Fig15Ctx(ctx context.Context) (*Fig15Result, error) {
 	for _, target := range targets {
 		points, err := queue.SMGCtx(ctx, queue.SMGConfig{
 			NewMux: func(n int) (*queue.Mux, error) {
-				return queue.NewMux(s.Trace, n, s.minLag(), 200+uint64(n))
+				return queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: n, MinLagFrames: s.minLag(), Seed: 200 + uint64(n)})
 			},
 			Ns:        s.fig15Ns(),
 			Target:    target,
@@ -289,7 +289,7 @@ func (s *Suite) Fig16Ctx(ctx context.Context) (*Fig16Result, error) {
 			return nil, err
 		}
 		for _, nSrc := range s.fig16Ns() {
-			mux, err := queue.NewMux(tr, nSrc, s.minLag(), 300+uint64(nSrc))
+			mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: tr, N: nSrc, MinLagFrames: s.minLag(), Seed: 300 + uint64(nSrc)})
 			if err != nil {
 				return nil, err
 			}
@@ -378,7 +378,7 @@ func (s *Suite) Fig17Ctx(ctx context.Context) (*Fig17Result, error) {
 	const window = 1000 // frames
 	res := &Fig17Result{TargetPl: 1e-3}
 	for _, n := range []int{1, 20} {
-		mux, err := queue.NewMux(s.Trace, n, s.minLag(), 400+uint64(n))
+		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: n, MinLagFrames: s.minLag(), Seed: 400 + uint64(n)})
 		if err != nil {
 			return nil, err
 		}

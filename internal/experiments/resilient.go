@@ -40,7 +40,7 @@ func (s *Suite) Fig14Ctx(ctx context.Context, progress *checkpoint.SearchState) 
 	var jobs []job
 	muxes := map[int]*queue.Mux{}
 	for _, n := range s.qcNs() {
-		mux, err := queue.NewMux(s.Trace, n, s.minLag(), 100+uint64(n))
+		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: n, MinLagFrames: s.minLag(), Seed: 100 + uint64(n)})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,248 @@
+package fgn
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"vbr/internal/errs"
+	"vbr/internal/obs"
+)
+
+// This file splits the Hosking recursion into its two halves: the
+// seed-independent coefficient schedule (the Levinson–Durbin solution of
+// Eqs. 6–10, a function of H alone) and the seed-dependent innovation
+// recursion (Eqs. 11–12). The split is what makes cross-request caching
+// possible: a server handling many /v1/trace requests with the same H
+// pays the O(n²) coefficient recursion once and amortizes it over every
+// seed, while the warm innovation loop below reproduces the cold path's
+// output bit for bit.
+
+// HoskingCoeffs holds the seed-independent part of the Hosking recursion
+// for one Hurst parameter: the partial-correlation (reflection)
+// coefficients φ_kk and the conditional innovation variances v_k of
+// Eqs. 10 and 12, plus the internal state needed to extend the schedule
+// to longer horizons without recomputing the prefix.
+//
+// The schedule is a pure function of H: φ_kk and v_k at step k depend
+// only on ρ_0..ρ_k, which depend only on H. A schedule computed for
+// n = 171,000 therefore serves any request with the same H and a
+// shorter length — the prefix-reuse rule the cache layer relies on.
+//
+// All methods are safe for concurrent use. Published prefixes (from
+// Schedule) are append-only: extension never rewrites an index a reader
+// may hold.
+type HoskingCoeffs struct {
+	h float64
+
+	mu  sync.Mutex
+	kk  []float64 // kk[k] = φ_kk (kk[0] unused)
+	v   []float64 // v[k] = conditional variance after step k (v[0] = 1)
+	rho []float64 // ρ_0..ρ_{n-1}
+	phi []float64 // φ_{n-1,·}, the last full coefficient vector
+	// Scalar recursion state N_{n-1}, D_{n-1} (Eqs. 7–8).
+	nPrev, dPrev float64
+}
+
+// NewHoskingCoeffs prepares an empty schedule for Hurst parameter h.
+// The schedule initially covers a single point (X_0 needs no
+// coefficients); EnsureCtx grows it on demand.
+func NewHoskingCoeffs(h float64) (*HoskingCoeffs, error) {
+	if !validHurst(h) {
+		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
+	}
+	return &HoskingCoeffs{
+		h:     h,
+		kk:    []float64{0},
+		v:     []float64{1},
+		rho:   []float64{1},
+		phi:   []float64{0},
+		nPrev: 0,
+		dPrev: 1,
+	}, nil
+}
+
+// H returns the Hurst parameter the schedule was built for.
+func (c *HoskingCoeffs) H() float64 { return c.h }
+
+// Len returns how many points the schedule currently covers.
+func (c *HoskingCoeffs) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.kk)
+}
+
+// Bytes returns the resident size of the schedule's float64 backing
+// arrays, for cache byte accounting.
+func (c *HoskingCoeffs) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(cap(c.kk)+cap(c.v)+cap(c.rho)+cap(c.phi)) * 8
+}
+
+// EnsureCtx extends the schedule to cover at least n points, continuing
+// the Levinson–Durbin recursion from where it stopped: growing from n₁
+// to n₂ costs O(n₂²−n₁²), not O(n₂²). The arithmetic — expression by
+// expression, in evaluation order — matches hoskingRun, so the schedule
+// entries are bitwise identical to the values the cold path computes
+// inline. Cancellation is checked once per outer iteration.
+func (c *HoskingCoeffs) EnsureCtx(ctx context.Context, n int) error {
+	if n < 1 {
+		return fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := len(c.kk)
+	if cur >= n {
+		return nil
+	}
+	scope := obs.From(ctx)
+	defer scope.Span("fgn.hosking.coeffs")()
+
+	// Extend ρ by the stable FarimaACF recurrence (Eq. 6); each ρ_k is
+	// derived from ρ_{k-1} alone, so continuing the chain reproduces the
+	// exact values a fresh FarimaACF(h, n) call would produce.
+	d := c.h - 0.5
+	for k := len(c.rho); k < n; k++ {
+		kf := float64(k)
+		c.rho = append(c.rho, c.rho[k-1]*(kf-1+d)/(kf-d))
+	}
+	// φ needs room for indices 1..n-1.
+	c.phi = append(c.phi, make([]float64, n-len(c.phi))...)
+
+	for k := cur; k < n; k++ {
+		if ctx.Err() != nil {
+			return fmt.Errorf("fgn: coefficient schedule interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
+		}
+		// N_k and D_k (Eqs. 7–8), with c.phi holding φ_{k-1,·}.
+		nk := c.rho[k]
+		for j := 1; j < k; j++ {
+			nk -= c.phi[j] * c.rho[k-j]
+		}
+		dk := c.dPrev - c.nPrev*c.nPrev/c.dPrev
+
+		phikk := nk / dk
+		updatePhiInPlace(c.phi, k, phikk)
+
+		vk := c.v[k-1] * (1 - phikk*phikk)
+		if vk < 0 {
+			// Numerically impossible for valid ρ, but guard against
+			// catastrophic cancellation at extreme H — as hoskingRun does.
+			vk = 0
+		}
+		c.kk = append(c.kk, phikk)
+		c.v = append(c.v, vk)
+		c.nPrev, c.dPrev = nk, dk
+	}
+	scope.Count("fgn.hosking.coeffs.points", int64(n-cur))
+	return nil
+}
+
+// Schedule returns read-only prefix views of the φ_kk and v schedules
+// covering n points. It fails if the schedule has not been extended far
+// enough; callers that may be ahead of the cache call EnsureCtx first.
+func (c *HoskingCoeffs) Schedule(n int) (kk, v []float64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.kk) < n {
+		return nil, nil, fmt.Errorf("fgn: coefficient schedule covers %d points, need %d", len(c.kk), n)
+	}
+	return c.kk[:n], c.v[:n], nil
+}
+
+// updatePhiInPlace applies the Levinson step φ_{k,j} = φ_{k-1,j} −
+// c·φ_{k-1,k-j} for j = 1..k-1 in place and sets φ_{k,k} = c. The
+// symmetric pairs (j, k-j) are read before either is written, so the
+// results carry exactly the bits of the two-buffer form in hoskingRun.
+func updatePhiInPlace(phi []float64, k int, c float64) {
+	for i, j := 1, k-1; i < j; i, j = i+1, j-1 {
+		a, b := phi[i], phi[j]
+		phi[i] = a - c*b
+		phi[j] = b - c*a
+	}
+	if k >= 2 && k%2 == 0 {
+		m := k / 2
+		a := phi[m]
+		phi[m] = a - c*a
+	}
+	phi[k] = c
+}
+
+// HoskingFromCoeffs generates n points of fractional ARIMA(0, d, 0)
+// noise like HoskingCtx, but drives the innovation recursion from a
+// precomputed coefficient schedule: the O(k) linear-prediction dot
+// product against ρ and the two-buffer φ copy disappear, leaving the
+// in-place φ update and the conditional-mean sum. For the same rng
+// state the output is bitwise identical to HoskingCtx — the schedule
+// holds exactly the φ_kk and v_k the cold recursion would compute.
+//
+// The schedule is extended on demand (a cache hit for a longer trace is
+// still a hit for the coefficients already present).
+func HoskingFromCoeffs(ctx context.Context, n int, c *HoskingCoeffs, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("fgn: nil coefficient schedule")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fgn: generation needs a random source")
+	}
+	if err := c.EnsureCtx(ctx, n); err != nil {
+		return nil, err
+	}
+	kk, v, err := c.Schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	scope := obs.From(ctx)
+	defer scope.Span("fgn.hosking.warm")()
+
+	x := make([]float64, n)
+	phi := make([]float64, n)
+	x[0] = rng.NormFloat64() // X_0 ~ N(0, v_0), v_0 = 1
+	for k := 1; k < n; k++ {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("fgn: Hosking generation interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
+		}
+		updatePhiInPlace(phi, k, kk[k])
+		// Conditional mean (Eq. 11), summed in the cold path's order.
+		var m float64
+		for j := 1; j <= k; j++ {
+			m += phi[j] * x[k-j]
+		}
+		x[k] = m + math.Sqrt(v[k])*rng.NormFloat64()
+	}
+	scope.Count("fgn.hosking.points", int64(n))
+	scope.Progress("fgn.hosking", int64(n), int64(n))
+	return x, nil
+}
+
+// NewHoskingStreamWithCoeffs prepares an incremental Hosking generation
+// like NewHoskingStream, but drawing the linear-prediction coefficients
+// from a precomputed schedule, which must already cover n points (the
+// cache layer extends it before constructing the stream). Block
+// concatenation stays bitwise identical to the batch generators.
+func NewHoskingStreamWithCoeffs(n int, c *HoskingCoeffs, rng *rand.Rand) (*HoskingStream, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("fgn: nil coefficient schedule")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fgn: stream needs a random source")
+	}
+	kk, v, err := c.Schedule(n)
+	if err != nil {
+		return nil, err
+	}
+	return &HoskingStream{
+		n: n, h: c.h, rng: rng,
+		kk: kk, vs: v,
+		x:   make([]float64, n),
+		phi: make([]float64, n),
+	}, nil
+}

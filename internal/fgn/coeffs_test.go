@@ -1,0 +1,129 @@
+package fgn
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestHoskingFromCoeffsBitwise pins the tentpole invariant: the warm
+// (schedule-driven) batch generator reproduces the cold recursion bit
+// for bit for the same seed.
+func TestHoskingFromCoeffsBitwise(t *testing.T) {
+	for _, h := range []float64{0.55, 0.8, 0.95} {
+		cold, err := Hosking(3000, h, rand.New(rand.NewPCG(7, 9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewHoskingCoeffs(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := HoskingFromCoeffs(context.Background(), 3000, c, rand.New(rand.NewPCG(7, 9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold {
+			if math.Float64bits(cold[i]) != math.Float64bits(warm[i]) {
+				t.Fatalf("H=%v: warm[%d]=%x cold[%d]=%x", h, i, math.Float64bits(warm[i]), i, math.Float64bits(cold[i]))
+			}
+		}
+	}
+}
+
+// TestHoskingCoeffsPrefixExtension checks the prefix-reuse rule: a
+// schedule extended in stages carries exactly the entries a one-shot
+// schedule computes, so any cached long schedule serves shorter runs.
+func TestHoskingCoeffsPrefixExtension(t *testing.T) {
+	ctx := context.Background()
+	inc, err := NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{10, 500, 501, 2048} {
+		if err := inc.EnsureCtx(ctx, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one, err := NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := one.EnsureCtx(ctx, 2048); err != nil {
+		t.Fatal(err)
+	}
+	ik, iv, err := inc.Schedule(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, ov, err := one.Schedule(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < 2048; k++ {
+		if math.Float64bits(ik[k]) != math.Float64bits(ok[k]) || math.Float64bits(iv[k]) != math.Float64bits(ov[k]) {
+			t.Fatalf("staged extension diverges at k=%d", k)
+		}
+	}
+}
+
+// TestHoskingStreamWithCoeffsBitwise: the warm stream's concatenated
+// blocks equal the cold batch output bit for bit.
+func TestHoskingStreamWithCoeffsBitwise(t *testing.T) {
+	const n = 2000
+	cold, err := Hosking(n, 0.8, rand.New(rand.NewPCG(3, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureCtx(context.Background(), n); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewHoskingStreamWithCoeffs(n, c, rand.New(rand.NewPCG(3, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	buf := make([]float64, 129) // deliberately unaligned block size
+	for len(got) < n {
+		k, err := s.Next(context.Background(), buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf[:k]...)
+	}
+	for i := range cold {
+		if math.Float64bits(cold[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("stream warm[%d] != cold[%d]", i, i)
+		}
+	}
+}
+
+// TestDaviesHarteFromEigenBitwise: eigen-split synthesis equals the
+// one-shot sampler bit for bit.
+func TestDaviesHarteFromEigenBitwise(t *testing.T) {
+	ctx := context.Background()
+	for _, n := range []int{1, 2, 777, 4096} {
+		cold, err := DaviesHarte(n, 0.8, rand.New(rand.NewPCG(11, 13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lam, err := DaviesHarteEigenCtx(ctx, n, 0.8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := DaviesHarteFromEigenCtx(ctx, n, lam, rand.New(rand.NewPCG(11, 13)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cold {
+			if math.Float64bits(cold[i]) != math.Float64bits(warm[i]) {
+				t.Fatalf("n=%d: warm[%d] != cold[%d]", n, i, i)
+			}
+		}
+	}
+}

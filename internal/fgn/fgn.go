@@ -375,10 +375,29 @@ func DaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
 
 // DaviesHarteCtx is DaviesHarte with cooperative cancellation, checked
 // between the pipeline stages (ACF build, eigenvalue FFT, spectrum
-// randomization, synthesis FFT).
+// randomization, synthesis FFT). It is the composition of the two
+// halves below: the seed-independent eigenvalue setup (cacheable across
+// requests, keyed by (H, n)) and the seed-dependent synthesis.
 func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]float64, error) {
 	scope := obs.From(ctx)
 	defer scope.Span("fgn.daviesharte")()
+	lambda, err := DaviesHarteEigenCtx(ctx, n, h)
+	if err != nil {
+		return nil, err
+	}
+	return DaviesHarteFromEigenCtx(ctx, n, lambda, rng)
+}
+
+// DaviesHarteEigenCtx computes the seed-independent half of the
+// circulant embedding for (H, n): the eigenvalues of the 2n circulant
+// matrix built from the FGN autocovariance (the FFT of its first row),
+// verified non-negative and clamped at numerical zero. The result
+// depends only on (H, n), so it is the natural unit of cross-request
+// caching: one vector serves every seed.
+//
+// For n == 1 the sampler needs no embedding; the returned slice is
+// empty and DaviesHarteFromEigenCtx ignores it.
+func DaviesHarteEigenCtx(ctx context.Context, n int, h float64) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
 	}
@@ -386,9 +405,8 @@ func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]fl
 		return nil, fmt.Errorf("fgn: Hurst parameter must be in (0,1), got %v", h)
 	}
 	if n == 1 {
-		return []float64{rng.NormFloat64()}, nil
+		return []float64{}, nil
 	}
-
 	if ctx.Err() != nil {
 		return nil, errs.Cancelled(ctx)
 	}
@@ -417,25 +435,55 @@ func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]fl
 	if ctx.Err() != nil {
 		return nil, errs.Cancelled(ctx)
 	}
-	lambda := fft.Forward(row)
-	// Eigenvalues must be (numerically) non-negative.
-	for i := range lambda {
-		if real(lambda[i]) < 0 {
-			if real(lambda[i]) < -1e-8*float64(m) {
-				return nil, fmt.Errorf("fgn: circulant embedding not non-negative definite (λ=%v) at H=%v", real(lambda[i]), h)
+	fl := fft.Forward(row)
+	// Eigenvalues must be (numerically) non-negative. Only the real
+	// parts matter downstream (the row is symmetric, so the spectrum is
+	// real up to round-off); keeping float64 halves the cache footprint.
+	lambda := make([]float64, m)
+	for i := range fl {
+		lambda[i] = real(fl[i])
+		if lambda[i] < 0 {
+			if lambda[i] < -1e-8*float64(m) {
+				return nil, fmt.Errorf("fgn: circulant embedding not non-negative definite (λ=%v) at H=%v", lambda[i], h)
 			}
 			lambda[i] = 0
 		}
+	}
+	obs.From(ctx).Count("fgn.daviesharte.eigen", 1)
+	return lambda, nil
+}
+
+// DaviesHarteFromEigenCtx is the seed-dependent half of the Davies–Harte
+// sampler: it randomizes the spectrum with Hermitian symmetry and
+// inverse-transforms it into n points of FGN. lambda must come from
+// DaviesHarteEigenCtx for the same n; for the same rng state the output
+// is bitwise identical to DaviesHarteCtx.
+func DaviesHarteFromEigenCtx(ctx context.Context, n int, lambda []float64, rng *rand.Rand) ([]float64, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fgn: generation needs a random source")
+	}
+	if n == 1 {
+		return []float64{rng.NormFloat64()}, nil
+	}
+	m := 2 * n
+	if len(lambda) != m {
+		return nil, fmt.Errorf("fgn: eigenvalue vector has %d entries, want %d for n=%d", len(lambda), m, n)
+	}
+	if ctx.Err() != nil {
+		return nil, errs.Cancelled(ctx)
 	}
 
 	// Build the randomized spectrum with the Hermitian symmetry that makes
 	// the inverse FFT real-valued.
 	w := make([]complex128, m)
 	scale := 1 / math.Sqrt(float64(m))
-	w[0] = complex(math.Sqrt(real(lambda[0]))*rng.NormFloat64()*scale, 0)
-	w[n] = complex(math.Sqrt(real(lambda[n]))*rng.NormFloat64()*scale, 0)
+	w[0] = complex(math.Sqrt(lambda[0])*rng.NormFloat64()*scale, 0)
+	w[n] = complex(math.Sqrt(lambda[n])*rng.NormFloat64()*scale, 0)
 	for k := 1; k < n; k++ {
-		sd := math.Sqrt(real(lambda[k]) / 2)
+		sd := math.Sqrt(lambda[k] / 2)
 		re := sd * rng.NormFloat64() * scale
 		im := sd * rng.NormFloat64() * scale
 		w[k] = complex(re, im)
@@ -450,7 +498,7 @@ func DaviesHarteCtx(ctx context.Context, n int, h float64, rng *rand.Rand) ([]fl
 	for i := range out {
 		out[i] = real(z[i])
 	}
-	scope.Count("fgn.daviesharte.points", int64(n))
+	obs.From(ctx).Count("fgn.daviesharte.points", int64(n))
 	return out, nil
 }
 

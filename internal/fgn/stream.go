@@ -37,6 +37,12 @@ type HoskingStream struct {
 	nPrev   float64
 	dPrev   float64
 	k       int // next point to generate
+
+	// Warm mode (NewHoskingStreamWithCoeffs): precomputed φ_kk and v_k
+	// schedules replace the ρ dot product, the two-buffer φ copy and the
+	// variance recursion. nil in cold mode.
+	kk []float64
+	vs []float64
 }
 
 // NewHoskingStream prepares an incremental Hosking generation of n
@@ -104,6 +110,20 @@ func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
 			return produced, fmt.Errorf("fgn: Hosking stream interrupted at point %d of %d: %w", s.k, s.n, errs.Cancelled(ctx))
 		}
 		k := s.k
+		if s.kk != nil {
+			// Warm mode: the schedule already holds φ_kk and v_k; only
+			// the in-place φ update and the conditional mean remain.
+			updatePhiInPlace(s.phi, k, s.kk[k])
+			var m float64
+			for j := 1; j <= k; j++ {
+				m += s.phi[j] * s.x[k-j]
+			}
+			s.x[k] = m + math.Sqrt(s.vs[k])*s.rng.NormFloat64()
+			dst[produced] = s.x[k]
+			produced++
+			s.k = k + 1
+			continue
+		}
 		// N_k and D_k (Eqs. 7–8).
 		nk := s.rho[k]
 		for j := 1; j < k; j++ {

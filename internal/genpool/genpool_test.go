@@ -1,0 +1,254 @@
+package genpool_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"vbr/internal/core"
+	"vbr/internal/fgn"
+	"vbr/internal/genpool"
+)
+
+var testModel = core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+
+// bitwiseEqual fails the test at the first index where the two series
+// differ in their float64 bit patterns.
+func bitwiseEqual(t *testing.T, label string, cold, warm []float64) {
+	t.Helper()
+	if len(cold) != len(warm) {
+		t.Fatalf("%s: length %d vs %d", label, len(cold), len(warm))
+	}
+	for i := range cold {
+		if math.Float64bits(cold[i]) != math.Float64bits(warm[i]) {
+			t.Fatalf("%s: bit mismatch at %d: %x vs %x", label, i, math.Float64bits(cold[i]), math.Float64bits(warm[i]))
+		}
+	}
+}
+
+// TestGenerateBitwiseColdVsWarm pins the tentpole invariant end to end:
+// Model.Generate with a pool — cold pool, then fully warm pool — equals
+// the pool-free path bit for bit, for both Gaussian engines.
+func TestGenerateBitwiseColdVsWarm(t *testing.T) {
+	const n = 4096
+	for _, gen := range []core.Generator{core.HoskingExact, core.DaviesHarteFast} {
+		opts := core.DefaultGenOptions()
+		opts.Generator = gen
+		opts.Seed = 42
+		cold, err := testModel.Generate(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled := opts
+		pooled.Pool = genpool.New(0)
+		first, err := testModel.Generate(n, pooled) // fills the pool
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := testModel.Generate(n, pooled) // pure cache hits
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitwiseEqual(t, "cold-pool", cold, first)
+		bitwiseEqual(t, "warm-pool", cold, warm)
+		st := pooled.Pool.Stats()
+		if st.Hits == 0 || st.Misses == 0 {
+			t.Fatalf("generator %d: expected both hits and misses, got %+v", gen, st)
+		}
+	}
+}
+
+// TestHoskingPrefixReuse checks the prefix-reuse rule at the pool
+// level: a long schedule serves shorter requests as pure hits, and a
+// longer request extends the same entry rather than adding one.
+func TestHoskingPrefixReuse(t *testing.T) {
+	ctx := context.Background()
+	p := genpool.New(0)
+	if _, err := p.HoskingCoeffs(ctx, 0.8, 2000); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.HoskingCoeffs(ctx, 0.8, 500) // shorter: pure hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after short request: %+v", st)
+	}
+	longer, err := p.HoskingCoeffs(ctx, 0.8, 3000) // longer: extends in place
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longer != c {
+		t.Fatal("longer request built a new schedule instead of extending the cached one")
+	}
+	if st := p.Stats(); st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("after long request: %+v", st)
+	}
+	if longer.Len() < 3000 {
+		t.Fatalf("schedule covers %d, want ≥ 3000", longer.Len())
+	}
+
+	// The extended schedule still matches a from-scratch one bitwise.
+	fresh, err := fgn.NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.EnsureCtx(ctx, 3000); err != nil {
+		t.Fatal(err)
+	}
+	ck, cv, err := longer.Schedule(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, fv, err := fresh.Schedule(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "schedule kk", fk, ck)
+	bitwiseEqual(t, "schedule v", fv, cv)
+}
+
+// TestConcurrentHammer runs 32 goroutines against one pool mixing all
+// three item kinds, prefix extensions and repeated keys. Run under
+// -race this pins the pool's concurrency safety; the bitwise checks
+// pin that shared schedules read consistently mid-extension.
+func TestConcurrentHammer(t *testing.T) {
+	ctx := context.Background()
+	p := genpool.New(0)
+	want, err := fgn.NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.EnsureCtx(ctx, 1200); err != nil {
+		t.Fatal(err)
+	}
+	wk, wv, err := want.Schedule(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 32
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Interleave growing Hosking requests with the two other
+			// kinds so map, LRU and byte accounting all churn together.
+			n := 100 + (w%8)*150
+			c, err := p.HoskingCoeffs(ctx, 0.8, n)
+			if err != nil {
+				errc <- err
+				return
+			}
+			kk, v, err := c.Schedule(n)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for i := 1; i < n; i++ {
+				if math.Float64bits(kk[i]) != math.Float64bits(wk[i]) || math.Float64bits(v[i]) != math.Float64bits(wv[i]) {
+					errc <- fmt.Errorf("worker %d: schedule bits diverge at k=%d", w, i)
+					return
+				}
+			}
+			if _, err := p.DaviesHarteEigen(ctx, 0.7, 256+(w%4)*64); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := p.QuantileTable(ctx, 27791, 6254, 12, 1000+(w%3)*500); err != nil {
+				errc <- err
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("pool ended empty: %+v", st)
+	}
+}
+
+// TestEvictionBound fills a tiny pool far past its budget and checks
+// that resident bytes never exceed it, that evictions happen, and that
+// evicted values were still served correctly.
+func TestEvictionBound(t *testing.T) {
+	ctx := context.Background()
+	const budget = 64 << 10 // 64 KiB: each 1024-point eigen vector is 16 KiB
+	p := genpool.New(budget)
+	for i := 0; i < 24; i++ {
+		h := 0.5 + float64(i+1)/50 // distinct keys
+		lam, err := p.DaviesHarteEigen(ctx, h, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lam) != 2048 {
+			t.Fatalf("eigen vector %d has %d entries, want 2048", i, len(lam))
+		}
+		if st := p.Stats(); st.Bytes > st.MaxBytes {
+			t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+		}
+	}
+	st := p.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overfilling: %+v", st)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("final bytes %d exceed budget %d", st.Bytes, budget)
+	}
+}
+
+// TestOversizedItemNotRetained: an item larger than the whole budget is
+// computed and returned, but must not take up residence.
+func TestOversizedItemNotRetained(t *testing.T) {
+	ctx := context.Background()
+	p := genpool.New(1024) // 1 KiB: a 1024-point eigen vector (16 KiB) cannot fit
+	lam, err := p.DaviesHarteEigen(ctx, 0.8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lam) != 2048 {
+		t.Fatalf("got %d entries, want 2048", len(lam))
+	}
+	if st := p.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized item was retained: %+v", st)
+	}
+}
+
+// TestNilPoolComputesCold: a nil *Pool is a valid no-cache pool.
+func TestNilPoolComputesCold(t *testing.T) {
+	ctx := context.Background()
+	var p *genpool.Pool
+	c, err := p.HoskingCoeffs(ctx, 0.8, 64)
+	if err != nil || c.Len() < 64 {
+		t.Fatalf("nil-pool Hosking: %v (len %d)", err, c.Len())
+	}
+	if _, err := p.DaviesHarteEigen(ctx, 0.8, 64); err != nil {
+		t.Fatalf("nil-pool eigen: %v", err)
+	}
+	if _, err := p.QuantileTable(ctx, 27791, 6254, 12, 100); err != nil {
+		t.Fatalf("nil-pool table: %v", err)
+	}
+	if st := p.Stats(); st != (genpool.Stats{}) {
+		t.Fatalf("nil-pool stats: %+v", st)
+	}
+}
+
+// TestErrorNotCached: a failed fill must not poison the key.
+func TestErrorNotCached(t *testing.T) {
+	ctx := context.Background()
+	p := genpool.New(0)
+	if _, err := p.QuantileTable(ctx, -1, 6254, 12, 100); err == nil {
+		t.Fatal("expected an error for a negative mean")
+	}
+	if st := p.Stats(); st.Entries != 0 {
+		t.Fatalf("errored entry retained: %+v", st)
+	}
+}

@@ -36,29 +36,48 @@ type Mux struct {
 	cachedSlice []Workload
 }
 
-// NewMux validates and constructs a multiplexer.
-func NewMux(tr *trace.Trace, n int, minLag int, seed uint64) (*Mux, error) {
-	if tr == nil {
+// MuxConfig parameterizes a multiplexer: the shared trace, the number
+// of lagged copies, the paper's minimum pairwise lag (1000 frames in
+// §5.1) and the seed driving lag-combination draws.
+type MuxConfig struct {
+	Trace        *trace.Trace
+	N            int
+	MinLagFrames int
+	Seed         uint64
+}
+
+// NewMuxFromConfig validates and constructs a multiplexer.
+func NewMuxFromConfig(cfg MuxConfig) (*Mux, error) {
+	if cfg.Trace == nil {
 		return nil, fmt.Errorf("queue: nil trace")
 	}
-	if err := tr.Validate(); err != nil {
+	if err := cfg.Trace.Validate(); err != nil {
 		return nil, err
 	}
-	if n < 1 {
-		return nil, fmt.Errorf("queue: source count must be ≥ 1, got %d", n)
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("queue: source count must be ≥ 1, got %d", cfg.N)
 	}
-	if minLag < 0 {
-		return nil, fmt.Errorf("queue: min lag must be ≥ 0, got %d", minLag)
+	if cfg.MinLagFrames < 0 {
+		return nil, fmt.Errorf("queue: min lag must be ≥ 0, got %d", cfg.MinLagFrames)
 	}
 	// N·MinLag == len(frames) is the exactly-feasible zero-slack
 	// placement (equally spaced lags around the circle), which the
 	// constructive Lags sampler supports; only N·MinLag > len is
 	// infeasible.
-	if n > 1 && minLag*n > len(tr.Frames) {
+	if cfg.N > 1 && cfg.MinLagFrames*cfg.N > len(cfg.Trace.Frames) {
 		return nil, fmt.Errorf("queue: cannot place %d lags ≥ %d apart in %d frames: %w",
-			n, minLag, len(tr.Frames), errs.ErrInfeasibleLags)
+			cfg.N, cfg.MinLagFrames, len(cfg.Trace.Frames), errs.ErrInfeasibleLags)
 	}
-	return &Mux{Trace: tr, N: n, MinLagFrames: minLag, Seed: seed}, nil
+	return &Mux{Trace: cfg.Trace, N: cfg.N, MinLagFrames: cfg.MinLagFrames, Seed: cfg.Seed}, nil
+}
+
+// NewMux is equivalent to NewMuxFromConfig with the positional
+// arguments named.
+//
+// Deprecated: use NewMuxFromConfig; the struct form keeps the integer
+// parameters from being silently transposed.
+func NewMux(tr *trace.Trace, n int, minLag int, seed uint64) (*Mux, error) {
+	return NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: minLag, Seed: seed})
 }
 
 // Lags draws one admissible lag combination: N offsets whose pairwise

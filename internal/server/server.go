@@ -13,6 +13,7 @@ import (
 	"net/http"
 
 	"vbr/internal/core"
+	"vbr/internal/genpool"
 	"vbr/internal/obs"
 )
 
@@ -27,6 +28,12 @@ type Config struct {
 	// SimWorkers is the number of concurrent simulation-job workers
 	// (default 2).
 	SimWorkers int
+	// Pool is the process-wide generation cache shared by every trace
+	// request and simulation job: requests repeating a Hurst parameter
+	// or marginal reuse the coefficient schedules, eigenvalue vectors
+	// and mapping tables of earlier requests. When nil, New installs a
+	// genpool.New(0) default; output never depends on cache state.
+	Pool *genpool.Pool
 }
 
 // paperDefault is the Table 4 Star Wars model used when a request names
@@ -54,6 +61,9 @@ func New(ctx context.Context, cfg Config) *Server {
 	}
 	if cfg.SimWorkers == 0 {
 		cfg.SimWorkers = 2
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = genpool.New(0)
 	}
 	s := &Server{
 		cfg:      cfg,

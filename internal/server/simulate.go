@@ -204,7 +204,7 @@ func (s *Server) simStreamConfig(req SimRequest) (stream.Config, error) {
 	if err != nil {
 		return stream.Config{}, err
 	}
-	cfg := stream.Config{Model: model, N: req.N, Seed: req.Seed, Backend: stream.DaviesHarte}
+	cfg := stream.Config{Model: model, N: req.N, Seed: req.Seed, Backend: stream.DaviesHarte, Pool: s.cfg.Pool}
 	if cfg.N == 0 {
 		cfg.N = 10_000
 	}
@@ -296,7 +296,7 @@ func (s *Server) runSim(ctx context.Context, req SimRequest) (*queue.Result, err
 		if err != nil {
 			return nil, err
 		}
-		src, err := stream.Open(cfg)
+		src, err := stream.OpenCtx(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -39,7 +39,7 @@ func (s *Server) parseStreamConfig(get func(string) string) (stream.Config, erro
 	if err != nil {
 		return stream.Config{}, err
 	}
-	cfg := stream.Config{Model: model, N: 171_000, Backend: stream.DaviesHarte}
+	cfg := stream.Config{Model: model, N: 171_000, Backend: stream.DaviesHarte, Pool: s.cfg.Pool}
 	for _, p := range []struct {
 		name string
 		dst  *int
@@ -105,7 +105,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	src, err := stream.Open(cfg)
+	src, err := stream.OpenCtx(ctx, cfg)
 	if err != nil {
 		scope.Count("server.trace.badrequest", 1)
 		writeError(w, http.StatusBadRequest, err)

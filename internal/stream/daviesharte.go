@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 
 	"vbr/internal/fgn"
+	"vbr/internal/genpool"
 )
 
 // dhStitch streams fractional Gaussian noise in O(block) memory by
@@ -32,6 +33,11 @@ type dhStitch struct {
 	overlap int
 	h       float64
 	seed    uint64
+	// pool, when non-nil, caches the chunk eigenvalue vector: every
+	// chunk has the same length block+overlap, so one cached FFT serves
+	// all chunks of this stream — and every other stream with the same
+	// (H, chunk length). nil falls back to the one-shot sampler.
+	pool *genpool.Pool
 
 	idx   int // next chunk index
 	pos   int // frames emitted
@@ -51,7 +57,16 @@ func (d *dhStitch) Next(ctx context.Context, dst []float64) (int, error) {
 	// Each chunk draws from its own PCG stream of the shared seed, so
 	// chunks are independent and any block is regenerable in isolation.
 	rng := rand.New(rand.NewPCG(d.seed, dhStreamSalt+uint64(d.idx)))
-	chunk, err := fgn.DaviesHarteCtx(ctx, d.block+d.overlap, d.h, rng)
+	var chunk []float64
+	var err error
+	if d.pool != nil {
+		var lam []float64
+		if lam, err = d.pool.DaviesHarteEigen(ctx, d.h, d.block+d.overlap); err == nil {
+			chunk, err = fgn.DaviesHarteFromEigenCtx(ctx, d.block+d.overlap, lam, rng)
+		}
+	} else {
+		chunk, err = fgn.DaviesHarteCtx(ctx, d.block+d.overlap, d.h, rng)
+	}
 	if err != nil {
 		return 0, fmt.Errorf("stream: davies-harte chunk %d: %w", d.idx, err)
 	}

@@ -1,0 +1,56 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"vbr/internal/core"
+	"vbr/internal/genpool"
+)
+
+// TestStreamPooledBitwise pins the cache invariant at the stream layer:
+// for both backends, a pooled stream emits exactly the frames of a
+// pool-free stream — on a cold pool and again on a warm one.
+func TestStreamPooledBitwise(t *testing.T) {
+	base := Config{
+		Model: core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8},
+		N:     6000, BlockSize: 512, Seed: 31,
+	}
+	ctx := context.Background()
+	for _, backend := range []Backend{Hosking, DaviesHarte} {
+		cfg := base
+		cfg.Backend = backend
+		cold, err := Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Collect(ctx, cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := genpool.New(0)
+		for round := 0; round < 2; round++ { // cold pool, then warm
+			cfg.Pool = pool
+			s, err := OpenCtx(ctx, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Collect(ctx, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v round %d: %d frames, want %d", backend, round, len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v round %d: frame %d differs", backend, round, i)
+				}
+			}
+		}
+		if st := pool.Stats(); st.Hits == 0 {
+			t.Fatalf("%v: warm round never hit the pool: %+v", backend, st)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"vbr/internal/core"
 	"vbr/internal/dist"
 	"vbr/internal/fgn"
+	"vbr/internal/genpool"
 	"vbr/internal/obs"
 	"vbr/internal/specfn"
 )
@@ -102,6 +103,12 @@ type Config struct {
 	Seed uint64
 	// Backend selects the Gaussian engine.
 	Backend Backend
+	// Pool, when non-nil, serves the stream's seed-independent
+	// precomputations (Hosking coefficient schedule, per-chunk
+	// Davies–Harte eigenvalues, the Eq. 13 mapping table) from a shared
+	// cross-request cache. The emitted frames are bitwise identical with
+	// or without a pool; nil preserves the cold per-stream behavior.
+	Pool *genpool.Pool
 }
 
 // withDefaults fills the zero-valued tuning knobs.
@@ -189,8 +196,16 @@ const (
 	driftMinFrames = 1 << 14
 )
 
-// Open builds a stream for cfg.
+// Open is equivalent to OpenCtx(context.Background(), cfg).
 func Open(cfg Config) (*Stream, error) {
+	return OpenCtx(context.Background(), cfg)
+}
+
+// OpenCtx builds a stream for cfg. The context bounds the setup work —
+// for a pooled Hosking stream that includes extending the shared
+// coefficient schedule to cfg.N, the dominant cost on a cold cache —
+// and its obs scope receives the pool's hit/miss counters.
+func OpenCtx(ctx context.Context, cfg Config) (*Stream, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -199,7 +214,8 @@ func Open(cfg Config) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := gp.QuantileTable(cfg.TableSize)
+	// A nil pool computes cold, so this single call covers both modes.
+	tab, err := cfg.Pool.QuantileTable(ctx, cfg.Model.MuGamma, cfg.Model.SigmaGamma, cfg.Model.TailSlope, cfg.TableSize)
 	if err != nil {
 		return nil, err
 	}
@@ -219,7 +235,16 @@ func Open(cfg Config) (*Stream, error) {
 	switch cfg.Backend {
 	case Hosking:
 		rng := rand.New(rand.NewPCG(cfg.Seed, gaussStreamSalt))
-		hs, err := fgn.NewHoskingStream(cfg.N, cfg.Model.Hurst, rng)
+		var hs *fgn.HoskingStream
+		if cfg.Pool != nil {
+			var c *fgn.HoskingCoeffs
+			if c, err = cfg.Pool.HoskingCoeffs(ctx, cfg.Model.Hurst, cfg.N); err != nil {
+				return nil, err
+			}
+			hs, err = fgn.NewHoskingStreamWithCoeffs(cfg.N, c, rng)
+		} else {
+			hs, err = fgn.NewHoskingStream(cfg.N, cfg.Model.Hurst, rng)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +256,7 @@ func Open(cfg Config) (*Stream, error) {
 			overlap: cfg.Overlap,
 			h:       cfg.Model.Hurst,
 			seed:    cfg.Seed,
+			pool:    cfg.Pool,
 		}
 	}
 	return s, nil

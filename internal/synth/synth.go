@@ -315,7 +315,7 @@ func storyArc(u float64) float64 {
 // The literal Φ-based transform of Eq. 13 lives in the model package
 // (core.Model.Generate), where its input really is Gaussian.
 func MarginalMap(z []float64, cfg Config) ([]float64, error) {
-	gp, err := dist.NewGammaPareto(cfg.MeanBytes, cfg.StdBytes, cfg.TailSlope)
+	gp, err := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: cfg.MeanBytes, SigmaGamma: cfg.StdBytes, TailSlope: cfg.TailSlope})
 	if err != nil {
 		return nil, err
 	}

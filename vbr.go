@@ -16,12 +16,36 @@
 //   - The trace-driven FIFO queueing simulator with multiplexing,
 //     capacity search, Q–C tradeoff curves and statistical multiplexing
 //     gain analysis (§5).
+//   - A cross-request generation cache (GenPool) and a parallel batch
+//     engine (Model.GenerateBatch) that amortize the seed-independent
+//     precomputations — Hosking coefficient schedules, Davies–Harte
+//     eigenvalues, Eq. 13 mapping tables — across requests without
+//     changing a single output bit.
+//
+// # Context-first convention
+//
+// Every operation that can run long takes a context in its primary,
+// ...Ctx-suffixed form (FitCtx, Model.GenerateCtx, OpenStreamCtx,
+// QCCurveCtx, ...): cancellation and deadlines propagate into the
+// O(n²) recursions and simulation sweeps, and the context's obs scope
+// collects metrics. The context-free spellings remain for call sites
+// that genuinely have no context, and each is equivalent to calling
+// its Ctx form with context.Background().
 //
 // Quick start:
 //
+//	ctx := context.Background()
 //	tr, err := vbr.GenerateMovie(vbr.DefaultMovieConfig()) // empirical substitute
-//	model, err := vbr.Fit(tr.Frames, vbr.DefaultFitOptions())
-//	frames, err := model.Generate(171000, vbr.DefaultGenOptions())
+//	model, err := vbr.FitCtx(ctx, tr.Frames, vbr.DefaultFitOptions())
+//	frames, err := model.GenerateCtx(ctx, 171000, vbr.DefaultGenOptions())
+//
+// To generate many traces, or many requests with shared parameters,
+// attach a pool and let the precomputations be paid once:
+//
+//	pool := vbr.NewGenPool(0) // default 256 MiB budget
+//	opts := vbr.DefaultGenOptions()
+//	opts.Pool = pool
+//	traces, err := model.GenerateBatch(ctx, 16, 171000, opts)
 package vbr
 
 import (
@@ -32,6 +56,7 @@ import (
 	"vbr/internal/core"
 	"vbr/internal/dist"
 	"vbr/internal/errs"
+	"vbr/internal/genpool"
 	"vbr/internal/lrd"
 	"vbr/internal/queue"
 	"vbr/internal/scenes"
@@ -77,10 +102,19 @@ type FitOptions = core.FitOptions
 // DefaultFitOptions mirrors the paper's estimation procedure.
 func DefaultFitOptions() FitOptions { return core.DefaultFitOptions() }
 
-// Fit estimates the four model parameters from a frame-size series.
+// FitCtx estimates the four model parameters from a frame-size series:
+// μ_Γ and σ_Γ by sample moments, m_T by regression on the log-log CCDF
+// tail, H by the aggregated Whittle estimator (§3.2.3). Cancellation is
+// checked between estimation stages.
+func FitCtx(ctx context.Context, frames []float64, opts FitOptions) (Model, error) {
+	return core.FitCtx(ctx, frames, opts)
+}
+
+// Fit is equivalent to FitCtx(context.Background(), ...).
 func Fit(frames []float64, opts FitOptions) (Model, error) { return core.Fit(frames, opts) }
 
-// GenOptions controls synthetic traffic generation.
+// GenOptions controls synthetic traffic generation, including the
+// optional Pool that shares precomputations across calls.
 type GenOptions = core.GenOptions
 
 // Generator selects the LRD Gaussian engine.
@@ -100,7 +134,20 @@ func DefaultGenOptions() GenOptions { return core.DefaultGenOptions() }
 // GammaPareto is the paper's hybrid marginal distribution F_{Γ/P}.
 type GammaPareto = dist.GammaPareto
 
-// NewGammaPareto constructs the hybrid marginal from (μ_Γ, σ_Γ, m_T).
+// GammaParetoParams are the marginal's three parameters (μ_Γ, σ_Γ, m_T)
+// with their names attached.
+type GammaParetoParams = dist.GammaParetoParams
+
+// NewGammaParetoFromParams constructs the hybrid marginal.
+func NewGammaParetoFromParams(p GammaParetoParams) (*GammaPareto, error) {
+	return dist.NewGammaParetoFromParams(p)
+}
+
+// NewGammaPareto is equivalent to NewGammaParetoFromParams with the
+// positional arguments named.
+//
+// Deprecated: use NewGammaParetoFromParams; the struct form keeps the
+// three same-typed parameters from being silently transposed.
 func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
 	return dist.NewGammaPareto(muGamma, sigmaGamma, tailSlope)
 }
@@ -143,7 +190,22 @@ func Simulate(w Workload, capacityBps, bufferBytes float64, opts SimOptions) (*S
 // Mux multiplexes N randomly lagged copies of a trace (§5.1).
 type Mux = queue.Mux
 
-// NewMux constructs a multiplexer with the paper's minimum-lag rule.
+// MuxConfig parameterizes a multiplexer: the shared trace, the number
+// of lagged copies, the paper's minimum pairwise lag and the seed for
+// lag-combination draws.
+type MuxConfig = queue.MuxConfig
+
+// NewMuxFromConfig constructs a multiplexer with the paper's
+// minimum-lag rule.
+func NewMuxFromConfig(cfg MuxConfig) (*Mux, error) {
+	return queue.NewMuxFromConfig(cfg)
+}
+
+// NewMux is equivalent to NewMuxFromConfig with the positional
+// arguments named.
+//
+// Deprecated: use NewMuxFromConfig; the struct form keeps the integer
+// parameters from being silently transposed.
 func NewMux(tr *Trace, n, minLagFrames int, seed uint64) (*Mux, error) {
 	return queue.NewMux(tr, n, minLagFrames, seed)
 }
@@ -364,7 +426,14 @@ type Stream = stream.Stream
 // StreamProbe is the online-validation snapshot of a Stream.
 type StreamProbe = stream.Probe
 
-// OpenStream builds a Stream for cfg.
+// OpenStreamCtx builds a Stream for cfg. The context bounds the setup
+// work — for a pooled Hosking stream that includes extending the shared
+// coefficient schedule — and its obs scope receives cache counters.
+func OpenStreamCtx(ctx context.Context, cfg StreamConfig) (*Stream, error) {
+	return stream.OpenCtx(ctx, cfg)
+}
+
+// OpenStream is equivalent to OpenStreamCtx(context.Background(), cfg).
 func OpenStream(cfg StreamConfig) (*Stream, error) { return stream.Open(cfg) }
 
 // CollectStream drains a BlockSource into one materialized series, for
@@ -372,3 +441,31 @@ func OpenStream(cfg StreamConfig) (*Stream, error) { return stream.Open(cfg) }
 func CollectStream(ctx context.Context, src BlockSource) ([]float64, error) {
 	return stream.Collect(ctx, src)
 }
+
+// ------------------------------------------------------------------
+// Cross-request generation cache and parallel batch engine.
+
+// GenPool is a concurrency-safe, byte-bounded cache for the generator's
+// seed-independent precomputations: Hosking coefficient schedules
+// (keyed by H, with prefix reuse across lengths), Davies–Harte
+// eigenvalue vectors (keyed by H and block length) and Eq. 13 marginal
+// mapping tables (keyed by the marginal parameters and resolution).
+// Attach one to GenOptions.Pool or StreamConfig.Pool; generated output
+// is bitwise-identical with or without a pool.
+type GenPool = genpool.Pool
+
+// GenPoolStats is a point-in-time view of a pool's traffic and
+// residency.
+type GenPoolStats = genpool.Stats
+
+// DefaultGenPoolBytes is the default pool budget (256 MiB).
+const DefaultGenPoolBytes = genpool.DefaultMaxBytes
+
+// NewGenPool builds a generation cache bounded to maxBytes of resident
+// precomputation; maxBytes ≤ 0 selects DefaultGenPoolBytes.
+func NewGenPool(maxBytes int64) *GenPool { return genpool.New(maxBytes) }
+
+// BatchSeed derives the seed of trace i in a Model.GenerateBatch run
+// from the batch seed, so any single batch member can be regenerated
+// solo with Generate.
+func BatchSeed(base uint64, i int) uint64 { return core.BatchSeed(base, i) }
