@@ -109,11 +109,22 @@ func (c *HoskingCoeffs) EnsureCtx(ctx context.Context, n int) error {
 		kf := float64(k)
 		c.rho = append(c.rho, c.rho[k-1]*(kf-1+d)/(kf-d))
 	}
-	// φ needs room for indices 1..n-1.
-	c.phi = append(c.phi, make([]float64, n-len(c.phi))...)
+	// φ needs room for indices 1..n-1. The growth guard matters when a
+	// past cancellation left the lookahead slices longer than the
+	// completed coverage: a shorter retry must not compute a negative
+	// append count.
+	if grow := n - len(c.phi); grow > 0 {
+		c.phi = append(c.phi, make([]float64, grow)...)
+	}
 
 	for k := cur; k < n; k++ {
 		if ctx.Err() != nil {
+			// Roll the lookahead slices back to the completed coverage so
+			// the schedule is left exactly as a successful EnsureCtx(k)
+			// would have left it (len(kk)==len(v)==len(rho)==len(phi)) and
+			// a retry of any length — shorter or longer — resumes cleanly.
+			c.rho = c.rho[:len(c.kk)]
+			c.phi = c.phi[:len(c.kk)]
 			return fmt.Errorf("fgn: coefficient schedule interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
 		}
 		// N_k and D_k (Eqs. 7–8), with c.phi holding φ_{k-1,·}.

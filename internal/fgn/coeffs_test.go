@@ -68,6 +68,79 @@ func TestHoskingCoeffsPrefixExtension(t *testing.T) {
 	}
 }
 
+// cancelAfterCtx reports Canceled from Err after limit calls, so a
+// schedule extension can be interrupted a deterministic number of
+// iterations in — mimicking a client dropping a request mid-build.
+type cancelAfterCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *cancelAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestHoskingCoeffsCancelledThenRetry is the regression test for the
+// cancelled-extension panic: EnsureCtx used to pre-grow rho/phi to the
+// target length before the loop, so a cancellation left them longer
+// than kk/v and a later shorter request computed a negative make()
+// length. A cached schedule must survive cancel → shorter retry →
+// longer retry with bitwise-identical entries.
+func TestHoskingCoeffsCancelledThenRetry(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	cases := []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"before-first-step", cancelled},
+		{"mid-extension", &cancelAfterCtx{Context: context.Background(), limit: 300}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewHoskingCoeffs(0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.EnsureCtx(tc.ctx, 2000); err == nil {
+				t.Fatal("expected a cancellation error")
+			}
+			// Shorter retry: panicked before the fix.
+			if err := c.EnsureCtx(context.Background(), 500); err != nil {
+				t.Fatalf("shorter retry after cancellation: %v", err)
+			}
+			// Longer retry resumes and completes.
+			if err := c.EnsureCtx(context.Background(), 2000); err != nil {
+				t.Fatalf("longer retry after cancellation: %v", err)
+			}
+			fresh, err := NewHoskingCoeffs(0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.EnsureCtx(context.Background(), 2000); err != nil {
+				t.Fatal(err)
+			}
+			ck, cv, err := c.Schedule(2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fk, fv, err := fresh.Schedule(2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 1; k < 2000; k++ {
+				if math.Float64bits(ck[k]) != math.Float64bits(fk[k]) || math.Float64bits(cv[k]) != math.Float64bits(fv[k]) {
+					t.Fatalf("retried schedule diverges from fresh at k=%d", k)
+				}
+			}
+		})
+	}
+}
+
 // TestHoskingStreamWithCoeffsBitwise: the warm stream's concatenated
 // blocks equal the cold batch output bit for bit.
 func TestHoskingStreamWithCoeffsBitwise(t *testing.T) {

@@ -164,9 +164,15 @@ func (p *Pool) acquire(ctx context.Context, k key) (*entry, bool, error) {
 func (p *Pool) finish(scope *obs.Scope, e *entry, val any, bytes int64, err error) {
 	p.mu.Lock()
 	e.val, e.err, e.bytes = val, err, bytes
-	if err != nil || bytes > p.maxBytes {
+	switch {
+	case !e.resident:
+		// Evicted while the fill was in flight: the entry is already out
+		// of the map and LRU and its bytes were never added, so publish
+		// the result to waiters but skip the accounting — adding bytes
+		// here would leak budget permanently.
+	case err != nil || bytes > p.maxBytes:
 		p.drop(e)
-	} else {
+	default:
 		p.bytes += bytes
 		p.evictOverBudget(scope, e)
 	}
@@ -188,16 +194,17 @@ func (p *Pool) drop(e *entry) {
 }
 
 // evictOverBudget removes least-recently-used entries until resident
-// bytes fit the budget, never evicting keep. Callers hold p.mu.
+// bytes fit the budget, never evicting keep. Pending entries (fill
+// still in flight, bytes not yet accounted) are skipped: evicting one
+// frees nothing and would strand its eventual bytes outside the
+// budget. Callers hold p.mu.
 func (p *Pool) evictOverBudget(scope *obs.Scope, keep *entry) {
-	for p.bytes > p.maxBytes {
-		back := p.lru.Back()
-		if back == nil {
-			return
-		}
-		victim := back.Value.(*entry)
-		if victim == keep {
-			return
+	elem := p.lru.Back()
+	for p.bytes > p.maxBytes && elem != nil {
+		victim := elem.Value.(*entry)
+		elem = elem.Prev()
+		if victim == keep || victim.bytes == 0 {
+			continue
 		}
 		victim.resident = false
 		p.lru.Remove(victim.elem)
@@ -269,19 +276,24 @@ func (p *Pool) HoskingCoeffs(ctx context.Context, h float64, n int) (*fgn.Hoskin
 	// singleflight property, but for prefix growth.
 	e.mu.Lock()
 	covered := c.Len() >= n
-	if err := c.EnsureCtx(ctx, n); err != nil {
-		e.mu.Unlock()
-		return nil, err
-	}
+	ensureErr := c.EnsureCtx(ctx, n)
 	nb := c.Bytes()
 	e.mu.Unlock()
+
+	// Re-account even when the extension was cancelled: EnsureCtx rolls
+	// its slices back to the completed coverage, but their capacity may
+	// have grown, and the cached entry must stay correctly charged for
+	// whatever it keeps resident.
+	p.resize(scope, e, nb)
+	if ensureErr != nil {
+		return nil, ensureErr
+	}
 
 	if covered && !fill {
 		p.countHit(scope)
 	} else {
 		p.countMiss(scope)
 	}
-	p.resize(scope, e, nb)
 	return c, nil
 }
 

@@ -1,0 +1,105 @@
+package genpool
+
+import (
+	"context"
+	"testing"
+
+	"vbr/internal/obs"
+)
+
+// TestPendingEntryNotEvicted: evictOverBudget must skip entries whose
+// fill is still in flight (bytes not yet accounted) — evicting one
+// frees nothing and would strand its eventual bytes outside the
+// budget's accounting.
+func TestPendingEntryNotEvicted(t *testing.T) {
+	ctx := context.Background()
+	scope := obs.From(ctx)
+	const budget = 16 << 10
+	p := New(budget)
+
+	kPend := key{kind: kindDHEigen, p0: 1, n: 1}
+	ePend, fill, err := p.acquire(ctx, kPend)
+	if err != nil || !fill {
+		t.Fatalf("acquire pending: fill=%v err=%v", fill, err)
+	}
+
+	// Two budget-sized fills. The second forces an eviction pass with
+	// the pending entry sitting at the LRU back; it must be skipped in
+	// favor of the oldest accounted entry.
+	k1 := key{kind: kindDHEigen, p0: 2, n: 1}
+	e1, fill1, err := p.acquire(ctx, k1)
+	if err != nil || !fill1 {
+		t.Fatalf("acquire k1: fill=%v err=%v", fill1, err)
+	}
+	p.finish(scope, e1, []float64{1}, budget, nil)
+	k2 := key{kind: kindDHEigen, p0: 3, n: 1}
+	e2, fill2, err := p.acquire(ctx, k2)
+	if err != nil || !fill2 {
+		t.Fatalf("acquire k2: fill=%v err=%v", fill2, err)
+	}
+	p.finish(scope, e2, []float64{2}, budget, nil)
+
+	p.mu.Lock()
+	_, pendAlive := p.items[kPend]
+	_, k1Alive := p.items[k1]
+	_, k2Alive := p.items[k2]
+	bytes := p.bytes
+	p.mu.Unlock()
+	if !pendAlive {
+		t.Fatal("pending entry was evicted")
+	}
+	if k1Alive || !k2Alive {
+		t.Fatalf("expected k1 evicted and k2 resident, got k1=%v k2=%v", k1Alive, k2Alive)
+	}
+	if bytes != budget {
+		t.Fatalf("resident bytes %d, want %d", bytes, budget)
+	}
+
+	// Completing the pending fill keeps accounting exact: its bytes are
+	// added, and the over-budget pass evicts the colder accounted entry.
+	p.finish(scope, ePend, []float64{3}, 8<<10, nil)
+	st := p.Stats()
+	if st.Bytes != 8<<10 || st.Entries != 1 {
+		t.Fatalf("after pending finish: %+v", st)
+	}
+}
+
+// TestFinishAfterEvictionDoesNotLeakBytes is the regression test for
+// the byte-accounting leak: when an entry is evicted while its fill is
+// in flight, the late finish must publish the value to waiters but not
+// add bytes the pool can never reclaim.
+func TestFinishAfterEvictionDoesNotLeakBytes(t *testing.T) {
+	ctx := context.Background()
+	scope := obs.From(ctx)
+	p := New(16 << 10)
+
+	k := key{kind: kindDHEigen, p0: 1, n: 1}
+	e, fill, err := p.acquire(ctx, k)
+	if err != nil || !fill {
+		t.Fatalf("acquire: fill=%v err=%v", fill, err)
+	}
+	// Evict the entry while its fill is in flight (the state transition
+	// evictOverBudget used to apply to pending victims).
+	p.mu.Lock()
+	p.drop(e)
+	p.mu.Unlock()
+
+	p.finish(scope, e, []float64{1}, 12<<10, nil)
+	<-e.ready
+	if e.err != nil || e.val == nil {
+		t.Fatalf("late finish did not publish to waiters: val=%v err=%v", e.val, e.err)
+	}
+	if st := p.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("late finish leaked accounting: %+v", st)
+	}
+
+	// The key is retryable and a fresh fill accounts normally.
+	e2, fill2, err := p.acquire(ctx, k)
+	if err != nil || !fill2 {
+		t.Fatalf("re-acquire: fill=%v err=%v", fill2, err)
+	}
+	p.finish(scope, e2, []float64{2}, 12<<10, nil)
+	if st := p.Stats(); st.Bytes != 12<<10 || st.Entries != 1 {
+		t.Fatalf("fresh fill after leak-path: %+v", st)
+	}
+}

@@ -110,6 +110,67 @@ func TestHoskingPrefixReuse(t *testing.T) {
 	bitwiseEqual(t, "schedule v", fv, cv)
 }
 
+// errAfterCtx reports Canceled from Err after limit calls while its
+// Done channel stays quiet, interrupting a schedule extension a
+// deterministic number of points in — the shape of a client dropping a
+// pooled /v1/trace request mid-build.
+type errAfterCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *errAfterCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestHoskingCancelledExtensionThenShorter is the cross-request
+// regression test for the cancelled-extension panic: a client cancels
+// mid-extension, the entry stays cached, and a subsequent shorter
+// request for the same H used to panic with a negative make() length,
+// crashing the worker. The retry must succeed, match a fresh schedule
+// bitwise, and leave the pool's byte accounting equal to what the
+// entry actually holds.
+func TestHoskingCancelledExtensionThenShorter(t *testing.T) {
+	ctx := context.Background()
+	p := genpool.New(0)
+	if _, err := p.HoskingCoeffs(ctx, 0.8, 100); err != nil {
+		t.Fatal(err)
+	}
+	cctx := &errAfterCtx{Context: ctx, limit: 200}
+	if _, err := p.HoskingCoeffs(cctx, 0.8, 2000); err == nil {
+		t.Fatal("expected a cancellation error")
+	}
+	// Shorter than the cancelled target, longer than the covered prefix.
+	c, err := p.HoskingCoeffs(ctx, 0.8, 500)
+	if err != nil {
+		t.Fatalf("shorter request after cancelled extension: %v", err)
+	}
+	fresh, err := fgn.NewHoskingCoeffs(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.EnsureCtx(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	ck, cv, err := c.Schedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, fv, err := fresh.Schedule(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "retry kk", fk, ck)
+	bitwiseEqual(t, "retry v", fv, cv)
+	if st := p.Stats(); st.Bytes != c.Bytes() || st.Entries != 1 {
+		t.Fatalf("accounting after cancelled extension: stats=%+v schedule=%d bytes", st, c.Bytes())
+	}
+}
+
 // TestConcurrentHammer runs 32 goroutines against one pool mixing all
 // three item kinds, prefix extensions and repeated keys. Run under
 // -race this pins the pool's concurrency safety; the bitwise checks
