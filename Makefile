@@ -29,6 +29,7 @@ test:
 race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -run 'TestAverageLoss|TestFig14|TestRun' ./internal/queue/ ./internal/experiments/ ./internal/runner/
+	$(GO) test -race ./internal/fleet/
 
 # Short fuzzing pass over the parser/decoder fuzz targets; one target
 # per invocation as go test requires.

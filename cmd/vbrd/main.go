@@ -53,6 +53,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		maxFrames  = fs.Int("max-frames", 4<<20, "per-request trace length cap")
 		simWorkers = fs.Int("sim-workers", 2, "concurrent simulation-job workers")
 		poolBytes  = fs.Int64("pool-bytes", genpool.DefaultMaxBytes, "generation-cache budget in bytes (coefficient schedules, eigenvalues, mapping tables shared across requests); values <= 0 select the default")
+		readHeader = fs.Duration("read-header-timeout", 10*time.Second, "budget for a client to finish sending request headers; slow-header (slowloris) connections are cut past it")
+		idle       = fs.Duration("idle-timeout", 120*time.Second, "keep-alive idle budget before an inactive connection is closed")
+		writeBud   = fs.Duration("write-budget", 30*time.Second, "write budget for non-streaming responses (simulate accept, job polls, healthz); 0 disables; /v1/trace streams are exempt")
+		workerID   = fs.String("worker-id", "", "fleet worker identity; stamps X-Vbr-Worker on responses and prefixes job IDs (empty outside a fleet)")
+		jobQueue   = fs.Int("job-queue", 0, "accepted-but-unfinished simulation job bound before 503 shedding; 0 selects the default (256)")
 	)
 	obsFlags := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -74,20 +79,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	// bounds how long that grace lasts.
 	base := context.WithoutCancel(obsCtx)
 	srv := server.New(base, server.Config{
-		MaxFrames:  *maxFrames,
-		SimWorkers: *simWorkers,
-		Pool:       genpool.New(*poolBytes),
+		MaxFrames:     *maxFrames,
+		SimWorkers:    *simWorkers,
+		Pool:          genpool.New(*poolBytes),
+		WorkerID:      *workerID,
+		WriteBudget:   *writeBud,
+		JobQueueDepth: *jobQueue,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
+	// ReadHeaderTimeout and IdleTimeout bound the two ways a client can
+	// hold a connection without a request in flight: trickling headers
+	// (slowloris) and parking a keep-alive. There is deliberately no
+	// WriteTimeout — it would sever legitimate long trace streams; the
+	// non-streaming endpoints get their write budget per-handler via
+	// server.Config.WriteBudget instead.
 	httpSrv := &http.Server{
-		Handler:     srv.Handler(),
-		BaseContext: func(net.Listener) context.Context { return base },
+		Handler:           srv.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return base },
+		ReadHeaderTimeout: *readHeader,
+		IdleTimeout:       *idle,
 	}
-	fmt.Fprintf(stdout, "vbrd listening on %s\n", ln.Addr())
+	cli.AnnounceListen(stdout, "vbrd", ln.Addr().String())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()

@@ -1,0 +1,226 @@
+// Command vbrfleet runs a self-healing fleet of vbrd workers behind
+// one front door. It spawns -workers daemon processes on loopback
+// ports, health-checks them, restarts crashed or wedged workers under
+// an exponential-backoff schedule, and reverse-proxies the serving API
+// with consistent-hash routing: requests for the same model parameters
+// land on the same worker, keeping its generation cache hot.
+//
+// Failure semantics at the front door:
+//
+//	GET  /v1/trace     idempotent and deterministic — on a mid-stream
+//	                   worker death the request is retried on the next
+//	                   ring node, resuming at the byte offset already
+//	                   delivered; the client sees one complete stream
+//	POST /v1/simulate  never replayed once a worker may have seen it;
+//	                   only dial failures (request provably never sent)
+//	                   move to the next replica
+//	GET  /v1/jobs/{id} routed to the owning worker via the job id's
+//	                   w<worker>- prefix; 503 + Retry-After while that
+//	                   worker is restarting (job state is worker memory)
+//	GET  /healthz      fleet aggregate: per-worker state, PID, restart
+//	                   and stream counts
+//
+// On SIGINT/SIGTERM the front door drains in-flight requests first,
+// then forwards the signal to every worker and waits out their own
+// graceful drains.
+//
+// Examples:
+//
+//	vbrfleet -addr :8080 -workers 3
+//	curl 'http://localhost:8080/v1/trace?n=171000&seed=7' | wc -l
+//	curl http://localhost:8080/healthz | jq .workers
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"vbr/internal/cli"
+	"vbr/internal/fleet"
+	"vbr/internal/genpool"
+)
+
+func main() {
+	os.Exit(cli.Main("vbrfleet", run))
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("vbrfleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8080", "front-door listen address (host:port; port 0 picks a free port)")
+		workers     = fs.Int("workers", 3, "worker processes to supervise")
+		vbrdPath    = fs.String("vbrd", "", "vbrd binary to spawn (default: vbrd next to this binary, else $PATH)")
+		drain       = fs.Duration("drain", 30*time.Second, "front-door graceful-drain budget on shutdown")
+		workerDrain = fs.Duration("worker-drain", 30*time.Second, "per-worker drain budget after the SIGTERM fan-out")
+		healthEvery = fs.Duration("health-interval", 250*time.Millisecond, "worker /healthz polling period")
+		healthTime  = fs.Duration("health-timeout", 2*time.Second, "single health-probe budget")
+		startTime   = fs.Duration("start-timeout", 10*time.Second, "budget for a fresh worker to announce its port and pass a probe")
+		backoffMin  = fs.Duration("backoff-min", 250*time.Millisecond, "first restart delay; doubles per consecutive restart")
+		backoffMax  = fs.Duration("backoff-max", 5*time.Second, "restart delay cap")
+		downAfter   = fs.Int("down-after", 3, "consecutive probe/request failures before a worker is taken down for restart")
+		retries     = fs.Int("retries", 3, "ring nodes one trace request may visit before giving up")
+		perTry      = fs.Duration("per-try-timeout", 5*time.Second, "per-attempt budget for dial plus response headers")
+		seed        = fs.Uint64("seed", 1, "restart-jitter seed (decorrelated per worker)")
+		maxFrames   = fs.Int("max-frames", 4<<20, "per-request trace length cap, forwarded to workers")
+		simWorkers  = fs.Int("sim-workers", 2, "simulation-job workers per daemon, forwarded to workers")
+		poolBytes   = fs.Int64("pool-bytes", genpool.DefaultMaxBytes, "per-worker generation-cache budget in bytes, forwarded to workers")
+		jobQueue    = fs.Int("job-queue", 0, "per-worker simulation job bound before 503 shedding; 0 selects the worker default")
+	)
+	obsFlags := cli.RegisterObsFlags(fs)
+	if err := cli.ParseFlags(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return cli.Usagef("vbrfleet takes no positional arguments, got %q", fs.Args())
+	}
+	if *workers < 1 {
+		return cli.Usagef("-workers must be ≥ 1, got %d", *workers)
+	}
+
+	bin, err := findVBRD(*vbrdPath)
+	if err != nil {
+		return err
+	}
+
+	obsCtx, finish, err := obsFlags.Observe(ctx, stderr)
+	if err != nil {
+		return err
+	}
+	defer cli.FinishObs(finish, &retErr)
+
+	// Like vbrd, the serving/supervision base context carries the obs
+	// scope but not the signal cancellation: the signal triggers an
+	// ordered drain (front door first, then the workers), not an
+	// everything-at-once teardown.
+	base := context.WithoutCancel(obsCtx)
+
+	sup, err := fleet.NewSupervisor(fleet.Config{
+		Bin: bin,
+		Args: func(workerID int) []string {
+			return []string{
+				"-addr", "127.0.0.1:0",
+				"-worker-id", strconv.Itoa(workerID),
+				"-drain", workerDrain.String(),
+				"-max-frames", strconv.Itoa(*maxFrames),
+				"-sim-workers", strconv.Itoa(*simWorkers),
+				"-pool-bytes", strconv.FormatInt(*poolBytes, 10),
+				"-job-queue", strconv.Itoa(*jobQueue),
+			}
+		},
+		Workers:        *workers,
+		HealthInterval: *healthEvery,
+		HealthTimeout:  *healthTime,
+		StartTimeout:   *startTime,
+		Breaker: fleet.BreakerConfig{
+			DownAfter:  *downAfter,
+			MinBackoff: *backoffMin,
+			MaxBackoff: *backoffMax,
+		},
+		Seed:         *seed,
+		WorkerStderr: stderr,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	sup.Start(base)
+	stopFleet := func() {
+		if n := sup.Stop(base, *workerDrain); n > 0 {
+			fmt.Fprintf(stderr, "vbrfleet: %d worker(s) killed past the drain budget\n", n)
+		}
+	}
+
+	// Hold the front door closed until the whole fleet passed its first
+	// health probe, so the announced address never serves a cold start.
+	readyCtx, cancelReady := context.WithTimeout(obsCtx, 2*(*startTime))
+	err = sup.WaitReady(readyCtx, *workers)
+	cancelReady()
+	if err != nil {
+		stopFleet()
+		return fmt.Errorf("starting fleet: %w", err)
+	}
+
+	proxy := fleet.NewProxy(sup, fleet.ProxyConfig{
+		MaxAttempts:   *retries,
+		PerTryTimeout: *perTry,
+		RetryAfter:    *backoffMin,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		stopFleet()
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	httpSrv := &http.Server{
+		Handler:           proxy.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return base },
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	cli.AnnounceListen(stdout, "vbrfleet", ln.Addr().String())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		stopFleet()
+		return fmt.Errorf("serving on %s: %w", ln.Addr(), err)
+	case <-ctx.Done():
+	}
+
+	// Drain order matters: shut the front door first so in-flight
+	// proxied streams finish while their workers are still alive, THEN
+	// fan the signal out to the workers.
+	fmt.Fprintf(stderr, "vbrfleet draining (front door %s, workers %s)\n", *drain, *workerDrain)
+	drainCtx, cancel := context.WithTimeout(base, *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		if closeErr := httpSrv.Close(); closeErr != nil {
+			fmt.Fprintf(stderr, "warning: force close: %v\n", closeErr)
+		}
+		fmt.Fprintf(stderr, "vbrfleet front door drained with stragglers: %v\n", err)
+	}
+	<-serveErr // Serve has returned ErrServerClosed by now
+	stopFleet()
+	if errors.Is(ctx.Err(), context.Canceled) {
+		fmt.Fprintln(stdout, "vbrfleet drained cleanly")
+	}
+	return nil
+}
+
+// findVBRD resolves the worker binary: an explicit -vbrd path wins,
+// then a vbrd sitting next to the vbrfleet binary (the common install
+// and test layout), then $PATH.
+func findVBRD(explicit string) (string, error) {
+	if explicit != "" {
+		if _, err := os.Stat(explicit); err != nil {
+			return "", fmt.Errorf("vbrd binary: %w", err)
+		}
+		return explicit, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(self), "vbrd")
+		if _, err := os.Stat(sibling); err == nil {
+			return sibling, nil
+		}
+	}
+	path, err := exec.LookPath("vbrd")
+	if err != nil {
+		return "", fmt.Errorf("finding vbrd (set -vbrd explicitly): %w", err)
+	}
+	return path, nil
+}

@@ -31,10 +31,12 @@ func main() {
 	os.Exit(cli.Main("vbrload", run))
 }
 
-// clientStats is one stream's accounting.
+// clientStats is one client's accounting (one stream per client in
+// the default mode, many in -soak mode).
 type clientStats struct {
-	frames int
-	bytes  int64
+	streams int
+	frames  int
+	bytes   int64
 }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr error) {
@@ -47,6 +49,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		seed    = fs.Uint64("seed", 1, "seed of client 0; client i uses seed+i")
 		backend = fs.String("backend", "davies-harte", "generator backend to request")
 		format  = fs.String("format", "bin", "wire format: bin or ndjson")
+		soak    = fs.Duration("soak", 0, "keep each client streaming back-to-back for this long (0 = one stream per client); a stream cut by the deadline itself is not a drop")
 	)
 	obsFlags := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -69,24 +72,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	defer cli.FinishObs(finish, &retErr)
 	scope := obs.From(obsCtx)
 
+	runCtx := obsCtx
+	if *soak > 0 {
+		// The deadline is the soak budget; soakClient treats a stream the
+		// deadline itself cut short as a clean finish, not a drop.
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(obsCtx, *soak)
+		defer cancel()
+	}
+
 	//vbrlint:ignore determinism load-test wall clock is display-only; it never feeds generation or simulation
 	start := time.Now()
-	results := runner.Run(obsCtx, *clients, runner.Options{
+	results := runner.Run(runCtx, *clients, runner.Options{
 		Workers: *clients,
 		Label:   func(i int) string { return fmt.Sprintf("client-%d", i) },
 	}, func(ctx context.Context, i int) (clientStats, error) {
-		return streamOnce(ctx, *baseURL, *frames, *seed+uint64(i), *backend, *format)
+		if *soak > 0 {
+			return soakClient(ctx, *baseURL, *frames, *seed, i, *clients, *backend, *format)
+		}
+		st, err := streamOnce(ctx, *baseURL, *frames, *seed+uint64(i), *backend, *format)
+		st.streams = 1
+		return st, err
 	})
 	//vbrlint:ignore determinism load-test wall clock is display-only; it never feeds generation or simulation
 	elapsed := time.Since(start)
 
 	ok, failed := runner.Split(results)
-	var totalFrames, totalBytes int64
+	var totalStreams, totalFrames, totalBytes int64
 	for _, r := range ok {
+		totalStreams += int64(r.Value.streams)
 		totalFrames += int64(r.Value.frames)
 		totalBytes += r.Value.bytes
 	}
-	scope.Count("load.streams.ok", int64(len(ok)))
+	scope.Count("load.streams.ok", totalStreams)
 	scope.Count("load.streams.dropped", int64(len(failed)))
 	scope.Count("load.frames", totalFrames)
 	scope.Count("load.bytes", totalBytes)
@@ -96,17 +114,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		scope.SetGauge("load.mbytes_per_sec", float64(totalBytes)/1e6/sec)
 	}
 
+	attempted := totalStreams + int64(len(failed))
 	fmt.Fprintf(stdout, "vbrload: %d/%d streams complete, %d frames (%.1f MB) in %v (%.0f frames/s)\n",
-		len(ok), *clients, totalFrames, float64(totalBytes)/1e6, elapsed.Round(time.Millisecond),
+		totalStreams, attempted, totalFrames, float64(totalBytes)/1e6, elapsed.Round(time.Millisecond),
 		float64(totalFrames)/sec)
 
 	if len(failed) > 0 {
 		for _, r := range failed {
 			fmt.Fprintf(stderr, "vbrload: %s: %v\n", r.Label, r.Err)
 		}
-		return fmt.Errorf("%d of %d streams dropped", len(failed), *clients)
+		return fmt.Errorf("%d of %d clients dropped a stream", len(failed), *clients)
 	}
 	return nil
+}
+
+// soakClient streams back-to-back until the soak deadline. Stream i of
+// client c uses seed base+c+i*clients, so no two streams in a soak
+// repeat a seed. A stream interrupted by the soak deadline itself is a
+// clean finish — the acceptance signal is "no stream failed while the
+// server was supposed to be up", not "the last stream beat the clock".
+func soakClient(ctx context.Context, baseURL string, frames int, seedBase uint64, client, clients int, backend, format string) (clientStats, error) {
+	var agg clientStats
+	for iter := 0; ; iter++ {
+		seed := seedBase + uint64(client) + uint64(iter)*uint64(clients)
+		st, err := streamOnce(ctx, baseURL, frames, seed, backend, format)
+		agg.frames += st.frames
+		agg.bytes += st.bytes
+		if err != nil {
+			if ctx.Err() != nil {
+				return agg, nil
+			}
+			return agg, fmt.Errorf("stream %d (seed %d): %w", iter, seed, err)
+		}
+		agg.streams++
+		if ctx.Err() != nil {
+			return agg, nil
+		}
+	}
 }
 
 // streamOnce runs one full trace download and verifies it is complete.

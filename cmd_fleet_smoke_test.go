@@ -1,0 +1,314 @@
+package vbr
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fleetHealth mirrors the fleet /healthz body.
+type fleetHealth struct {
+	Status  string `json:"status"`
+	Workers []struct {
+		ID       int    `json:"id"`
+		Addr     string `json:"addr"`
+		PID      int    `json:"pid"`
+		State    string `json:"state"`
+		Restarts int64  `json:"restarts"`
+		Streams  int64  `json:"streams"`
+	} `json:"workers"`
+	Restarts int64 `json:"restarts"`
+}
+
+// startVBRFleet launches the fleet on a random port with a fast
+// supervision cadence and returns its base URL, the command, and a
+// function collecting remaining output after exit.
+func startVBRFleet(t *testing.T, extraArgs ...string) (string, *exec.Cmd, func() string) {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-vbrd", filepath.Join(binaries(t), "vbrd"),
+		"-health-interval", "50ms",
+		"-backoff-min", "50ms",
+		"-backoff-max", "500ms",
+	}, extraArgs...)
+	cmd := exec.Command(filepath.Join(binaries(t), "vbrfleet"), args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderrBuf bytes.Buffer
+	cmd.Stderr = &stderrBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The banner is printed only once every worker passed its first
+	// health probe, so reading it doubles as the readiness gate.
+	br := bufio.NewReader(stdout)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading vbrfleet banner: %v (stderr: %s)", err, stderrBuf.String())
+	}
+	const prefix = "vbrfleet listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected banner %q", line)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	var restBuf bytes.Buffer
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		io.Copy(&restBuf, br)
+	}()
+	rest := func() string {
+		<-drained
+		return restBuf.String() + stderrBuf.String()
+	}
+	return "http://" + addr, cmd, rest
+}
+
+func getFleetHealth(t *testing.T, base string) fleetHealth {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("fleet healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var h fleetHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode fleet healthz: %v", err)
+	}
+	return h
+}
+
+// TestCLIFleetChaosSoak is the ISSUE's chaos acceptance: a 3-worker
+// fleet under a vbrload soak, one worker SIGKILLed mid-soak. The load
+// run must finish with zero dropped streams (trace failover hides the
+// death), the supervisor must restart the victim within its backoff
+// budget, and a simulate job must still round-trip through the
+// worker-scoped job routing afterwards.
+func TestCLIFleetChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRFleet(t, "-workers", "3")
+
+	// Find the worker that owns the soak's parameter shard: every
+	// response carries X-Vbr-Worker, and all default-model requests pin
+	// to one shard owner — the most damaging process to kill.
+	resp, err := http.Get(base + "/v1/trace?n=10&seed=1")
+	if err != nil {
+		t.Fatalf("warm-up trace: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	victimID := resp.Header.Get("X-Vbr-Worker")
+	if victimID == "" {
+		t.Fatal("trace response missing X-Vbr-Worker")
+	}
+	victimPID := 0
+	for _, w := range getFleetHealth(t, base).Workers {
+		if fmt.Sprint(w.ID) == victimID {
+			victimPID = w.PID
+		}
+	}
+	if victimPID == 0 {
+		t.Fatalf("worker %s not in fleet healthz", victimID)
+	}
+
+	// Soak in the background...
+	load := exec.Command(filepath.Join(binaries(t), "vbrload"),
+		"-url", base, "-clients", "4", "-frames", "2000", "-soak", "4s")
+	var loadOut bytes.Buffer
+	load.Stdout, load.Stderr = &loadOut, &loadOut
+	if err := load.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and SIGKILL the shard owner mid-soak: no drain, no goodbye.
+	time.Sleep(1 * time.Second)
+	if err := syscall.Kill(victimPID, syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker pid %d: %v", victimPID, err)
+	}
+
+	if err := load.Wait(); err != nil {
+		t.Fatalf("vbrload saw dropped streams despite failover: %v\n%s", err, loadOut.String())
+	}
+	if out := loadOut.String(); !strings.Contains(out, "streams complete") {
+		t.Fatalf("vbrload summary missing:\n%s", out)
+	}
+
+	// The victim must come back on its own within the backoff budget.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := getFleetHealth(t, base)
+		healthy := 0
+		for _, w := range h.Workers {
+			if w.State == "healthy" {
+				healthy++
+			}
+		}
+		if h.Restarts >= 1 && healthy == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet did not heal: %+v", h)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Job routing still works end to end after the restart.
+	sresp, err := http.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"n":3000,"capacity_bps":6e6,"buffer_bytes":250000,"seed":4}`))
+	if err != nil {
+		t.Fatalf("POST /v1/simulate via fleet: %v", err)
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&accepted)
+	sresp.Body.Close()
+	if err != nil || sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("simulate accept via fleet: status %d, err %v", sresp.StatusCode, err)
+	}
+	if !strings.HasPrefix(accepted.ID, "w") {
+		t.Fatalf("job id %q is not worker-scoped", accepted.ID)
+	}
+	jobDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(jobDeadline) {
+			t.Fatal("fleet-routed simulate job did not finish")
+		}
+		jresp, err := http.Get(base + "/v1/jobs/" + accepted.ID)
+		if err != nil {
+			t.Fatalf("poll job via fleet: %v", err)
+		}
+		var job struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(jresp.Body).Decode(&job)
+		jresp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job: %v", err)
+		}
+		if job.State == "failed" {
+			t.Fatalf("simulate job failed: %s", job.Error)
+		}
+		if job.State == "done" {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Clean drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrfleet exited uncleanly: %v\n%s", err, rest())
+	}
+	if out := rest(); !strings.Contains(out, "vbrfleet drained cleanly") {
+		t.Errorf("missing drain banner in output:\n%s", out)
+	}
+}
+
+// TestCLIFleetMetricsJSON pins the supervision counters into the
+// -metrics-json snapshot: a SIGKILLed worker shows up as at least one
+// fleet.restarts increment.
+func TestCLIFleetMetricsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	metrics := filepath.Join(t.TempDir(), "fleet.json")
+	base, cmd, rest := startVBRFleet(t, "-workers", "2", "-metrics-json", metrics)
+
+	victim := getFleetHealth(t, base).Workers[0]
+	if err := syscall.Kill(victim.PID, syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker: %v", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for getFleetHealth(t, base).Restarts < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("restart never counted in fleet healthz")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrfleet exited uncleanly: %v\n%s", err, rest())
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if got := snap.Counters["fleet.restarts"]; got < 1 {
+		t.Errorf("fleet.restarts = %d, want ≥ 1\n%s", got, data)
+	}
+	if got := snap.Counters["fleet.worker.exits"]; got < 1 {
+		t.Errorf("fleet.worker.exits = %d, want ≥ 1\n%s", got, data)
+	}
+}
+
+// TestCLIFleetDrainInFlight: SIGTERM with a stream mid-flight must
+// deliver the complete stream before the workers go down — the front
+// door drains first, then the SIGTERM fans out.
+func TestCLIFleetDrainInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRFleet(t, "-workers", "1")
+
+	const frames = 171_000
+	type res struct {
+		n   int
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		n, err := streamFrames(t, fmt.Sprintf("%s/v1/trace?n=%d&seed=9", base, frames))
+		done <- res{n, err}
+	}()
+	time.Sleep(150 * time.Millisecond) // let the stream get going
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight proxied stream severed by drain: %v", r.err)
+	}
+	if r.n != frames {
+		t.Fatalf("in-flight proxied stream got %d of %d frames", r.n, frames)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrfleet exited uncleanly: %v\n%s", err, rest())
+	}
+	if out := rest(); !strings.Contains(out, "vbrfleet drained cleanly") {
+		t.Errorf("missing drain banner in output:\n%s", out)
+	}
+}

@@ -29,7 +29,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"vbrtrace", "vbranalyze", "vbrgen", "vbrsim", "vbrexperiments", "vbrlint", "vbrd", "vbrload", "benchjson"} {
+		for _, cmd := range []string{"vbrtrace", "vbranalyze", "vbrgen", "vbrsim", "vbrexperiments", "vbrlint", "vbrd", "vbrload", "vbrfleet", "benchjson"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err

@@ -1,0 +1,31 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// listenMarker is the phrase shared by every daemon's first stdout
+// line; AnnounceListen writes it and ParseListenBanner recovers the
+// address, so a supervisor can learn a child's dynamically bound port
+// without any IPC beyond the pipe it already holds.
+const listenMarker = " listening on "
+
+// AnnounceListen prints the canonical "<name> listening on <addr>"
+// banner. Daemons must emit it as their first stdout line once the
+// listener is bound.
+func AnnounceListen(w io.Writer, name, addr string) {
+	fmt.Fprintf(w, "%s%s%s\n", name, listenMarker, addr)
+}
+
+// ParseListenBanner extracts the listen address from an AnnounceListen
+// line; ok is false when the line is not a banner.
+func ParseListenBanner(line string) (addr string, ok bool) {
+	_, rest, found := strings.Cut(line, listenMarker)
+	if !found {
+		return "", false
+	}
+	addr = strings.TrimSpace(rest)
+	return addr, addr != ""
+}

@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// BreakerState is one worker's position in the supervision state
+// machine.
+type BreakerState int
+
+// The supervision states. A worker starts in StateRestarting (spawned,
+// awaiting its first health pass), is routable while StateHealthy or
+// StateSuspect, and is taken out of rotation in StateDown and
+// StateRestarting.
+const (
+	// StateHealthy: the last health probe succeeded.
+	StateHealthy BreakerState = iota
+	// StateSuspect: at least one probe or proxied request failed, but
+	// fewer than DownAfter in a row — still routable, because a single
+	// transient miss must not black-hole a live worker.
+	StateSuspect
+	// StateDown: the process exited or DownAfter consecutive failures
+	// accumulated; the supervisor owes it a restart.
+	StateDown
+	// StateRestarting: a fresh process was (or is about to be) spawned
+	// and has not yet passed a health probe.
+	StateRestarting
+)
+
+// String names the state for health bodies and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	case StateRestarting:
+		return "restarting"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes one worker's circuit breaker. Zero
+// values select defaults.
+type BreakerConfig struct {
+	// DownAfter is the number of consecutive failures that trips
+	// suspect → down (default 3; minimum 1).
+	DownAfter int
+	// MinBackoff is the delay before the first restart attempt
+	// (default 250ms); each subsequent restart doubles it.
+	MinBackoff time.Duration
+	// MaxBackoff caps the doubling (default 5s).
+	MaxBackoff time.Duration
+	// Jitter is the symmetric fractional spread applied to each backoff
+	// delay (default 0.2, i.e. ±20%), so a fleet-wide outage does not
+	// restart every worker in lockstep.
+	Jitter float64
+	// Seed feeds the jitter source; Stream decorrelates workers sharing
+	// a seed (pass the worker ID).
+	Seed, Stream uint64
+	// ResetAfter is the number of consecutive successes after which the
+	// backoff schedule resets to MinBackoff (default 10). Requiring
+	// sustained health keeps a crash-looping worker from re-earning a
+	// short fuse off a single lucky probe.
+	ResetAfter int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.DownAfter < 1 {
+		c.DownAfter = 3
+	}
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 250 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.MaxBackoff < c.MinBackoff {
+		c.MaxBackoff = c.MinBackoff
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 0.2
+	}
+	if c.ResetAfter < 1 {
+		c.ResetAfter = 10
+	}
+	return c
+}
+
+// Breaker tracks one worker's health transitions. It is a pure state
+// machine — it never reads the clock; the supervisor owns timers and
+// feeds it events — which keeps every transition unit-testable without
+// sleeps. All methods are safe for concurrent use (the proxy and the
+// health loop both report into it).
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int           // consecutive failures
+	successes int           // consecutive successes since last failure
+	backoff   time.Duration // next restart delay, pre-jitter
+	restarts  int64
+	rng       *rand.Rand
+}
+
+// NewBreaker builds a breaker in StateRestarting: the worker exists on
+// paper but has not yet proven itself.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{
+		cfg:     cfg,
+		state:   StateRestarting,
+		backoff: cfg.MinBackoff,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, cfg.Stream)),
+	}
+}
+
+// State reports the current state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Routable reports whether the proxy may send this worker traffic.
+func (b *Breaker) Routable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == StateHealthy || b.state == StateSuspect
+}
+
+// Restarts counts completed restart cycles.
+func (b *Breaker) Restarts() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.restarts
+}
+
+// ReportSuccess records a passed health probe: suspect and restarting
+// workers become healthy, and sustained health (ResetAfter consecutive
+// successes) resets the backoff schedule.
+func (b *Breaker) ReportSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateDown {
+		// A probe racing a crash can land after the exit was observed;
+		// the exit verdict wins.
+		return
+	}
+	b.state = StateHealthy
+	b.fails = 0
+	b.successes++
+	if b.successes >= b.cfg.ResetAfter {
+		b.backoff = b.cfg.MinBackoff
+	}
+}
+
+// ReportFailure records a failed probe or proxied request and returns
+// true when the failure trips the breaker into StateDown. Failures
+// against an already-down or restarting worker are no-ops: the
+// supervisor is already handling it.
+func (b *Breaker) ReportFailure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateDown || b.state == StateRestarting {
+		return false
+	}
+	b.successes = 0
+	b.fails++
+	if b.fails >= b.cfg.DownAfter {
+		b.state = StateDown
+		return true
+	}
+	b.state = StateSuspect
+	return false
+}
+
+// MarkDown forces StateDown — the supervisor observed the process
+// exit, which outranks any probe history.
+func (b *Breaker) MarkDown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateDown
+	b.successes = 0
+}
+
+// MarkRestarting transitions down → restarting for a fresh spawn and
+// counts the restart. The first spawn of a worker's life does not go
+// through here (NewBreaker already starts restarting).
+func (b *Breaker) MarkRestarting() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = StateRestarting
+	b.fails = 0
+	b.successes = 0
+	b.restarts++
+}
+
+// RestartDelay returns the jittered delay to wait before the next
+// spawn and advances the exponential schedule (doubling up to
+// MaxBackoff). The jitter draw comes from the breaker's seeded source,
+// so a test fleet replays the same delays.
+func (b *Breaker) RestartDelay() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.backoff
+	b.backoff *= 2
+	if b.backoff > b.cfg.MaxBackoff {
+		b.backoff = b.cfg.MaxBackoff
+	}
+	// Symmetric jitter in [-Jitter, +Jitter] around d.
+	spread := 1 + b.cfg.Jitter*(2*b.rng.Float64()-1)
+	return time.Duration(float64(d) * spread)
+}

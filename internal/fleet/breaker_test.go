@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{DownAfter: 3})
+	if got := b.State(); got != StateRestarting {
+		t.Fatalf("new breaker state = %v, want restarting", got)
+	}
+	if b.Routable() {
+		t.Fatal("restarting breaker must not be routable")
+	}
+
+	b.ReportSuccess()
+	if got := b.State(); got != StateHealthy {
+		t.Fatalf("after success state = %v, want healthy", got)
+	}
+	if !b.Routable() {
+		t.Fatal("healthy breaker must be routable")
+	}
+
+	// One failure: suspect, still routable, not tripped.
+	if tripped := b.ReportFailure(); tripped {
+		t.Fatal("first failure must not trip")
+	}
+	if got := b.State(); got != StateSuspect {
+		t.Fatalf("after one failure state = %v, want suspect", got)
+	}
+	if !b.Routable() {
+		t.Fatal("suspect breaker must stay routable")
+	}
+
+	// A success in suspect heals.
+	b.ReportSuccess()
+	if got := b.State(); got != StateHealthy {
+		t.Fatalf("suspect + success state = %v, want healthy", got)
+	}
+
+	// DownAfter consecutive failures trip.
+	if b.ReportFailure() || b.ReportFailure() {
+		t.Fatal("tripped before DownAfter failures")
+	}
+	if tripped := b.ReportFailure(); !tripped {
+		t.Fatal("DownAfter-th failure must trip")
+	}
+	if got := b.State(); got != StateDown {
+		t.Fatalf("tripped state = %v, want down", got)
+	}
+	if b.Routable() {
+		t.Fatal("down breaker must not be routable")
+	}
+
+	// The exit verdict outranks a racing probe success.
+	b.ReportSuccess()
+	if got := b.State(); got != StateDown {
+		t.Fatalf("down + racing success = %v, want down", got)
+	}
+	// Extra failures against a down worker are no-ops.
+	if b.ReportFailure() {
+		t.Fatal("failure on a down breaker must not re-trip")
+	}
+
+	b.MarkRestarting()
+	if got := b.State(); got != StateRestarting {
+		t.Fatalf("after MarkRestarting state = %v, want restarting", got)
+	}
+	if got := b.Restarts(); got != 1 {
+		t.Fatalf("restarts = %d, want 1", got)
+	}
+	if b.ReportFailure() {
+		t.Fatal("failure while restarting must be a no-op")
+	}
+}
+
+func TestBreakerMarkDown(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	b.ReportSuccess()
+	b.MarkDown()
+	if got := b.State(); got != StateDown {
+		t.Fatalf("MarkDown state = %v, want down", got)
+	}
+}
+
+func TestBreakerBackoffSchedule(t *testing.T) {
+	cfg := BreakerConfig{
+		MinBackoff: 100 * time.Millisecond,
+		MaxBackoff: 400 * time.Millisecond,
+		Jitter:     0.2,
+		Seed:       7,
+		Stream:     1,
+		ResetAfter: 3,
+	}
+	b := NewBreaker(cfg)
+
+	within := func(d, center time.Duration) bool {
+		lo := time.Duration(float64(center) * (1 - cfg.Jitter))
+		hi := time.Duration(float64(center) * (1 + cfg.Jitter))
+		return d >= lo && d <= hi
+	}
+	// Doubling: 100ms, 200ms, 400ms, then capped at 400ms.
+	for i, center := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 400 * time.Millisecond,
+	} {
+		if d := b.RestartDelay(); !within(d, center) {
+			t.Fatalf("delay %d = %v, want within ±20%% of %v", i, d, center)
+		}
+	}
+
+	// Sustained health resets the schedule to MinBackoff.
+	for i := 0; i < cfg.ResetAfter; i++ {
+		b.ReportSuccess()
+	}
+	if d := b.RestartDelay(); !within(d, 100*time.Millisecond) {
+		t.Fatalf("post-reset delay = %v, want within ±20%% of 100ms", d)
+	}
+
+	// One lucky probe must NOT reset a crash-looper's fuse.
+	b2 := NewBreaker(cfg)
+	b2.RestartDelay() // 100ms
+	b2.RestartDelay() // 200ms
+	b2.ReportSuccess()
+	if d := b2.RestartDelay(); !within(d, 400*time.Millisecond) {
+		t.Fatalf("single-success delay = %v, want within ±20%% of 400ms (no reset)", d)
+	}
+}
+
+func TestBreakerDeterministicJitter(t *testing.T) {
+	mk := func() *Breaker {
+		return NewBreaker(BreakerConfig{Seed: 42, Stream: 3})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 8; i++ {
+		if da, db := a.RestartDelay(), b.RestartDelay(); da != db {
+			t.Fatalf("draw %d: %v != %v — jitter must replay from the seed", i, da, db)
+		}
+	}
+}

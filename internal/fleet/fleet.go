@@ -1,0 +1,23 @@
+// Package fleet is the self-healing serving layer over cmd/vbrd: a
+// supervisor that spawns and restarts worker processes, a circuit
+// breaker per worker tracking its health state, a consistent-hash ring
+// that routes requests by model-parameter identity (so each worker's
+// generation cache stays hot for its shard), and a front-door reverse
+// proxy that retries idempotent trace streams on the next ring node
+// when a worker dies mid-request.
+//
+// The division of labor:
+//
+//	Breaker     pure state machine: healthy → suspect → down →
+//	            restarting, with exponential backoff + jitter
+//	Ring        consistent hashing of the genpool parameter identity
+//	Supervisor  os/exec lifecycle, /healthz polling, crash restart,
+//	            SIGTERM fan-out drain
+//	Proxy       request routing, failover retry, load steering
+//
+// Determinism note: unlike the generation packages, supervision is
+// inherently wall-clock-driven (backoff timers, health intervals), so
+// this package is exempt from the time.Now lint rule; restart jitter
+// still flows from a seeded source so fleet behavior is replayable in
+// tests.
+package fleet

@@ -1,0 +1,494 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"vbr/internal/cli"
+	"vbr/internal/obs"
+)
+
+// Config parameterizes a Supervisor. Zero values select defaults.
+type Config struct {
+	// Bin is the worker binary (typically a vbrd build).
+	Bin string
+	// Args yields the argv (excluding the binary) for worker id. The
+	// worker must bind a free port and announce it with a
+	// cli.AnnounceListen banner as its first stdout line.
+	Args func(workerID int) []string
+	// Workers is the fleet size (default 3).
+	Workers int
+	// HealthInterval is the /healthz polling period (default 250ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 2s).
+	HealthTimeout time.Duration
+	// StartTimeout bounds banner read and first health pass of a fresh
+	// process (default 10s); past it the spawn counts as failed.
+	StartTimeout time.Duration
+	// Breaker is the per-worker breaker template; Seed/Stream are
+	// overridden per worker (Stream = worker ID) so jitter decorrelates.
+	Breaker BreakerConfig
+	// Seed feeds restart jitter (Breaker.Seed for every worker).
+	Seed uint64
+	// WorkerStderr receives the workers' stderr (and post-banner
+	// stdout), interleaved; nil discards it.
+	WorkerStderr io.Writer
+	// Logf logs supervision events (restarts, state trips); nil is
+	// silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 250 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 2 * time.Second
+	}
+	if c.StartTimeout <= 0 {
+		c.StartTimeout = 10 * time.Second
+	}
+	if c.WorkerStderr == nil {
+		c.WorkerStderr = io.Discard
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker is one supervised process slot. The slot (ID, breaker, shard
+// position) outlives any individual process occupying it.
+type Worker struct {
+	ID      int
+	breaker *Breaker
+	streams atomic.Int64 // in-flight proxied requests
+
+	mu       sync.Mutex
+	baseURL  string
+	pid      int
+	degraded bool
+	proc     *workerProc
+}
+
+// workerProc is one spawned process generation.
+type workerProc struct {
+	cmd    *exec.Cmd
+	exited chan struct{} // closed after cmd.Wait returns
+	err    error         // valid after exited is closed
+}
+
+// BaseURL is the worker's current serve address ("" before the first
+// banner).
+func (w *Worker) BaseURL() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.baseURL
+}
+
+// Degraded reports the last health probe's degraded flag.
+func (w *Worker) Degraded() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.degraded
+}
+
+func (w *Worker) setDegraded(d bool) {
+	w.mu.Lock()
+	w.degraded = d
+	w.mu.Unlock()
+}
+
+func (w *Worker) setProc(p *workerProc, baseURL string) {
+	w.mu.Lock()
+	w.proc = p
+	w.baseURL = baseURL
+	w.pid = p.cmd.Process.Pid
+	w.degraded = false
+	w.mu.Unlock()
+}
+
+func (w *Worker) currentProc() *workerProc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.proc
+}
+
+// WorkerStatus is one worker's row in the fleet health aggregate.
+type WorkerStatus struct {
+	ID       int    `json:"id"`
+	Addr     string `json:"addr,omitempty"`
+	PID      int    `json:"pid,omitempty"`
+	State    string `json:"state"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Restarts int64  `json:"restarts"`
+	Streams  int64  `json:"streams"`
+}
+
+// Supervisor owns the worker fleet: it spawns one process per slot,
+// polls health, restarts crashed or unresponsive workers under the
+// breaker's backoff schedule, and fans a drain signal out on Stop.
+type Supervisor struct {
+	cfg     Config
+	ring    *Ring
+	workers []*Worker
+	client  *http.Client
+	scope   *obs.Scope
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewSupervisor builds a supervisor; Start launches the fleet.
+func NewSupervisor(cfg Config) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Bin == "" {
+		return nil, fmt.Errorf("fleet: Config.Bin is required")
+	}
+	if cfg.Args == nil {
+		return nil, fmt.Errorf("fleet: Config.Args is required")
+	}
+	s := &Supervisor{
+		cfg:  cfg,
+		ring: NewRing(cfg.Workers, 0),
+		// A dedicated client keeps probe connection state (and its
+		// tear-down on worker death) away from the proxy's transport.
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		bcfg := cfg.Breaker
+		bcfg.Seed = cfg.Seed
+		bcfg.Stream = uint64(i)
+		s.workers = append(s.workers, &Worker{ID: i, breaker: NewBreaker(bcfg)})
+	}
+	return s, nil
+}
+
+// Start spawns every worker's manage loop. ctx supplies the obs scope
+// and bounds supervision: when it fires, restarts stop, but live
+// processes are left for Stop to drain.
+func (s *Supervisor) Start(ctx context.Context) {
+	s.scope = obs.From(ctx)
+	ctx, s.cancel = context.WithCancel(ctx)
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go s.manage(ctx, w)
+	}
+}
+
+// WaitReady blocks until at least n workers are routable, or ctx
+// fires.
+func (s *Supervisor) WaitReady(ctx context.Context, n int) error {
+	if n > len(s.workers) {
+		n = len(s.workers)
+	}
+	for {
+		routable := 0
+		for _, w := range s.workers {
+			if w.breaker.Routable() {
+				routable++
+			}
+		}
+		if routable >= n {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: %d/%d workers ready: %w", routable, n, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// Workers returns the fleet slots (stable order, never nil entries).
+func (s *Supervisor) Workers() []*Worker { return s.workers }
+
+// Worker returns the slot with the given id.
+func (s *Supervisor) Worker(id int) (*Worker, bool) {
+	if id < 0 || id >= len(s.workers) {
+		return nil, false
+	}
+	return s.workers[id], true
+}
+
+// Snapshot reports every worker's state for the fleet health endpoint.
+func (s *Supervisor) Snapshot() []WorkerStatus {
+	out := make([]WorkerStatus, 0, len(s.workers))
+	for _, w := range s.workers {
+		w.mu.Lock()
+		st := WorkerStatus{
+			ID:       w.ID,
+			Addr:     w.baseURL,
+			PID:      w.pid,
+			Degraded: w.degraded,
+		}
+		w.mu.Unlock()
+		st.State = w.breaker.State().String()
+		st.Restarts = w.breaker.Restarts()
+		st.Streams = w.streams.Load()
+		out = append(out, st)
+	}
+	return out
+}
+
+// Restarts sums completed restart cycles across the fleet.
+func (s *Supervisor) Restarts() int64 {
+	var n int64
+	for _, w := range s.workers {
+		n += w.breaker.Restarts()
+	}
+	return n
+}
+
+// Candidates returns the routable workers for a request key in
+// failover order: ring order, with degraded workers demoted to the
+// back so load steers away from nearly-saturated simulate buffers
+// before they start shedding.
+func (s *Supervisor) Candidates(key uint64) []*Worker {
+	order := s.ring.Successors(key)
+	var fit, degraded []*Worker
+	for _, id := range order {
+		w := s.workers[id]
+		if !w.breaker.Routable() || w.BaseURL() == "" {
+			continue
+		}
+		if w.Degraded() {
+			degraded = append(degraded, w)
+		} else {
+			fit = append(fit, w)
+		}
+	}
+	return append(fit, degraded...)
+}
+
+// ReportFailure feeds a proxy-observed transport failure into the
+// worker's breaker, so request errors trip the breaker between health
+// probes instead of waiting for the next poll.
+func (s *Supervisor) ReportFailure(id int) {
+	if id < 0 || id >= len(s.workers) {
+		return
+	}
+	if s.workers[id].breaker.ReportFailure() {
+		s.cfg.Logf("fleet: worker %d tripped down by request failures", id)
+	}
+}
+
+// manage runs one slot's spawn → monitor → backoff → respawn cycle
+// until the supervision context fires.
+func (s *Supervisor) manage(ctx context.Context, w *Worker) {
+	defer s.wg.Done()
+	first := true
+	for ctx.Err() == nil {
+		if !first {
+			delay := w.breaker.RestartDelay()
+			s.cfg.Logf("fleet: worker %d restarting in %s", w.ID, delay.Round(time.Millisecond))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return
+			}
+			w.breaker.MarkRestarting()
+			s.scope.Count("fleet.restarts", 1)
+		}
+		first = false
+
+		proc, addr, err := s.spawn(ctx, w)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			s.cfg.Logf("fleet: worker %d spawn failed: %v", w.ID, err)
+			w.breaker.MarkDown()
+			s.scope.Count("fleet.spawn.failed", 1)
+			continue
+		}
+		w.setProc(proc, "http://"+addr)
+		s.cfg.Logf("fleet: worker %d serving on %s (pid %d)", w.ID, addr, proc.cmd.Process.Pid)
+
+		s.monitor(ctx, w, proc)
+		if ctx.Err() != nil {
+			return // drain path: Stop owns the live process now
+		}
+		// The worker is down. Make sure the old process is gone before a
+		// new generation takes the slot, so two never coexist.
+		_ = proc.cmd.Process.Kill()
+		<-proc.exited
+		w.breaker.MarkDown()
+		s.scope.Count("fleet.worker.exits", 1)
+	}
+}
+
+// spawn starts one worker process and waits for its listen banner.
+func (s *Supervisor) spawn(ctx context.Context, w *Worker) (*workerProc, string, error) {
+	cmd := exec.Command(s.cfg.Bin, s.cfg.Args(w.ID)...)
+	banner := &bannerWriter{rest: s.cfg.WorkerStderr, ch: make(chan string, 1)}
+	cmd.Stdout = banner
+	cmd.Stderr = s.cfg.WorkerStderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("fleet: starting worker %d: %w", w.ID, err)
+	}
+	proc := &workerProc{cmd: cmd, exited: make(chan struct{})}
+	go func() {
+		proc.err = cmd.Wait()
+		close(proc.exited)
+	}()
+
+	select {
+	case addr := <-banner.ch:
+		return proc, addr, nil
+	case <-proc.exited:
+		return nil, "", fmt.Errorf("fleet: worker %d exited before announcing a listener: %w", w.ID, proc.err)
+	case <-time.After(s.cfg.StartTimeout):
+		_ = cmd.Process.Kill()
+		<-proc.exited
+		return nil, "", fmt.Errorf("fleet: worker %d announced no listener within %s", w.ID, s.cfg.StartTimeout)
+	case <-ctx.Done():
+		_ = cmd.Process.Kill()
+		<-proc.exited
+		return nil, "", ctx.Err()
+	}
+}
+
+// monitor polls one live process's health until it goes down or the
+// supervision context fires.
+func (s *Supervisor) monitor(ctx context.Context, w *Worker, proc *workerProc) {
+	ticker := time.NewTicker(s.cfg.HealthInterval)
+	defer ticker.Stop()
+	start := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-proc.exited:
+			w.breaker.MarkDown()
+			s.cfg.Logf("fleet: worker %d process exited: %v", w.ID, proc.err)
+			return
+		case <-ticker.C:
+			if w.breaker.State() == StateDown {
+				return // tripped by proxy-reported failures
+			}
+			if ok, degraded := s.probe(ctx, w); ok {
+				w.breaker.ReportSuccess()
+				w.setDegraded(degraded)
+				continue
+			}
+			if w.breaker.State() == StateRestarting && time.Since(start) > s.cfg.StartTimeout {
+				s.cfg.Logf("fleet: worker %d passed no health probe within %s", w.ID, s.cfg.StartTimeout)
+				w.breaker.MarkDown()
+				return
+			}
+			if w.breaker.ReportFailure() {
+				s.cfg.Logf("fleet: worker %d tripped down by failed probes", w.ID)
+				return
+			}
+		}
+	}
+}
+
+// probe runs one /healthz poll; ok reports a 200, degraded the
+// worker's own load flag.
+func (s *Supervisor) probe(ctx context.Context, w *Worker) (ok, degraded bool) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.BaseURL()+"/healthz", nil)
+	if err != nil {
+		return false, false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, false
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	// An undecodable 200 still counts as alive; degraded steering is an
+	// optimization, not a liveness signal.
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+	return true, body.Status == "degraded"
+}
+
+// Stop drains the fleet: supervision halts (no more restarts), every
+// live worker gets a SIGTERM to trigger its own graceful drain, and
+// stragglers past the budget are killed. It reports how many workers
+// needed the hard kill.
+func (s *Supervisor) Stop(ctx context.Context, budget time.Duration) (stragglers int) {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+
+	var live []*workerProc
+	for _, w := range s.workers {
+		proc := w.currentProc()
+		if proc == nil {
+			continue
+		}
+		select {
+		case <-proc.exited:
+			continue
+		default:
+		}
+		_ = proc.cmd.Process.Signal(syscall.SIGTERM)
+		live = append(live, proc)
+	}
+	dctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	for _, proc := range live {
+		select {
+		case <-proc.exited:
+		case <-dctx.Done():
+			_ = proc.cmd.Process.Kill()
+			<-proc.exited
+			stragglers++
+		}
+	}
+	return stragglers
+}
+
+// bannerWriter scans a worker's stdout for the first line, recovers
+// the cli.AnnounceListen address from it, and forwards everything else
+// to rest. Attaching it as cmd.Stdout (instead of a pipe read raced
+// against cmd.Wait) lets os/exec own the copy goroutine.
+type bannerWriter struct {
+	rest io.Writer
+	ch   chan string
+
+	mu   sync.Mutex
+	done bool
+	buf  []byte
+}
+
+func (b *bannerWriter) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	if !b.done {
+		b.buf = append(b.buf, p...)
+		if i := bytes.IndexByte(b.buf, '\n'); i >= 0 {
+			b.done = true
+			if addr, ok := cli.ParseListenBanner(string(b.buf[:i])); ok {
+				b.ch <- addr
+			}
+			b.buf = nil
+		}
+	}
+	b.mu.Unlock()
+	if b.rest != io.Discard {
+		_, _ = b.rest.Write(p)
+	}
+	return len(p), nil
+}

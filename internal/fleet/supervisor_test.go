@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"vbr/internal/cli"
+)
+
+// TestMain doubles as the supervised worker: when the test binary is
+// re-exec'd with the marker argument it behaves like a tiny vbrd
+// (listen banner on stdout, /healthz, SIGTERM drain) instead of
+// running the test suite. This keeps supervisor tests hermetic — no
+// dependency on a built vbrd.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "fleet-helper-worker" {
+		helperWorker(os.Args[2:])
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// helperWorker is the supervised process. Modes:
+//
+//	serve       healthy worker until SIGTERM (exit 0)
+//	crash-once  first run (state file absent) serves, then exits 1
+//	            after -crash-after; later runs serve normally
+//	silent      never announces a listener (start-timeout path)
+func helperWorker(args []string) {
+	fs := flag.NewFlagSet("fleet-helper-worker", flag.ExitOnError)
+	mode := fs.String("mode", "serve", "")
+	stateFile := fs.String("state-file", "", "")
+	crashAfter := fs.Duration("crash-after", 200*time.Millisecond, "")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *mode == "silent" {
+		time.Sleep(time.Minute)
+		os.Exit(1)
+	}
+
+	crashing := false
+	if *mode == "crash-once" && *stateFile != "" {
+		if _, err := os.Stat(*stateFile); err != nil {
+			crashing = true
+			if err := os.WriteFile(*stateFile, []byte("crashed\n"), 0o644); err != nil {
+				os.Exit(2)
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.Exit(2)
+	}
+	cli.AnnounceListen(os.Stdout, "fleet-helper-worker", ln.Addr().String())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	srv := &http.Server{Handler: mux}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "helper drained")
+		os.Exit(0)
+	}()
+	if crashing {
+		go func() {
+			time.Sleep(*crashAfter)
+			os.Exit(1)
+		}()
+	}
+	_ = srv.Serve(ln)
+	os.Exit(0)
+}
+
+// helperConfig builds a fast-cadence supervisor config running this
+// test binary in worker mode.
+func helperConfig(t *testing.T, workers int, workerArgs func(int) []string) Config {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Bin: self,
+		Args: func(id int) []string {
+			return append([]string{"fleet-helper-worker"}, workerArgs(id)...)
+		},
+		Workers:        workers,
+		HealthInterval: 25 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		StartTimeout:   5 * time.Second,
+		Breaker: BreakerConfig{
+			MinBackoff: 20 * time.Millisecond,
+			MaxBackoff: 100 * time.Millisecond,
+		},
+		WorkerStderr: os.Stderr,
+		Logf:         t.Logf,
+	}
+}
+
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestSupervisorStartsAndDrainsFleet(t *testing.T) {
+	sup, err := NewSupervisor(helperConfig(t, 2, func(int) []string {
+		return []string{"-mode", "serve"}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sup.Start(ctx)
+
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sup.WaitReady(rctx, 2); err != nil {
+		t.Fatalf("fleet never became ready: %v", err)
+	}
+	for _, ws := range sup.Snapshot() {
+		if ws.State != "healthy" || ws.Addr == "" || ws.PID == 0 {
+			t.Fatalf("worker %d not fully up: %+v", ws.ID, ws)
+		}
+	}
+
+	// SIGTERM fan-out: helpers exit 0 on the signal, so nobody needs
+	// the hard kill.
+	if stragglers := sup.Stop(ctx, 5*time.Second); stragglers != 0 {
+		t.Fatalf("%d workers needed a hard kill on drain", stragglers)
+	}
+}
+
+func TestSupervisorRestartsCrashedWorker(t *testing.T) {
+	stateFile := t.TempDir() + "/crashed"
+	sup, err := NewSupervisor(helperConfig(t, 1, func(int) []string {
+		return []string{"-mode", "crash-once", "-state-file", stateFile, "-crash-after", "150ms"}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sup.Start(ctx)
+	defer sup.Stop(ctx, 5*time.Second)
+
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sup.WaitReady(rctx, 1); err != nil {
+		t.Fatalf("worker never became ready: %v", err)
+	}
+	firstPID := sup.Snapshot()[0].PID
+
+	// The worker kills itself; the supervisor must notice, back off,
+	// respawn, and the replacement must come back healthy.
+	waitFor(t, "restart after crash", 15*time.Second, func() bool {
+		return sup.Restarts() >= 1 && sup.workers[0].breaker.Routable()
+	})
+	snap := sup.Snapshot()[0]
+	if snap.PID == firstPID {
+		t.Fatalf("restarted worker kept pid %d", firstPID)
+	}
+	if snap.State != "healthy" {
+		t.Fatalf("restarted worker state %q, want healthy", snap.State)
+	}
+	if snap.Restarts < 1 {
+		t.Fatalf("restart counter = %d, want ≥ 1", snap.Restarts)
+	}
+}
+
+func TestSupervisorSIGKILLRecovery(t *testing.T) {
+	sup, err := NewSupervisor(helperConfig(t, 1, func(int) []string {
+		return []string{"-mode", "serve"}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sup.Start(ctx)
+	defer sup.Stop(ctx, 5*time.Second)
+
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := sup.WaitReady(rctx, 1); err != nil {
+		t.Fatalf("worker never became ready: %v", err)
+	}
+	pid := sup.Snapshot()[0].PID
+
+	// Chaos: SIGKILL skips the worker's drain path entirely.
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker: %v", err)
+	}
+	waitFor(t, "recovery from SIGKILL", 15*time.Second, func() bool {
+		s := sup.Snapshot()[0]
+		return s.Restarts >= 1 && s.State == "healthy" && s.PID != pid
+	})
+}
+
+func TestSupervisorStartTimeoutMarksDown(t *testing.T) {
+	cfg := helperConfig(t, 1, func(int) []string {
+		return []string{"-mode", "silent"}
+	})
+	cfg.StartTimeout = 300 * time.Millisecond
+	sup, err := NewSupervisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sup.Start(ctx)
+	defer sup.Stop(ctx, 2*time.Second)
+
+	// A worker that never announces a listener burns its StartTimeout,
+	// is marked down, and the supervisor keeps cycling it.
+	waitFor(t, "silent worker cycled", 15*time.Second, func() bool {
+		return sup.Restarts() >= 1
+	})
+	if sup.workers[0].breaker.Routable() {
+		t.Fatal("silent worker must never become routable")
+	}
+}

@@ -40,6 +40,9 @@ var DeterminismAnalyzer = &Analyzer{
 // simulation, where wall-clock use is inherent.
 var timeNowExemptPkgs = map[string]bool{
 	"vbr/internal/cli": true,
+	// Supervision is inherently wall-clock-driven (health intervals,
+	// backoff timers); restart jitter still comes from a seeded source.
+	"vbr/internal/fleet": true,
 }
 
 func runDeterminism(pass *Pass) {

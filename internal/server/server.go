@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"vbr/internal/core"
 	"vbr/internal/genpool"
@@ -34,11 +35,27 @@ type Config struct {
 	// and mapping tables of earlier requests. When nil, New installs a
 	// genpool.New(0) default; output never depends on cache state.
 	Pool *genpool.Pool
+	// WorkerID names this process inside a fleet. When non-empty every
+	// response carries it in an X-Vbr-Worker header and job IDs gain a
+	// "w<id>-" prefix, so the fleet proxy can route /v1/jobs polls back
+	// to the worker that owns the job.
+	WorkerID string
+	// WriteBudget bounds how long a non-streaming response (simulate
+	// accept, job poll, healthz) may take to reach the client; past it
+	// the connection is cut so a slow reader cannot pin a handler
+	// goroutine. Zero disables the budget. /v1/trace is exempt: a
+	// legitimate stream is as slow as its client.
+	WriteBudget time.Duration
+	// JobQueueDepth bounds accepted-but-unfinished simulation jobs
+	// (default 256); past it POST /v1/simulate sheds with 503.
+	JobQueueDepth int
 }
 
-// paperDefault is the Table 4 Star Wars model used when a request names
-// no parameters.
-var paperDefault = core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+// PaperDefault is the Table 4 Star Wars model used when a request
+// names no parameters. Exported so the fleet proxy resolves absent
+// model parameters to the same genpool identity the workers do before
+// consistent-hashing them.
+var PaperDefault = core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
 
 // Server owns the handlers and the simulation job queue. Its lifetime
 // is bound to the context given to New: when that context fires, job
@@ -54,7 +71,7 @@ type Server struct {
 // see cmd/vbrd.
 func New(ctx context.Context, cfg Config) *Server {
 	if cfg.DefaultModel == (core.Model{}) {
-		cfg.DefaultModel = paperDefault
+		cfg.DefaultModel = PaperDefault
 	}
 	if cfg.MaxFrames == 0 {
 		cfg.MaxFrames = 4 << 20
@@ -65,10 +82,17 @@ func New(ctx context.Context, cfg Config) *Server {
 	if cfg.Pool == nil {
 		cfg.Pool = genpool.New(0)
 	}
+	if cfg.JobQueueDepth == 0 {
+		cfg.JobQueueDepth = defaultJobQueueDepth
+	}
+	jobPrefix := ""
+	if cfg.WorkerID != "" {
+		jobPrefix = "w" + cfg.WorkerID + "-"
+	}
 	s := &Server{
 		cfg:      cfg,
 		lifetime: ctx,
-		jobs:     newJobStore(),
+		jobs:     newJobStore(jobPrefix, cfg.JobQueueDepth),
 	}
 	for i := 0; i < cfg.SimWorkers; i++ {
 		go s.simWorker(ctx)
@@ -77,14 +101,44 @@ func New(ctx context.Context, cfg Config) *Server {
 }
 
 // Handler returns the route table. Paths use Go 1.22 method patterns,
-// so stray methods get 405 from the mux itself.
+// so stray methods get 405 from the mux itself. Non-streaming routes
+// run under the write budget; /v1/trace does not (a stream is as slow
+// as its client, and the drain deadline already bounds its lifetime).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/trace", s.handleTrace)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("POST /v1/simulate", s.budgeted(s.handleSimulate))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.budgeted(s.handleJob))
+	mux.HandleFunc("GET /healthz", s.budgeted(s.handleHealthz))
+	if s.cfg.WorkerID == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(WorkerHeader, s.cfg.WorkerID)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// WorkerHeader carries Config.WorkerID on every fleet-member response.
+const WorkerHeader = "X-Vbr-Worker"
+
+// budgeted applies Config.WriteBudget to a non-streaming handler by
+// arming a connection write deadline before the body is produced; a
+// client that cannot absorb a small JSON response inside the budget
+// loses the connection instead of pinning the goroutine.
+func (s *Server) budgeted(h http.HandlerFunc) http.HandlerFunc {
+	if s.cfg.WriteBudget <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		rc := http.NewResponseController(w)
+		//vbrlint:ignore determinism write deadlines are transport plumbing; they never influence generated or simulated values
+		deadline := time.Now().Add(s.cfg.WriteBudget)
+		// Recorders and exotic writers may not support deadlines; the
+		// budget is then best-effort rather than a request failure.
+		_ = rc.SetWriteDeadline(deadline)
+		h(w, r)
+	}
 }
 
 // apiError is the uniform JSON error body.
@@ -106,17 +160,48 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// Health statuses. Degraded is still HTTP 200 — the worker serves —
+// but warns a supervisor that the simulate buffer is nearly full, so
+// load can be steered away before the worker starts shedding.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
+
+// degradedOccupancy is the simulate-buffer fill fraction at which
+// /healthz flips from "ok" to "degraded".
+const degradedOccupancy = 0.9
+
 // healthStatus is the /healthz body.
 type healthStatus struct {
-	Status string   `json:"status"`
-	Jobs   jobStats `json:"jobs"`
+	Status string      `json:"status"` // ok | degraded
+	Worker string      `json:"worker,omitempty"`
+	Jobs   jobStats    `json:"jobs"`
+	Queue  queueStatus `json:"queue"`
+}
+
+// queueStatus reports simulate job-buffer occupancy.
+type queueStatus struct {
+	Len       int     `json:"len"`
+	Cap       int     `json:"cap"`
+	Occupancy float64 `json:"occupancy"`
 }
 
 // handleHealthz reports liveness plus job-queue depth; it performs no
 // generation and so takes no request context anywhere.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	obs.From(r.Context()).Count("server.healthz.requests", 1)
-	writeJSON(w, http.StatusOK, healthStatus{Status: "ok", Jobs: s.jobs.stats()})
+	qlen, qcap := s.jobs.occupancy()
+	h := healthStatus{
+		Status: HealthOK,
+		Worker: s.cfg.WorkerID,
+		Jobs:   s.jobs.stats(),
+		Queue:  queueStatus{Len: qlen, Cap: qcap, Occupancy: float64(qlen) / float64(qcap)},
+	}
+	if h.Queue.Occupancy >= degradedOccupancy {
+		h.Status = HealthDegraded
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // parseModel reads μΓ/σΓ/m_T/H overrides from query parameters on top

@@ -63,7 +63,7 @@ func TestTraceNDJSON(t *testing.T) {
 		t.Errorf("X-Vbr-Frames %q", got)
 	}
 	want := wantFrames(t, stream.Config{
-		Model: paperDefault, N: 2000, BlockSize: 256, Seed: 3, Backend: stream.Hosking,
+		Model: PaperDefault, N: 2000, BlockSize: 256, Seed: 3, Backend: stream.Hosking,
 	})
 	sc := bufio.NewScanner(resp.Body)
 	var got []float64
@@ -109,7 +109,7 @@ func TestTraceBinary(t *testing.T) {
 		t.Fatalf("body %d bytes, want %d", len(raw), 1500*8)
 	}
 	want := wantFrames(t, stream.Config{
-		Model: paperDefault, N: 1500, Seed: 5, Backend: stream.DaviesHarte,
+		Model: PaperDefault, N: 1500, Seed: 5, Backend: stream.DaviesHarte,
 	})
 	for i := range want {
 		got := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
@@ -226,7 +226,7 @@ func TestSimulateGeneratedJob(t *testing.T) {
 
 	// The job must be the same simulation a direct caller would run.
 	frames := wantFrames(t, stream.Config{
-		Model: paperDefault, N: 5000, Seed: 11, Backend: stream.DaviesHarte,
+		Model: PaperDefault, N: 5000, Seed: 11, Backend: stream.DaviesHarte,
 	})
 	want, err := queue.Simulate(
 		queue.Workload{Bytes: frames, Interval: 1.0 / 24},
@@ -388,5 +388,111 @@ func TestConcurrentTraceStreams(t *testing.T) {
 		if err := <-errc; err != nil {
 			t.Errorf("client: %v", err)
 		}
+	}
+}
+
+// TestHealthzDegraded: a simulate buffer at ≥ 90% occupancy must flip
+// /healthz to "degraded" (still 200) with the occupancy in the body,
+// and a full buffer must shed with 503 + Retry-After. The server is
+// built without sim workers so the FIFO fills deterministically.
+func TestHealthzDegraded(t *testing.T) {
+	s := &Server{
+		cfg:  Config{DefaultModel: PaperDefault, MaxFrames: 1 << 20, JobQueueDepth: 10},
+		jobs: newJobStore("", 10),
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	getHealth := func() healthStatus {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status %d, want 200", resp.StatusCode)
+		}
+		var h healthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+		return h
+	}
+
+	if h := getHealth(); h.Status != HealthOK {
+		t.Fatalf("empty queue: status %q, want %q", h.Status, HealthOK)
+	}
+
+	// Fill to 9/10: exactly the degraded threshold.
+	req := SimRequest{N: 100, CapacityBps: 1e6}
+	for i := 0; i < 9; i++ {
+		resp, _ := postSim(t, ts, req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d, want 202", i, resp.StatusCode)
+		}
+	}
+	h := getHealth()
+	if h.Status != HealthDegraded {
+		t.Errorf("9/10 queue: status %q, want %q", h.Status, HealthDegraded)
+	}
+	if h.Queue.Len != 9 || h.Queue.Cap != 10 {
+		t.Errorf("queue occupancy %d/%d, want 9/10", h.Queue.Len, h.Queue.Cap)
+	}
+	if h.Queue.Occupancy < 0.89 || h.Queue.Occupancy > 0.91 {
+		t.Errorf("occupancy %v, want ≈0.9", h.Queue.Occupancy)
+	}
+
+	// Fill the last slot, then the next POST must shed with Retry-After.
+	if resp, _ := postSim(t, ts, req); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("10th job: status %d, want 202", resp.StatusCode)
+	}
+	resp, _ := postSim(t, ts, req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow job: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("503 shed carries no Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q, want an integer ≥ 1", ra)
+	}
+}
+
+// TestWorkerIdentity: a fleet-member server must stamp every response
+// with X-Vbr-Worker and scope its job IDs with the worker prefix so
+// the fleet proxy can route job polls.
+func TestWorkerIdentity(t *testing.T) {
+	ts := newTestServer(t, Config{WorkerID: "3"})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var h healthStatus
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode healthz: %v", err)
+	}
+	if got := resp.Header.Get(WorkerHeader); got != "3" {
+		t.Errorf("%s = %q, want %q", WorkerHeader, got, "3")
+	}
+	if h.Worker != "3" {
+		t.Errorf("healthz worker %q, want %q", h.Worker, "3")
+	}
+
+	accept, v := postSim(t, ts, SimRequest{N: 500, CapacityBps: 1e6})
+	if accept.StatusCode != http.StatusAccepted {
+		t.Fatalf("simulate: status %d", accept.StatusCode)
+	}
+	if !strings.HasPrefix(v.ID, "w3-job-") {
+		t.Errorf("job id %q lacks the w3- worker prefix", v.ID)
+	}
+	if got := accept.Header.Get(WorkerHeader); got != "3" {
+		t.Errorf("simulate %s = %q, want %q", WorkerHeader, got, "3")
+	}
+	final := pollJob(t, ts, v.ID)
+	if final.State != stateDone {
+		t.Fatalf("job state %q (err %q)", final.State, final.Error)
 	}
 }

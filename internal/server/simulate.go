@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"vbr/internal/obs"
@@ -12,6 +13,11 @@ import (
 	"vbr/internal/runner"
 	"vbr/internal/stream"
 )
+
+// shedRetryAfterSeconds is the Retry-After hint on a 503 shed: long
+// enough for a couple of queued jobs to drain, short enough that a
+// recovered worker is re-offered load promptly.
+const shedRetryAfterSeconds = 1
 
 // SimRequest is the /v1/simulate body: either an uploaded trace
 // (Frames) or generation parameters, plus the §5 queue configuration.
@@ -91,28 +97,32 @@ func (j *job) finish(res *queue.Result, err error) {
 	j.state, j.result = stateDone, res
 }
 
-// jobQueueDepth bounds the number of accepted-but-unfinished jobs; when
-// the buffer is full, POST /v1/simulate sheds load with 503 instead of
-// growing without bound.
-const jobQueueDepth = 256
+// defaultJobQueueDepth bounds the number of accepted-but-unfinished
+// jobs when Config.JobQueueDepth is zero; when the buffer is full,
+// POST /v1/simulate sheds load with 503 instead of growing without
+// bound.
+const defaultJobQueueDepth = 256
 
-// jobStore owns job records and the FIFO feeding the workers.
+// jobStore owns job records and the FIFO feeding the workers. prefix
+// scopes job IDs to one fleet worker ("" outside a fleet).
 type jobStore struct {
+	prefix string
+
 	mu   sync.Mutex
 	next int
 	byID map[string]*job
 	fifo chan *job
 }
 
-func newJobStore() *jobStore {
-	return &jobStore{byID: make(map[string]*job), fifo: make(chan *job, jobQueueDepth)}
+func newJobStore(prefix string, depth int) *jobStore {
+	return &jobStore{prefix: prefix, byID: make(map[string]*job), fifo: make(chan *job, depth)}
 }
 
 // add registers and enqueues a new job, or reports queue saturation.
 func (st *jobStore) add(req SimRequest) (*job, error) {
 	st.mu.Lock()
 	st.next++
-	j := &job{id: fmt.Sprintf("job-%06d", st.next), req: req, state: stateQueued}
+	j := &job{id: fmt.Sprintf("%sjob-%06d", st.prefix, st.next), req: req, state: stateQueued}
 	st.byID[j.id] = j
 	st.mu.Unlock()
 	select {
@@ -122,8 +132,13 @@ func (st *jobStore) add(req SimRequest) (*job, error) {
 		st.mu.Lock()
 		delete(st.byID, j.id)
 		st.mu.Unlock()
-		return nil, fmt.Errorf("server: job queue full (%d pending)", jobQueueDepth)
+		return nil, fmt.Errorf("server: job queue full (%d pending)", cap(st.fifo))
 	}
+}
+
+// occupancy reports the job buffer's fill level for /healthz.
+func (st *jobStore) occupancy() (used, capacity int) {
+	return len(st.fifo), cap(st.fifo)
 }
 
 func (st *jobStore) get(id string) (*job, bool) {
@@ -241,6 +256,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.add(req)
 	if err != nil {
 		scope.Count("server.simulate.shed", 1)
+		// Retry-After turns the shed into a back-off signal: well-behaved
+		// clients (and the fleet proxy) pause instead of hammering a
+		// saturated worker into a 503 loop.
+		w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
