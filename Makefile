@@ -15,10 +15,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain static analysis (determinism, floateq, ctxcheck, wrapcheck,
-# seedplumb); exits 1 on findings.
+# Domain static analysis: all ten analyzers (determinism, floateq,
+# ctxcheck, wrapcheck, seedplumb, goleak, lockguard, atomicmix,
+# wgdiscipline, hotalloc) over the whole tree, then the concurrency
+# analyzers again over the in-package test files of the supervision and
+# serving layers, where goroutine discipline matters as much in tests
+# as in production code. Exit 1 on findings (including stale ignores),
+# 2 if the tree fails to load or type-check.
 lint:
 	$(GO) run ./cmd/vbrlint ./...
+	$(GO) run ./cmd/vbrlint -tests ./internal/fleet ./internal/server
 
 test:
 	$(GO) test ./...

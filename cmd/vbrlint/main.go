@@ -1,13 +1,19 @@
-// Command vbrlint runs the repo's domain static-analysis suite: five
-// analyzers (determinism, floateq, ctxcheck, wrapcheck, seedplumb)
-// built purely on the standard library's go/ast and go/types, enforcing
-// the reproducibility invariants the paper's figures depend on.
+// Command vbrlint runs the repo's domain static-analysis suite: ten
+// analyzers (determinism, floateq, ctxcheck, wrapcheck, seedplumb,
+// goleak, lockguard, atomicmix, wgdiscipline, hotalloc) built purely on
+// the standard library's go/ast and go/types, enforcing the
+// reproducibility and concurrency invariants the paper's figures and
+// the serving stack depend on. Stale //vbrlint:ignore directives —
+// suppressions that no longer suppress anything — are reported as
+// findings too.
 //
 //	vbrlint ./...                 # lint the whole module
-//	vbrlint -json ./internal/fgn  # machine-readable diagnostics
+//	vbrlint -json ./internal/fgn  # machine-readable diagnostics + summary
 //	vbrlint -run floateq,ctxcheck ./...
+//	vbrlint -tests ./internal/fleet ./internal/server
 //
-// Exit codes: 0 clean, 1 findings, 2 usage or load failure.
+// Exit codes: 0 clean, 1 findings (including stale ignores), 2 usage,
+// load or type-check failure.
 package main
 
 import (
@@ -37,14 +43,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	fs := flag.NewFlagSet("vbrlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
-		runSel  = fs.String("run", "", "comma-separated analyzer subset (default: all)")
-		list    = fs.Bool("list", false, "list analyzers and exit")
-		modDir  = fs.String("C", "", "module root (default: nearest go.mod above the working directory)")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics and a per-analyzer summary as JSON")
+		runSel   = fs.String("run", "", "comma-separated analyzer subset (default: all)")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		modDir   = fs.String("C", "", "module root (default: nearest go.mod above the working directory)")
+		withTest = fs.Bool("tests", false, "also lint in-package _test.go files of the matched packages (concurrency analyzers only)")
 	)
 	ob := cli.RegisterObsFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: vbrlint [-json] [-run names] [-C dir] patterns...\n")
+		fmt.Fprintf(stderr, "usage: vbrlint [-json] [-run names] [-tests] [-C dir] patterns...\n")
 		fs.PrintDefaults()
 	}
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -76,6 +83,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	if err != nil {
 		return cli.Usagef("%v", err)
 	}
+	loader.WithTests = *withTest
+	// Load and type-check failures exit 2, distinct from exit 1 for
+	// findings: CI can tell "the tree is dirty" from "the tool could
+	// not run".
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return cli.Usagef("%v", err)
@@ -98,21 +109,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(jsonReport(diags, len(pkgs))); err != nil {
 			return fmt.Errorf("vbrlint: encoding diagnostics: %w", err)
 		}
 	} else {
 		for _, d := range diags {
 			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
 		}
-	}
-	if !*jsonOut {
 		fmt.Fprintf(stdout, "%d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 	}
 	if len(diags) > 0 {
 		return errFindings
 	}
 	return nil
+}
+
+// report is the -json document: the diagnostics plus a per-analyzer
+// summary block so dashboards can trend counts without re-aggregating.
+type report struct {
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+	Summary     summary           `json:"summary"`
+}
+
+type summary struct {
+	Findings   int            `json:"findings"`
+	Packages   int            `json:"packages"`
+	ByAnalyzer map[string]int `json:"by_analyzer"`
+}
+
+func jsonReport(diags []lint.Diagnostic, pkgs int) report {
+	by := map[string]int{}
+	for _, d := range diags {
+		by[d.Analyzer]++
+	}
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	return report{
+		Diagnostics: diags,
+		Summary:     summary{Findings: len(diags), Packages: pkgs, ByAnalyzer: by},
+	}
 }
 
 func selectAnalyzers(sel string) ([]*lint.Analyzer, error) {

@@ -94,7 +94,6 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		st.streams = 1
 		return st, err
 	})
-	//vbrlint:ignore determinism load-test wall clock is display-only; it never feeds generation or simulation
 	elapsed := time.Since(start)
 
 	ok, failed := runner.Split(results)

@@ -227,27 +227,52 @@ func TestCLILint(t *testing.T) {
 	if code != 1 {
 		t.Errorf("vbrlint -json on fixtures: exit %d, want 1\n%s", code, out)
 	}
-	jsonStart := strings.Index(out, "[")
-	jsonEnd := strings.LastIndex(out, "]")
+	jsonStart := strings.Index(out, "{")
+	jsonEnd := strings.LastIndex(out, "}")
 	if jsonStart < 0 || jsonEnd < jsonStart {
-		t.Fatalf("vbrlint -json produced no JSON array:\n%s", out)
+		t.Fatalf("vbrlint -json produced no JSON object:\n%s", out)
 	}
-	var diags []struct {
-		Analyzer string `json:"analyzer"`
-		File     string `json:"file"`
-		Line     int    `json:"line"`
-		Message  string `json:"message"`
+	var rep struct {
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Summary struct {
+			Findings   int            `json:"findings"`
+			Packages   int            `json:"packages"`
+			ByAnalyzer map[string]int `json:"by_analyzer"`
+		} `json:"summary"`
 	}
-	if err := json.Unmarshal([]byte(out[jsonStart:jsonEnd+1]), &diags); err != nil {
+	if err := json.Unmarshal([]byte(out[jsonStart:jsonEnd+1]), &rep); err != nil {
 		t.Fatalf("vbrlint -json output is not valid JSON: %v\n%s", err, out)
 	}
-	if len(diags) == 0 || diags[0].Analyzer != "seedplumb" || diags[0].Line == 0 {
-		t.Errorf("vbrlint -json diagnostics malformed: %+v", diags)
+	if len(rep.Diagnostics) == 0 || rep.Diagnostics[0].Analyzer != "seedplumb" || rep.Diagnostics[0].Line == 0 {
+		t.Errorf("vbrlint -json diagnostics malformed: %+v", rep.Diagnostics)
+	}
+	if rep.Summary.Findings != len(rep.Diagnostics) || rep.Summary.Packages != 1 {
+		t.Errorf("vbrlint -json summary inconsistent: %+v", rep.Summary)
+	}
+	if rep.Summary.ByAnalyzer["seedplumb"] == 0 {
+		t.Errorf("vbrlint -json summary missing per-analyzer count: %+v", rep.Summary.ByAnalyzer)
 	}
 
-	// Unknown analyzer selection is a usage error.
+	// -tests extends the concurrency analyzers over in-package test
+	// files; the supervision and serving test suites stay clean.
+	out = runCmd(t, "vbrlint", "-tests", "./internal/fleet", "./internal/server")
+	if !strings.Contains(out, "0 finding(s) in 2 package(s)") {
+		t.Errorf("vbrlint -tests fleet/server should be clean:\n%s", out)
+	}
+
+	// Exit codes split tool failures from findings: unknown analyzer
+	// selection and unloadable patterns are usage errors (2), distinct
+	// from exit 1 for a dirty tree.
 	if code, out := runCmdExit(t, "vbrlint", "-run", "nosuch", "./internal/errs"); code != 2 {
 		t.Errorf("vbrlint -run nosuch: exit %d, want 2\n%s", code, out)
+	}
+	if code, out := runCmdExit(t, "vbrlint", "./internal/nosuchpkg"); code != 2 {
+		t.Errorf("vbrlint on missing package: exit %d, want 2\n%s", code, out)
 	}
 }
 

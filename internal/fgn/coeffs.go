@@ -163,10 +163,19 @@ func (c *HoskingCoeffs) Schedule(n int) (kk, v []float64, err error) {
 	return c.kk[:n], c.v[:n], nil
 }
 
+// interruptedErr builds the cancellation error for a Hosking loop. It
+// lives outside the hot loops so their bodies stay allocation-free:
+// the fmt.Errorf runs once per cancelled generation, not once per
+// point, and keeping it out of the loop keeps the per-point body small.
+func interruptedErr(ctx context.Context, what string, k, n int) error {
+	return fmt.Errorf("fgn: %s interrupted at point %d of %d: %w", what, k, n, errs.Cancelled(ctx))
+}
+
 // updatePhiInPlace applies the Levinson step φ_{k,j} = φ_{k-1,j} −
 // c·φ_{k-1,k-j} for j = 1..k-1 in place and sets φ_{k,k} = c. The
 // symmetric pairs (j, k-j) are read before either is written, so the
 // results carry exactly the bits of the two-buffer form in hoskingRun.
+//vbrlint:hotpath
 func updatePhiInPlace(phi []float64, k int, c float64) {
 	for i, j := 1, k-1; i < j; i, j = i+1, j-1 {
 		a, b := phi[i], phi[j]
@@ -191,6 +200,7 @@ func updatePhiInPlace(phi []float64, k int, c float64) {
 //
 // The schedule is extended on demand (a cache hit for a longer trace is
 // still a hit for the coefficients already present).
+//vbrlint:hotpath
 func HoskingFromCoeffs(ctx context.Context, n int, c *HoskingCoeffs, rng *rand.Rand) ([]float64, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fgn: length must be ≥ 1, got %d", n)
@@ -216,7 +226,7 @@ func HoskingFromCoeffs(ctx context.Context, n int, c *HoskingCoeffs, rng *rand.R
 	x[0] = rng.NormFloat64() // X_0 ~ N(0, v_0), v_0 = 1
 	for k := 1; k < n; k++ {
 		if ctx.Err() != nil {
-			return nil, fmt.Errorf("fgn: Hosking generation interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
+			return nil, interruptedErr(ctx, "Hosking generation", k, n)
 		}
 		updatePhiInPlace(phi, k, kk[k])
 		// Conditional mean (Eq. 11), summed in the cold path's order.

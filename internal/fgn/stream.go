@@ -7,7 +7,6 @@ import (
 	"math"
 	"math/rand/v2"
 
-	"vbr/internal/errs"
 	"vbr/internal/obs"
 )
 
@@ -86,6 +85,7 @@ func (s *HoskingStream) Len() int { return s.n }
 // point it returns (0, io.EOF). Cancellation is checked once per
 // generated point (the late-recursion iterations are O(n) each) and
 // surfaces as an error matching errs.ErrCancelled.
+//vbrlint:hotpath
 func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
 	if s.k >= s.n {
 		return 0, io.EOF
@@ -107,7 +107,7 @@ func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
 	}
 	for produced < want {
 		if ctx.Err() != nil {
-			return produced, fmt.Errorf("fgn: Hosking stream interrupted at point %d of %d: %w", s.k, s.n, errs.Cancelled(ctx))
+			return produced, interruptedErr(ctx, "Hosking stream", s.k, s.n)
 		}
 		k := s.k
 		if s.kk != nil {

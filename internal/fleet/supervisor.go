@@ -475,18 +475,24 @@ type bannerWriter struct {
 }
 
 func (b *bannerWriter) Write(p []byte) (int, error) {
+	// The banner send happens outside the critical section: only the
+	// write that flips done reaches it, and parking on b.ch (however
+	// briefly) while holding b.mu would stall every concurrent Write.
+	var addr string
+	var announce bool
 	b.mu.Lock()
 	if !b.done {
 		b.buf = append(b.buf, p...)
 		if i := bytes.IndexByte(b.buf, '\n'); i >= 0 {
 			b.done = true
-			if addr, ok := cli.ParseListenBanner(string(b.buf[:i])); ok {
-				b.ch <- addr
-			}
+			addr, announce = cli.ParseListenBanner(string(b.buf[:i]))
 			b.buf = nil
 		}
 	}
 	b.mu.Unlock()
+	if announce {
+		b.ch <- addr
+	}
 	if b.rest != io.Discard {
 		_, _ = b.rest.Write(p)
 	}

@@ -1,0 +1,103 @@
+package genpool_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"vbr/internal/fgn"
+	"vbr/internal/genpool"
+)
+
+// TestStressCoeffsExtendEvict hammers the singleflight fill path where
+// it is most delicate: concurrent EnsureCtx prefix extension of shared
+// HoskingCoeffs entries while a deliberately tiny byte budget forces
+// eviction of those same entries mid-extension. Every schedule handed
+// out must still be bitwise identical to a cold single-threaded
+// computation — eviction may drop an entry from the pool, but it must
+// never corrupt a schedule a reader already holds or double-account the
+// budget. Run under -race this exercises the acquire/finish/resize
+// lock discipline that lockguard checks statically.
+func TestStressCoeffsExtendEvict(t *testing.T) {
+	ctx := context.Background()
+
+	// Three Hurst values, each extended to maxN. A schedule of n points
+	// holds four float64 slices (~32n bytes), so at maxN each entry is
+	// ~38 KiB; a 64 KiB budget fits barely one full-size entry, forcing
+	// the three keys to evict each other continuously.
+	hs := []float64{0.6, 0.75, 0.9}
+	const maxN = 1200
+	p := genpool.New(64 << 10)
+
+	// Cold references, computed once without the pool.
+	type ref struct{ kk, v []float64 }
+	refs := map[float64]ref{}
+	for _, h := range hs {
+		c, err := fgn.NewHoskingCoeffs(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.EnsureCtx(ctx, maxN); err != nil {
+			t.Fatal(err)
+		}
+		kk, v, err := c.Schedule(maxN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[h] = ref{kk, v}
+	}
+
+	const workers = 24
+	const rounds = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := hs[w%len(hs)]
+			want := refs[h]
+			for r := 0; r < rounds; r++ {
+				// Growing lengths: later rounds extend prefixes the pool
+				// may have evicted and refilled in the meantime.
+				n := 200 + r*((maxN-200)/(rounds-1)) + (w%4)*7
+				if n > maxN {
+					n = maxN
+				}
+				c, err := p.HoskingCoeffs(ctx, h, n)
+				if err != nil {
+					errc <- err
+					return
+				}
+				kk, v, err := c.Schedule(n)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := 1; i < n; i++ {
+					if math.Float64bits(kk[i]) != math.Float64bits(want.kk[i]) ||
+						math.Float64bits(v[i]) != math.Float64bits(want.v[i]) {
+						errc <- fmt.Errorf("worker %d round %d: H=%v schedule diverges at k=%d", w, r, h, i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := p.Stats()
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("resident bytes %d exceed budget %d: %+v", st.Bytes, st.MaxBytes, st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("budget never forced an eviction — the stress shape is wrong: %+v", st)
+	}
+}

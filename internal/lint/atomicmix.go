@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces all-or-nothing atomicity per variable: a
+// field or variable that is ever passed to a sync/atomic function must
+// never be read or written plainly elsewhere in the package. A single
+// plain access defeats every atomic one — the race detector only
+// catches the interleavings that actually happen, while this rule holds
+// statically. (Typed atomics — atomic.Int64 etc. — make the rule
+// unbreakable and are the preferred fix.)
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "forbid plain access to any field or variable that is elsewhere " +
+		"accessed through sync/atomic functions",
+	InspectTests: true,
+	Run:          runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Pass 1: collect variables handed to sync/atomic as &v, and the
+	// exact expression nodes of those sanctioned accesses.
+	atomicVars := map[*types.Var]token.Pos{} // var → one atomic call site, for the message
+	sanctioned := map[ast.Expr]bool{}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			if v := referencedVar(info, addr.X); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				sanctioned[ast.Unparen(addr.X)] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those variables is a race.
+	for _, f := range pass.Files() {
+		// Sel identifiers are judged at their SelectorExpr, not again
+		// as bare idents (ast.Inspect visits parents first).
+		skipIdent := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			expr, ok := n.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if sel, ok := expr.(*ast.SelectorExpr); ok {
+				skipIdent[sel.Sel] = true
+			}
+			if sanctioned[expr] {
+				return true
+			}
+			switch e := expr.(type) {
+			case *ast.SelectorExpr:
+				if v := selectedField(info, e); v != nil {
+					if _, atomic := atomicVars[v]; atomic {
+						pass.Reportf(e.Pos(), "plain access to %s, which is accessed with sync/atomic at %s; every access must be atomic (or use a typed atomic)",
+							exprString(e), pass.Fset().Position(atomicVars[v]))
+						return false
+					}
+				}
+			case *ast.Ident:
+				if skipIdent[e] {
+					return true
+				}
+				v, ok := info.Uses[e].(*types.Var)
+				if !ok || v.IsField() {
+					// Field uses are reported once, at the selector.
+					return true
+				}
+				if _, atomic := atomicVars[v]; atomic {
+					pass.Reportf(e.Pos(), "plain access to %s, which is accessed with sync/atomic at %s; every access must be atomic (or use a typed atomic)",
+						e.Name, pass.Fset().Position(atomicVars[v]))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// referencedVar resolves the variable an addressable expression names:
+// a plain identifier or the field of a selector chain.
+func referencedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		return selectedField(info, e)
+	}
+	return nil
+}
+
+// selectedField returns the struct field a selector denotes, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	// Package-qualified selector (pkg.Var): the Sel resolves directly.
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && !v.IsField() {
+		return v
+	}
+	return nil
+}

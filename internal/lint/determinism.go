@@ -36,13 +36,38 @@ var DeterminismAnalyzer = &Analyzer{
 	Run: runDeterminism,
 }
 
-// timeNowExemptPkgs are packages whose job is process scaffolding, not
-// simulation, where wall-clock use is inherent.
-var timeNowExemptPkgs = map[string]bool{
-	"vbr/internal/cli": true,
-	// Supervision is inherently wall-clock-driven (health intervals,
-	// backoff timers); restart jitter still comes from a seeded source.
-	"vbr/internal/fleet": true,
+// timeNowExemption is one entry of the wall-clock policy: a package
+// allowed to call time.Now, with the justification the exemption rests
+// on. The policy lives in this single table (asserted exactly by
+// TestTimeNowPolicy) rather than scattered per-call ignores: an
+// exemption is a property of what a package is for, not of one line.
+type timeNowExemption struct {
+	Pkg    string
+	Reason string
+}
+
+// timeNowPolicy is the complete set of packages exempt from the
+// time.Now ban. Everything else in the module must not let wall-clock
+// time influence results.
+var timeNowPolicy = []timeNowExemption{
+	{
+		Pkg:    "vbr/internal/cli",
+		Reason: "display-only process scaffolding: progress rendering and metrics timestamps never feed generation",
+	},
+	{
+		Pkg:    "vbr/internal/fleet",
+		Reason: "supervision is inherently wall-clock-driven (health intervals, backoff timers); restart jitter still comes from a seeded source",
+	},
+}
+
+// timeNowExempt reports whether the policy table exempts pkg.
+func timeNowExempt(pkg string) bool {
+	for _, e := range timeNowPolicy {
+		if e.Pkg == pkg {
+			return true
+		}
+	}
+	return false
 }
 
 func runDeterminism(pass *Pass) {
@@ -61,7 +86,7 @@ func runDeterminism(pass *Pass) {
 				if name, ok := pkgLevelCallTo(info, n, randV2); ok && !randV2Constructors[name] {
 					pass.Reportf(n.Pos(), "rand.%s draws from the global process-seeded source; use a *rand.Rand built from rand.NewPCG with a plumbed seed", name)
 				}
-				if fn := calleeFunc(info, n); isPkgFunc(fn, "time", "Now") && !timeNowExemptPkgs[pass.Path()] {
+				if fn := calleeFunc(info, n); isPkgFunc(fn, "time", "Now") && !timeNowExempt(pass.Path()) {
 					pass.Reportf(n.Pos(), "time.Now in %s: wall-clock time must not influence generation or simulation results", pass.Path())
 				}
 			case *ast.RangeStmt:

@@ -1,0 +1,611 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the shared control-flow layer under the concurrency
+// analyzers (goleak, lockguard, atomicmix, wgdiscipline, hotalloc),
+// playing the role helpers.go plays for the expression-level suite. It
+// provides per-function iteration, a lightweight statement-level CFG
+// with per-exit-path reachability, and classifiers for blocking calls,
+// mutex operations and terminating calls — all on go/ast + go/types
+// only.
+
+// funcUnit is one function body under analysis: a declared function or
+// a function literal. Literal bodies are analyzed as their own units
+// and are therefore skipped when walking the enclosing body.
+type funcUnit struct {
+	Name string        // "(*Pool).acquire", "func literal", ...
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Body *ast.BlockStmt
+}
+
+// forEachFunc calls fn once per function body in the package: every
+// FuncDecl with a body and every FuncLit (at any nesting depth).
+func forEachFunc(pass *Pass, fn func(u funcUnit)) {
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(funcUnit{Name: funcDisplayName(fd), Decl: fd, Body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(funcUnit{Name: "func literal", Lit: lit, Body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// funcDisplayName renders a FuncDecl name for diagnostics:
+// "F" for functions, "(*T).M" / "(T).M" for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	base := receiverBaseName(fd)
+	if base == "" {
+		return fd.Name.Name
+	}
+	if _, ok := fd.Recv.List[0].Type.(*ast.StarExpr); ok {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return "(" + base + ")." + fd.Name.Name
+}
+
+// inspectShallow walks n's subtree like ast.Inspect but does not
+// descend into function literals: their statements belong to a
+// different funcUnit (and, for go statements, a different goroutine).
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return visit(m)
+	})
+}
+
+// ── CFG ──────────────────────────────────────────────────────────────
+
+// flowNode is one statement plus its successor edges. The synthetic
+// exit node has a nil Stmt.
+type flowNode struct {
+	Stmt  ast.Stmt
+	Succs []*flowNode
+}
+
+// flowGraph is the statement-level CFG of one function body. Exit
+// stands for "the function returns normally" — explicit returns and
+// falling off the end both link to it. Statements whose control
+// transfer cannot be modeled soundly (goto into unstructured code) set
+// Unsound, and path-sensitive analyzers bail out on such graphs.
+type flowGraph struct {
+	Entry   *flowNode
+	Exit    *flowNode
+	Unsound bool
+
+	nodes map[ast.Stmt]*flowNode
+}
+
+// loopCtx tracks break/continue targets while building.
+type loopCtx struct {
+	breakTo    *flowNode
+	continueTo *flowNode
+	label      string
+}
+
+type flowBuilder struct {
+	g     *flowGraph
+	loops []loopCtx
+	// labels maps label names to their statements' entry nodes, for
+	// goto resolution. Lists build back-to-front, so only gotos that
+	// jump forward in source order resolve; the rest mark the graph
+	// unsound (the tree has no gotos — this keeps lockguard honest if
+	// one ever appears).
+	labels map[string]*flowNode
+	// pendingLabel carries a label down to the loop statement it names
+	// so labeled break/continue resolve.
+	pendingLabel string
+	// fallTo is the next case clause's entry while building a switch,
+	// the target of fallthrough.
+	fallTo *flowNode
+}
+
+// buildFlow constructs the CFG for a function body.
+func buildFlow(body *ast.BlockStmt) *flowGraph {
+	g := &flowGraph{Exit: &flowNode{}, nodes: map[ast.Stmt]*flowNode{}}
+	b := &flowBuilder{g: g, labels: map[string]*flowNode{}}
+	g.Entry = b.stmts(body.List, g.Exit)
+	if g.Entry == nil {
+		g.Entry = g.Exit
+	}
+	return g
+}
+
+func (b *flowBuilder) node(s ast.Stmt) *flowNode {
+	n := &flowNode{Stmt: s}
+	b.g.nodes[s] = n
+	return n
+}
+
+// stmts builds the list of statements, returning its entry node; succ
+// is where control flows after the list.
+func (b *flowBuilder) stmts(list []ast.Stmt, succ *flowNode) *flowNode {
+	// Build back-to-front so each statement knows its successor.
+	next := succ
+	for i := len(list) - 1; i >= 0; i-- {
+		next = b.stmt(list[i], next)
+	}
+	return next
+}
+
+// stmt builds one statement with the given successor and returns its
+// entry node.
+func (b *flowBuilder) stmt(s ast.Stmt, succ *flowNode) *flowNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, succ)
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		thenEntry := b.stmts(s.Body.List, succ)
+		n.Succs = append(n.Succs, thenEntry)
+		if s.Else != nil {
+			n.Succs = append(n.Succs, b.stmt(s.Else, succ))
+		} else {
+			n.Succs = append(n.Succs, succ)
+		}
+		if s.Init != nil {
+			init := b.node(s.Init)
+			init.Succs = []*flowNode{n}
+			return init
+		}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s) // the loop head (condition check)
+		b.loops = append(b.loops, loopCtx{breakTo: succ, continueTo: n, label: b.pendingLabel})
+		b.pendingLabel = ""
+		var post *flowNode = n
+		if s.Post != nil {
+			post = b.node(s.Post)
+			post.Succs = []*flowNode{n}
+			b.loops[len(b.loops)-1].continueTo = post
+		}
+		bodyEntry := b.stmts(s.Body.List, post)
+		b.loops = b.loops[:len(b.loops)-1]
+		n.Succs = append(n.Succs, bodyEntry)
+		if s.Cond != nil {
+			n.Succs = append(n.Succs, succ) // condition false
+		}
+		if s.Init != nil {
+			init := b.node(s.Init)
+			init.Succs = []*flowNode{n}
+			return init
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		b.loops = append(b.loops, loopCtx{breakTo: succ, continueTo: n, label: b.pendingLabel})
+		b.pendingLabel = ""
+		bodyEntry := b.stmts(s.Body.List, n)
+		b.loops = b.loops[:len(b.loops)-1]
+		n.Succs = append(n.Succs, bodyEntry, succ)
+		return n
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return b.switchStmt(s, succ)
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			b.loops = append(b.loops, loopCtx{breakTo: succ, continueTo: nil, label: b.pendingLabel})
+			entry := b.stmts(cc.Body, succ)
+			b.loops = b.loops[:len(b.loops)-1]
+			n.Succs = append(n.Succs, entry)
+		}
+		b.pendingLabel = ""
+		if len(s.Body.List) == 0 {
+			// select {} blocks forever; no successors.
+		}
+		return n
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		inner := b.stmt(s.Stmt, succ)
+		b.pendingLabel = ""
+		b.labels[s.Label.Name] = inner
+		return inner
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findLoop(s.Label, true); t != nil {
+				n.Succs = []*flowNode{t}
+			} else {
+				b.g.Unsound = true
+			}
+		case token.CONTINUE:
+			if t := b.findLoop(s.Label, false); t != nil {
+				n.Succs = []*flowNode{t}
+			} else {
+				b.g.Unsound = true
+			}
+		case token.GOTO:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					n.Succs = []*flowNode{t}
+				} else {
+					// Forward goto: target not built yet. Marking the
+					// graph unsound keeps lockguard honest rather than
+					// silently dropping the edge.
+					b.g.Unsound = true
+				}
+			}
+		case token.FALLTHROUGH:
+			if b.fallTo != nil {
+				n.Succs = []*flowNode{b.fallTo}
+			} else {
+				n.Succs = []*flowNode{succ}
+			}
+		}
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.Succs = []*flowNode{b.g.Exit}
+		return n
+
+	default:
+		// Simple statements: expr, assign, decl, send, incdec, go,
+		// defer, empty.
+		n := b.node(s)
+		n.Succs = []*flowNode{succ}
+		return n
+	}
+}
+
+// findLoop resolves a break or continue (optionally labeled) to its
+// target node.
+func (b *flowBuilder) findLoop(label *ast.Ident, isBreak bool) *flowNode {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		lc := b.loops[i]
+		if label != nil && lc.label != label.Name {
+			continue
+		}
+		if isBreak {
+			return lc.breakTo
+		}
+		if lc.continueTo == nil {
+			continue // break-only context (select/switch) cannot be continued
+		}
+		return lc.continueTo
+	}
+	return nil
+}
+
+// switchStmt builds expression and type switches: head → each clause
+// entry, clause bodies → succ, fallthrough → next clause body.
+func (b *flowBuilder) switchStmt(s ast.Stmt, succ *flowNode) *flowNode {
+	n := b.node(s)
+	var body *ast.BlockStmt
+	var init ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body, init = s.Body, s.Init
+	case *ast.TypeSwitchStmt:
+		body, init = s.Body, s.Init
+	}
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	// Build clause bodies back-to-front so fallthrough can target the
+	// next clause's entry.
+	entries := make([]*flowNode, len(clauses))
+	nextEntry := succ
+	for i := len(clauses) - 1; i >= 0; i-- {
+		b.loops = append(b.loops, loopCtx{breakTo: succ, continueTo: nil, label: b.pendingLabel})
+		b.fallTo = nextEntry
+		entries[i] = b.stmts(clauses[i].Body, succ)
+		b.loops = b.loops[:len(b.loops)-1]
+		nextEntry = entries[i]
+	}
+	b.fallTo = nil
+	b.pendingLabel = ""
+	for _, e := range entries {
+		n.Succs = append(n.Succs, e)
+	}
+	if !hasDefault {
+		n.Succs = append(n.Succs, succ)
+	}
+	if init != nil {
+		in := b.node(init)
+		in.Succs = []*flowNode{n}
+		return in
+	}
+	return n
+}
+
+// reachFrom walks successors from start (exclusive), calling visit for
+// each reached node; visit returns false to stop expanding that path
+// (the node's successors are not followed).
+func (g *flowGraph) reachFrom(start *flowNode, visit func(*flowNode) bool) {
+	seen := map[*flowNode]bool{start: true}
+	stack := append([]*flowNode(nil), start.Succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if !visit(n) {
+			continue
+		}
+		stack = append(stack, n.Succs...)
+	}
+}
+
+// ── classifiers ──────────────────────────────────────────────────────
+
+// mutexOp is a Lock/Unlock-family call on a sync.Mutex or RWMutex.
+type mutexOp struct {
+	Root   string // canonical receiver expression, e.g. "p.mu"
+	Method string // Lock, Unlock, RLock, RUnlock
+	Call   *ast.CallExpr
+}
+
+// asMutexOp classifies call as a mutex operation, if it is one.
+func asMutexOp(info *types.Info, call *ast.CallExpr) (mutexOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return mutexOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return mutexOp{}, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return mutexOp{}, false
+	}
+	name := typeBaseName(recv.Type())
+	if name != "Mutex" && name != "RWMutex" {
+		return mutexOp{}, false
+	}
+	return mutexOp{Root: exprString(sel.X), Method: sel.Sel.Name, Call: call}, true
+}
+
+// lockPairs maps an acquire method to its release.
+var lockRelease = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// typeBaseName returns the named-type name under pointers, or "".
+func typeBaseName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// exprString renders a canonical string for simple expressions
+// (identifiers and selector chains), used to match lock roots and
+// append destinations. Anything more complex renders positionally
+// unique, which conservatively disables matching.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return "&" + exprString(e.X)
+		}
+	}
+	return "?"
+}
+
+// blockingCalls are package-level functions and methods that can block
+// on external events (scheduler, network, subprocesses). Pure CPU work
+// and plain mutex acquisition are deliberately excluded: nesting short
+// critical sections is fine, parking a lock holder on I/O is not.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"time":     {"Sleep": true},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+}
+
+var blockingMethods = map[string]map[string]bool{
+	"sync":     {"Wait": true}, // WaitGroup.Wait, Cond.Wait
+	"net/http": {"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true, "ListenAndServe": true, "Serve": true, "Shutdown": true},
+	"os/exec":  {"Run": true, "Wait": true, "Output": true, "CombinedOutput": true, "Start": false},
+	"net":      {"Accept": true},
+}
+
+// blockingCallReason classifies a call as blocking, returning a short
+// reason for the diagnostic ("" when not blocking).
+func blockingCallReason(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	pkg := fn.Pkg().Path()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if m := blockingMethods[pkg]; m[fn.Name()] {
+			return pkg + " " + typeBaseName(recv.Type()) + "." + fn.Name()
+		}
+		return ""
+	}
+	if m := blockingPkgFuncs[pkg]; m[fn.Name()] {
+		return pkg + "." + fn.Name()
+	}
+	return ""
+}
+
+// stmtBlocking reports whether executing s (ignoring nested function
+// literals) can block, with a reason. Select statements are judged by
+// their own node, not their comm expressions: a select with a default
+// clause never blocks.
+func stmtBlocking(info *types.Info, s ast.Stmt) (string, bool) {
+	switch s := s.(type) {
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				return "", false // has default: non-blocking poll
+			}
+		}
+		return "select without default", true
+	case *ast.SendStmt:
+		return "channel send", true
+	case *ast.RangeStmt:
+		if t := info.TypeOf(s.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel", true
+			}
+		}
+		return "", false
+	case *ast.GoStmt, *ast.DeferStmt:
+		// The call runs in another goroutine / at function exit, not at
+		// this node.
+		return "", false
+	}
+	// Receives and blocking calls anywhere in the statement's
+	// expressions (but not inside nested function literals, and not in
+	// the headers of nested flow statements — those are separate nodes,
+	// except initializers which execute here).
+	var reason string
+	inspectShallow(stmtHead(s), func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reason = "channel receive"
+				return false
+			}
+		case *ast.CallExpr:
+			if r := blockingCallReason(info, n); r != "" {
+				reason = r
+				return false
+			}
+		}
+		return true
+	})
+	return reason, reason != ""
+}
+
+// stmtHead returns the node holding the expressions evaluated *at* s's
+// CFG node: for compound statements that is the condition/tag, not the
+// body (bodies are separate nodes).
+func stmtHead(s ast.Stmt) ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return s.Cond
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return s.Cond
+		}
+		return &ast.EmptyStmt{}
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return s.Tag
+		}
+		return &ast.EmptyStmt{}
+	case *ast.TypeSwitchStmt:
+		return s.Assign
+	case *ast.RangeStmt:
+		return s.X
+	}
+	return s
+}
+
+// stmtTerminates reports whether s unconditionally ends the goroutine
+// or process (panic, os.Exit, log.Fatal*, testing Fatal/Skip): paths
+// through such statements are exempt from unlock-pairing because they
+// never resume.
+func stmtTerminates(info *types.Info, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal")
+	case "testing":
+		switch fn.Name() {
+		case "Fatal", "Fatalf", "Skip", "Skipf", "SkipNow", "FailNow":
+			return true
+		}
+	}
+	return false
+}
+
+// ── directives ───────────────────────────────────────────────────────
+
+const hotpathDirective = "//vbrlint:hotpath"
+
+// isHotpath reports whether fd carries a //vbrlint:hotpath directive in
+// its doc comment group.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, hotpathDirective) {
+			return true
+		}
+	}
+	return false
+}

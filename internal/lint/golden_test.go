@@ -67,6 +67,11 @@ func TestGolden(t *testing.T) {
 		{"serverctx", "vbr/internal/server", "ctxcheck"},
 		{"wrapcheck", "vbr/test/wrapcheck", "wrapcheck"},
 		{"seedplumb", "vbr/test/seedplumb", "seedplumb"},
+		{"goleak", "vbr/test/goleak", "goleak"},
+		{"lockguard", "vbr/test/lockguard", "lockguard"},
+		{"atomicmix", "vbr/test/atomicmix", "atomicmix"},
+		{"wgdiscipline", "vbr/test/wgdiscipline", "wgdiscipline"},
+		{"hotalloc", "vbr/test/hotalloc", "hotalloc"},
 		// The directive fixture reuses floateq as the carrier analyzer;
 		// malformed directives surface under the "directive" name.
 		{"directive", "vbr/test/directive", "floateq"},

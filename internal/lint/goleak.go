@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// GoLeakAnalyzer flags goroutines that can outlive their caller: a
+// `go` statement whose body runs an unbounded loop (`for {}` or
+// `for true {}`) with no termination signal — no select, no channel
+// receive, no ctx.Done()/ctx.Err() check — inside the loop. Such a
+// goroutine survives server drain, keeps its captures alive, and turns
+// every restart cycle into a slow leak. Lifetimes genuinely bounded by
+// other means carry a //vbrlint:ignore goleak <why> annotation.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc: "require goroutines with unbounded loops to select on ctx.Done() " +
+		"or a quit channel (or be annotated with the external bound)",
+	InspectTests: true,
+	Run:          runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Same-package function declarations, so `go s.worker(ctx)` is
+	// checked like a literal.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := ast.Unparen(gs.Call.Fun).(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			default:
+				if fn := calleeFunc(info, gs.Call); fn != nil {
+					if fd, ok := decls[fn]; ok {
+						body = fd.Body
+					}
+				}
+			}
+			if body == nil {
+				return true
+			}
+			if loop := leakyLoop(info, body); loop != nil {
+				pass.Reportf(gs.Pos(), "goroutine runs an unbounded for loop (line %d) with no ctx.Done()/quit-channel receive; it can outlive its caller",
+					pass.Fset().Position(loop.Pos()).Line)
+			}
+			return true
+		})
+	}
+}
+
+// leakyLoop returns the first unbounded loop in body that has no
+// termination signal, or nil. Nested `go` statements are skipped: they
+// are separate goroutines with their own check.
+func leakyLoop(info *types.Info, body *ast.BlockStmt) *ast.ForStmt {
+	var leaky *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leaky != nil {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if !unboundedCond(info, fs.Cond) {
+			return true
+		}
+		if !hasTerminationSignal(info, fs.Body) {
+			leaky = fs
+			return false
+		}
+		return true
+	})
+	return leaky
+}
+
+// unboundedCond reports whether a for condition never becomes false:
+// absent, or a constant true.
+func unboundedCond(info *types.Info, cond ast.Expr) bool {
+	if cond == nil {
+		return true
+	}
+	tv, ok := info.Types[cond]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+// hasTerminationSignal reports whether the loop body contains a way for
+// the outside world to end the loop: a select, a channel receive, or a
+// ctx.Done()/ctx.Err() check. Nested goroutines do not count — a
+// signal they receive does not stop this loop.
+func hasTerminationSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if (sel.Sel.Name == "Done" || sel.Sel.Name == "Err") && isContextType(unpointer(info.TypeOf(sel.X))) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// unpointer strips one pointer level (nil-safe).
+func unpointer(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -163,9 +163,10 @@ func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
 	return nil
 }
 
-// inspectWithStack walks f, calling visit with each node and the stack
-// of its ancestors (outermost first, not including the node itself).
-func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+// inspectWithStack walks root, calling visit with each node and the
+// stack of its ancestors (outermost first, not including the node
+// itself).
+func inspectWithStack(f ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil {

@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocAnalyzer keeps the per-frame hot paths allocation-free:
+// inside any loop of a function marked //vbrlint:hotpath, it forbids
+// make/new, growing appends (append without a reused [:0] buffer),
+// slice/map composite literals, &T{} escapes, per-iteration closures,
+// string<->[]byte conversions, fmt formatting, and interface boxing at
+// call arguments. The Hosking recursion and the server trace writer pay
+// for every loop allocation once per frame; GC pressure there shows up
+// directly as serving tail latency.
+var HotAllocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocations (make, growing append, composite literals, " +
+		"closures, conversions, fmt, boxing) inside loops of //vbrlint:hotpath functions",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, info, fd)
+		}
+	}
+}
+
+func checkHotFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	// Buffers reset with x = x[:0] (or appended onto their own [:0]
+	// reslice) anywhere in the function are reused, not grown, and
+	// buffers built by make with an explicit capacity are presized:
+	// appends to either are exempt. (A make inside the loop is still
+	// flagged as the make itself.)
+	resetRoots := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SliceExpr:
+			if isZeroReslice(n) {
+				resetRoots[exprString(n.X)] = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if isMakeWithCap(info, rhs) {
+					resetRoots[exprString(n.Lhs[i])] = true
+				}
+				// x := arr[:0] — x aliases a zeroed buffer; appends to
+				// x reuse arr's storage.
+				if se, ok := ast.Unparen(rhs).(*ast.SliceExpr); ok && isZeroReslice(se) {
+					resetRoots[exprString(n.Lhs[i])] = true
+				}
+			}
+		}
+		return true
+	})
+
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if inLoop(stack, lit) {
+				pass.Reportf(lit.Pos(), "closure allocated per iteration in hotpath %s; hoist it out of the loop", funcDisplayName(fd))
+			}
+			// Literal bodies run elsewhere (or were just flagged);
+			// either way their statements are not this loop's.
+			return false
+		}
+		if !inLoop(stack, n) {
+			return true
+		}
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			reportHotCall(pass, info, fd, e, resetRoots)
+		case *ast.CompositeLit:
+			if t := info.TypeOf(e); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(e.Pos(), "%s literal allocates per iteration in hotpath %s; hoist it out of the loop", typeKindWord(t), funcDisplayName(fd))
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal escapes to the heap per iteration in hotpath %s; hoist it out of the loop", funcDisplayName(fd))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportHotCall(pass *Pass, info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, resetRoots map[string]bool) {
+	name := funcDisplayName(fd)
+
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates per iteration in hotpath %s; hoist the buffer out of the loop", id.Name, name)
+				return
+			case "append":
+				if len(call.Args) == 0 {
+					return
+				}
+				dst := ast.Unparen(call.Args[0])
+				if se, ok := dst.(*ast.SliceExpr); ok && isZeroReslice(se) {
+					return // append onto x[:0]: reuse, not growth
+				}
+				if resetRoots[exprString(dst)] {
+					return
+				}
+				pass.Reportf(call.Pos(), "append grows %s per iteration in hotpath %s; reuse a buffer (x = x[:0]) or preallocate with capacity", exprString(dst), name)
+				return
+			}
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := info.TypeOf(call.Fun), info.TypeOf(call.Args[0])
+		if isStringBytesConv(to, from) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion copies per iteration in hotpath %s", name)
+		}
+		return
+	}
+
+	// fmt formatting allocates unconditionally.
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			pass.Reportf(call.Pos(), "fmt.%s allocates per iteration in hotpath %s; format outside the loop or use strconv.Append*", fn.Name(), name)
+			return
+		case "errors":
+			if fn.Name() == "New" {
+				pass.Reportf(call.Pos(), "errors.New allocates per iteration in hotpath %s; declare the sentinel once", name)
+				return
+			}
+		}
+	}
+
+	// Interface boxing at call arguments.
+	sig, ok := typeAsSignature(info.TypeOf(call.Fun))
+	if !ok || call.Ellipsis != token.NoPos {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isNilExpr(info, arg) {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes %s into an interface per iteration in hotpath %s", at.String(), name)
+	}
+}
+
+// isMakeWithCap matches make([]T, len, cap) — a presized buffer whose
+// appends stay within capacity.
+func isMakeWithCap(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 3 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isZeroReslice matches the buffer-reuse idiom x[:0].
+func isZeroReslice(se *ast.SliceExpr) bool {
+	if se.Low != nil || se.High == nil || se.Slice3 {
+		return false
+	}
+	lit, ok := ast.Unparen(se.High).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// inLoop reports whether n executes once per iteration of an enclosing
+// for/range statement within the same function: inside a loop body,
+// condition or post statement. A function-literal boundary resets the
+// answer — its body belongs to a different execution.
+func inLoop(stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if within(n, s.Body) || within(n, s.Cond) || within(n, s.Post) {
+				return true
+			}
+		case *ast.RangeStmt:
+			if within(n, s.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// within reports whether n's position range falls inside container.
+func within(n, container ast.Node) bool {
+	if container == nil || n == nil {
+		return false
+	}
+	return n.Pos() >= container.Pos() && n.End() <= container.End()
+}
+
+// typeKindWord names a composite-literal kind for messages.
+func typeKindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+// isStringBytesConv reports a string <-> []byte conversion.
+func isStringBytesConv(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteSlice(from)) || (isByteSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// typeAsSignature extracts a call signature, unwrapping named types.
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}

@@ -25,11 +25,16 @@ import (
 )
 
 // Analyzer is one named check. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// package and reports findings through the Pass. Analyzers with
+// InspectTests also see _test.go files when the package was loaded
+// with tests: the concurrency rules hold in test goroutines too, while
+// the determinism/numerics rules stay production-only (tests
+// legitimately use literal seeds, exact comparisons and wall clocks).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name         string
+	Doc          string
+	InspectTests bool
+	Run          func(*Pass)
 }
 
 // Diagnostic is a single finding, anchored to a position.
@@ -56,13 +61,28 @@ type Pass struct {
 	// ignores maps "file:line" to the set of analyzer names suppressed
 	// at that line (the directive line itself and the line below it).
 	ignores map[string]map[string]bool
+	// used records which suppressions actually fired, shared across
+	// the package's passes so stale directives can be reported.
+	used map[string]map[string]bool
 }
 
 // Fset returns the token file set positions resolve against.
 func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
 
-// Files returns the package's parsed files (tests excluded).
-func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+// Files returns the files this analyzer inspects: all parsed files for
+// InspectTests analyzers, production files only otherwise.
+func (p *Pass) Files() []*ast.File {
+	if p.Analyzer.InspectTests || len(p.Pkg.TestFiles) == 0 {
+		return p.Pkg.Files
+	}
+	var out []*ast.File
+	for _, f := range p.Pkg.Files {
+		if !p.Pkg.TestFiles[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
 
 // TypesInfo returns the package's type-check results.
 func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
@@ -70,11 +90,16 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 // Path returns the package import path.
 func (p *Pass) Path() string { return p.Pkg.Path }
 
-// Reportf records a finding at pos unless an ignore directive covers it.
+// Reportf records a finding at pos unless an ignore directive covers
+// it, in which case the directive is marked as earning its keep.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
 	key := fmt.Sprintf("%s:%d", position.Filename, position.Line)
 	if set, ok := p.ignores[key]; ok && set[p.Analyzer.Name] {
+		if p.used[key] == nil {
+			p.used[key] = map[string]bool{}
+		}
+		p.used[key][p.Analyzer.Name] = true
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -87,7 +112,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzers returns the full registered suite, in stable order.
+// Analyzers returns the full registered suite, in stable order: the
+// expression-level checks from PR 2 first, then the concurrency pack
+// built on the flow layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -95,6 +122,11 @@ func Analyzers() []*Analyzer {
 		CtxCheckAnalyzer,
 		WrapCheckAnalyzer,
 		SeedPlumbAnalyzer,
+		GoLeakAnalyzer,
+		LockGuardAnalyzer,
+		AtomicMixAnalyzer,
+		WGDisciplineAnalyzer,
+		HotAllocAnalyzer,
 	}
 }
 
@@ -107,13 +139,27 @@ func AnalyzerNames() []string {
 	return names
 }
 
-const directivePrefix = "//vbrlint:ignore"
+const (
+	directivePrefix = "//vbrlint:ignore"
+	vbrlintPrefix   = "//vbrlint:"
+)
 
-// collectDirectives scans a package's comments for //vbrlint:ignore
-// directives, returning the suppression index and diagnostics for
-// malformed directives (unknown analyzer, missing reason).
-func collectDirectives(pkg *Package, known map[string]bool) (map[string]map[string]bool, []Diagnostic) {
+// ignoreDirective is one //vbrlint:ignore occurrence, kept so that
+// suppressions which no longer suppress anything can be reported as
+// stale instead of silently outliving their bugs.
+type ignoreDirective struct {
+	Pos  token.Position
+	Name string    // suppressed analyzer
+	Keys [2]string // the two "file:line" keys it covers
+}
+
+// collectDirectives scans a package's comments for //vbrlint:
+// directives, returning the suppression index, the parsed ignore
+// directives, and diagnostics for malformed ones (unknown verb,
+// unknown analyzer, missing reason, misplaced hotpath).
+func collectDirectives(pkg *Package, known map[string]bool) (map[string]map[string]bool, []ignoreDirective, []Diagnostic) {
 	ignores := map[string]map[string]bool{}
+	var dirs []ignoreDirective
 	var bad []Diagnostic
 	report := func(pos token.Position, format string, args ...any) {
 		bad = append(bad, Diagnostic{
@@ -126,12 +172,34 @@ func collectDirectives(pkg *Package, known map[string]bool) (map[string]map[stri
 		})
 	}
 	for _, f := range pkg.Files {
+		// hotpath directives only take effect in a FuncDecl's doc
+		// comment; anywhere else they silently do nothing, so flag
+		// them.
+		funcDocs := map[*ast.Comment]bool{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					funcDocs[c] = true
+				}
+			}
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				if !strings.HasPrefix(c.Text, vbrlintPrefix) {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				if strings.HasPrefix(c.Text, hotpathDirective) {
+					if !funcDocs[c] {
+						report(pos, "//vbrlint:hotpath must sit in a function's doc comment to take effect")
+					}
+					continue
+				}
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					verb := strings.Fields(strings.TrimPrefix(c.Text, vbrlintPrefix))
+					report(pos, "unknown directive %q (known: ignore, hotpath)", vbrlintPrefix+firstOr(verb, ""))
+					continue
+				}
 				rest := strings.TrimPrefix(c.Text, directivePrefix)
 				fields := strings.Fields(rest)
 				if len(fields) == 0 {
@@ -151,17 +219,27 @@ func collectDirectives(pkg *Package, known map[string]bool) (map[string]map[stri
 				// The directive suppresses findings on its own line
 				// (trailing comment) and on the following line
 				// (standalone comment above the flagged statement).
-				for _, line := range []int{pos.Line, pos.Line + 1} {
+				var keys [2]string
+				for i, line := range []int{pos.Line, pos.Line + 1} {
 					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					keys[i] = key
 					if ignores[key] == nil {
 						ignores[key] = map[string]bool{}
 					}
 					ignores[key][name] = true
 				}
+				dirs = append(dirs, ignoreDirective{Pos: pos, Name: name, Keys: keys})
 			}
 		}
 	}
-	return ignores, bad
+	return ignores, dirs, bad
+}
+
+func firstOr(ss []string, def string) string {
+	if len(ss) > 0 {
+		return ss[0]
+	}
+	return def
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -175,19 +253,44 @@ func sortedKeys(m map[string]bool) []string {
 
 // RunAnalyzers applies the given analyzers to each package and returns
 // all findings sorted by position. Malformed ignore directives are
-// reported once per package regardless of the analyzer selection.
+// reported once per package regardless of the analyzer selection, and
+// an ignore whose analyzer ran but suppressed nothing is reported as
+// stale — a suppression must not outlive the finding it was written
+// for. Staleness is only judged for analyzers in the selection, so a
+// subset run (-run floateq) cannot mislabel other analyzers' ignores.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	known := map[string]bool{}
 	for _, a := range Analyzers() {
 		known[a.Name] = true
 	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignores, bad := collectDirectives(pkg, known)
+		ignores, dirs, bad := collectDirectives(pkg, known)
 		diags = append(diags, bad...)
+		used := map[string]map[string]bool{}
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, ignores: ignores}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags, ignores: ignores, used: used}
 			a.Run(pass)
+		}
+		for _, d := range dirs {
+			if !ran[d.Name] {
+				continue
+			}
+			if used[d.Keys[0]][d.Name] || used[d.Keys[1]][d.Name] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: "directive",
+				Pos:      d.Pos,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  fmt.Sprintf("stale //vbrlint:ignore %s: no finding is suppressed here; delete the directive", d.Name),
+			})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

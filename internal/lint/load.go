@@ -14,9 +14,12 @@ import (
 )
 
 // Package is one parsed and type-checked package, the unit the
-// analyzers operate on. Test files (_test.go) are excluded: the
-// invariants vbrlint enforces govern production code paths, and tests
-// legitimately use literal seeds and exact comparisons.
+// analyzers operate on. By default test files (_test.go) are excluded:
+// the invariants vbrlint enforces govern production code paths, and
+// tests legitimately use literal seeds and exact comparisons. Packages
+// loaded with Loader.WithTests additionally carry their in-package
+// test files, marked in TestFiles so that only InspectTests analyzers
+// see them.
 type Package struct {
 	Path  string // import path ("vbr/internal/fgn")
 	Dir   string
@@ -24,6 +27,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// TestFiles marks which of Files came from _test.go.
+	TestFiles map[*ast.File]bool
 }
 
 // Loader parses and type-checks packages of a single module using only
@@ -35,6 +40,13 @@ type Loader struct {
 	ModPath string
 	ModDir  string
 	Fset    *token.FileSet
+
+	// WithTests makes Load include each matched package's in-package
+	// _test.go files (external package foo_test files are skipped —
+	// they cannot be type-checked together with the package proper).
+	// Dependencies pulled in through imports always load without
+	// tests.
+	WithTests bool
 
 	std      types.Importer
 	stdSrc   types.ImporterFrom
@@ -159,7 +171,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkg, err := l.loadDir(dir, path)
+		pkg, err := l.loadDirTests(dir, path, l.WithTests)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +185,7 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 // testdata (which the go tool ignores) under the package paths the
 // scoped analyzers expect.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	return l.loadDir(dir, importPath)
+	return l.loadDirTests(dir, importPath, l.WithTests)
 }
 
 func (l *Loader) importPathFor(dir string) (string, error) {
@@ -236,14 +248,26 @@ func goFileNames(dir string) ([]string, error) {
 }
 
 func (l *Loader) loadDir(dir, path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
+	return l.loadDirTests(dir, path, false)
+}
+
+// loadDirTests parses and type-checks one directory. Test-inclusive
+// loads cache under a distinct key and never register their
+// types.Package for import resolution: an importer must see the
+// package as its production files define it.
+func (l *Loader) loadDirTests(dir, path string, withTests bool) (*Package, error) {
+	cacheKey := path
+	if withTests {
+		cacheKey = path + "\x00tests"
+	}
+	if pkg, ok := l.pkgs[cacheKey]; ok {
 		return pkg, nil
 	}
-	if l.loading[path] {
+	if l.loading[cacheKey] {
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.loading[cacheKey] = true
+	defer delete(l.loading, cacheKey)
 
 	names, err := goFileNames(dir)
 	if err != nil {
@@ -252,13 +276,32 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
+	testNames := map[string]bool{}
+	if withTests {
+		pkgName, err := packageName(filepath.Join(dir, names[0]))
+		if err != nil {
+			return nil, err
+		}
+		tests, err := goTestFileNames(dir, pkgName)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range tests {
+			testNames[name] = true
+			names = append(names, name)
+		}
+	}
 	var files []*ast.File
+	testFiles := map[*ast.File]bool{}
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("lint: %w", err)
 		}
 		files = append(files, f)
+		if testNames[name] {
+			testFiles[f] = true
+		}
 	}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -272,10 +315,47 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = pkg
-	l.typePkgs[path] = tpkg
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, TestFiles: testFiles}
+	l.pkgs[cacheKey] = pkg
+	if !withTests {
+		l.typePkgs[path] = tpkg
+	}
 	return pkg, nil
+}
+
+// packageName reads the package clause of one file.
+func packageName(file string) (string, error) {
+	f, err := parser.ParseFile(token.NewFileSet(), file, nil, parser.PackageClauseOnly)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	return f.Name.Name, nil
+}
+
+// goTestFileNames returns the _test.go files in dir that belong to the
+// package itself (package clause == pkgName); external foo_test
+// packages are skipped.
+func goTestFileNames(dir, pkgName string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		pn, err := packageName(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if pn == pkgName {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // loaderImporter adapts the Loader for go/types: module-local imports

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockGuardAnalyzer enforces the two critical-section rules the fleet
+// and genpool hot paths rely on: never park a goroutine on an external
+// event (channel op, Wait, network, subprocess) while it holds a
+// sync.Mutex/RWMutex, and release every acquired lock on every exit
+// path. Bitwise-deterministic serving depends on bounded lock hold
+// times; a blocked holder turns one slow peer into a fleet-wide stall.
+var LockGuardAnalyzer = &Analyzer{
+	Name: "lockguard",
+	Doc: "forbid blocking calls (channel ops, Wait, network, exec) while a " +
+		"sync mutex is held, and require every lock released on every exit path",
+	InspectTests: true,
+	Run:          runLockGuard,
+}
+
+func runLockGuard(pass *Pass) {
+	info := pass.TypesInfo()
+	forEachFunc(pass, func(u funcUnit) {
+		g := buildFlow(u.Body)
+		if g.Unsound {
+			return
+		}
+
+		// Locks released by a defer (directly or inside a deferred
+		// closure) are held until function exit.
+		deferred := map[string]bool{} // "root.Unlock" / "root.RUnlock"
+		for _, n := range g.nodes {
+			ds, ok := n.Stmt.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			if op, ok := asMutexOp(info, ds.Call); ok && (op.Method == "Unlock" || op.Method == "RUnlock") {
+				deferred[op.Root+"."+op.Method] = true
+			}
+			if lit, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+				inspectShallow(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if op, ok := asMutexOp(info, call); ok && (op.Method == "Unlock" || op.Method == "RUnlock") {
+							deferred[op.Root+"."+op.Method] = true
+						}
+					}
+					return true
+				})
+			}
+		}
+
+		releases := func(n *flowNode, root, method string) bool {
+			es, ok := n.Stmt.(*ast.ExprStmt)
+			if !ok {
+				return false
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			op, ok := asMutexOp(info, call)
+			return ok && op.Root == root && op.Method == method
+		}
+
+		reported := map[*flowNode]bool{}
+		for _, acq := range g.nodes {
+			es, ok := acq.Stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			op, ok := asMutexOp(info, call)
+			if !ok {
+				continue
+			}
+			release, isAcquire := lockRelease[op.Method]
+			if !isAcquire {
+				continue
+			}
+			deferReleased := deferred[op.Root+"."+release]
+			missingUnlock := false
+			g.reachFrom(acq, func(n *flowNode) bool {
+				if n == g.Exit {
+					if !deferReleased {
+						missingUnlock = true
+					}
+					return false
+				}
+				if releases(n, op.Root, release) {
+					return false // lock dropped; stop following this path
+				}
+				if stmtTerminates(info, n.Stmt) {
+					return false // process/goroutine dies; pairing moot
+				}
+				if reason, blocks := stmtBlocking(info, n.Stmt); blocks && !reported[n] {
+					reported[n] = true
+					pass.Reportf(n.Stmt.Pos(), "%s while holding %s (locked in %s): release the lock before blocking",
+						reason, op.Root, u.Name)
+				}
+				return true
+			})
+			if missingUnlock {
+				pass.Reportf(call.Pos(), "%s.%s in %s is not released on every exit path: add defer %s.%s() or unlock before each return",
+					op.Root, op.Method, u.Name, op.Root, release)
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package lint
+
+import "testing"
+
+// TestTimeNowPolicy pins the wall-clock exemption set exactly. Adding a
+// package to timeNowPolicy is a reviewed policy decision — this test
+// forces the diff to touch both the table and the expected set here,
+// with a written justification in the table.
+func TestTimeNowPolicy(t *testing.T) {
+	want := map[string]bool{
+		"vbr/internal/cli":   true,
+		"vbr/internal/fleet": true,
+	}
+	seen := map[string]bool{}
+	for _, e := range timeNowPolicy {
+		if seen[e.Pkg] {
+			t.Errorf("duplicate policy entry for %s", e.Pkg)
+		}
+		seen[e.Pkg] = true
+		if !want[e.Pkg] {
+			t.Errorf("unexpected time.Now exemption for %s — update this test only with a policy review", e.Pkg)
+		}
+		if e.Reason == "" {
+			t.Errorf("exemption for %s has no justification", e.Pkg)
+		}
+	}
+	for pkg := range want {
+		if !seen[pkg] {
+			t.Errorf("expected exemption for %s missing from timeNowPolicy", pkg)
+		}
+		if !timeNowExempt(pkg) {
+			t.Errorf("timeNowExempt(%q) = false, want true", pkg)
+		}
+	}
+	if timeNowExempt("vbr/internal/fgn") {
+		t.Error("generation package must never be exempt from the time.Now ban")
+	}
+}

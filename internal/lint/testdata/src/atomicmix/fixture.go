@@ -1,0 +1,47 @@
+// Fixture for the atomicmix analyzer: a variable touched by
+// sync/atomic anywhere must be atomic everywhere.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	other int64
+	typed atomic.Int64
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "plain access to c.hits"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "plain access to c.hits"
+}
+
+func (c *counter) fine() int64 {
+	c.other++
+	return c.other
+}
+
+func (c *counter) typedFine() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+var total int64
+
+func bump() {
+	atomic.AddInt64(&total, 1)
+}
+
+func racyTotal() int64 {
+	return total // want "plain access to total"
+}

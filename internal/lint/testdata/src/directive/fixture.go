@@ -11,6 +11,11 @@ func suppressedTrailing(a, b float64) bool {
 	return a == b //vbrlint:ignore floateq fixture: bitwise equality intended
 }
 
+func staleIgnore(a, b float64) bool {
+	/* want "stale //vbrlint:ignore floateq: no finding is suppressed here" */ //vbrlint:ignore floateq fixture: nothing on the next line ever fires
+	return a < b
+}
+
 func unsuppressed(a, b float64) bool {
 	return a != b // want "floating-point != comparison"
 }

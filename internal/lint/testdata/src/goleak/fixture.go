@@ -1,0 +1,93 @@
+// Fixture for the goleak analyzer: goroutines with unbounded loops
+// must have a termination signal.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func step() {}
+
+func leakyLiteral() {
+	go func() { // want "unbounded for loop"
+		for {
+			step()
+		}
+	}()
+}
+
+func leakyTrue() {
+	go func() { // want "unbounded for loop"
+		for true {
+			step()
+		}
+	}()
+}
+
+func ctxBound(ctx context.Context, tick *time.Ticker) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				step()
+			}
+		}
+	}()
+}
+
+func recvBound(ch chan int) {
+	go func() {
+		for {
+			v := <-ch
+			if v == 0 {
+				return
+			}
+		}
+	}()
+}
+
+func rangeBound(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func errBound(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			step()
+		}
+	}()
+}
+
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			step()
+		}
+	}()
+}
+
+func spin() {
+	for {
+		step()
+	}
+}
+
+func leakyDecl() {
+	go spin() // want "unbounded for loop"
+}
+
+func noLoop(ch chan error) {
+	go func() {
+		ch <- nil
+	}()
+}

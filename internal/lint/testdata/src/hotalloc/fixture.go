@@ -1,0 +1,115 @@
+// Fixture for the hotalloc analyzer: loops in //vbrlint:hotpath
+// functions must not allocate.
+package fixture
+
+import "fmt"
+
+type sink struct{ vals []float64 }
+
+//vbrlint:hotpath
+func hotGrow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x) // want "append grows out per iteration"
+	}
+	return out
+}
+
+//vbrlint:hotpath
+func hotReuse(xs []float64, buf []float64) []float64 {
+	for range xs {
+		buf = append(buf[:0], 1.0)
+		buf = append(buf, 2.0)
+	}
+	return buf
+}
+
+//vbrlint:hotpath
+func hotPresized(xs []float64) float64 {
+	buf := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		buf = append(buf, x)
+	}
+	var total float64
+	for _, v := range buf {
+		total += v
+	}
+	return total
+}
+
+//vbrlint:hotpath
+func hotMake(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		b := make([]byte, 8) // want "make allocates per iteration"
+		total += len(b)
+	}
+	return total
+}
+
+//vbrlint:hotpath
+func hotLits(n int) {
+	for i := 0; i < n; i++ {
+		xs := []int{i} // want "slice literal allocates per iteration"
+		_ = xs
+		p := &sink{} // want "escapes to the heap per iteration"
+		_ = p
+	}
+}
+
+//vbrlint:hotpath
+func hotFmt(n int) {
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("%d", i) // want "fmt.Sprintf allocates per iteration"
+		_ = s
+	}
+}
+
+//vbrlint:hotpath
+func hotConv(bs []byte, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		s := string(bs) // want "conversion copies per iteration"
+		total += len(s)
+	}
+	return total
+}
+
+//vbrlint:hotpath
+func hotClosure(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		f := func() float64 { return x * 2 } // want "closure allocated per iteration"
+		total += f()
+	}
+	return total
+}
+
+func use(v any) { _ = v }
+
+//vbrlint:hotpath
+func hotBox(xs []float64) {
+	for _, x := range xs {
+		use(x) // want "boxes float64 into an interface"
+	}
+}
+
+// coldGrow has no hotpath directive: identical code, no findings.
+func coldGrow(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//vbrlint:hotpath
+func hotHoisted(xs []float64) float64 {
+	buf := make([]float64, len(xs))
+	var total float64
+	for i, x := range xs {
+		buf[i] = x * 2
+		total += buf[i]
+	}
+	return total
+}

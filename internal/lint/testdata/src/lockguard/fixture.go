@@ -1,0 +1,121 @@
+// Fixture for the lockguard analyzer: blocking calls under held
+// mutexes and unlock pairing per exit path.
+package fixture
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+func (b *box) sendWhileLocked() {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func (b *box) recvWhileLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "channel receive while holding b.mu"
+}
+
+func (b *box) waitWhileLocked(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want "WaitGroup.Wait while holding b.mu"
+	b.mu.Unlock()
+}
+
+func (b *box) sleepWhileRLocked() {
+	b.rw.RLock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding b.rw"
+	b.rw.RUnlock()
+}
+
+func (b *box) selectWhileLocked(done chan struct{}) {
+	b.mu.Lock()
+	select { // want "select without default while holding b.mu"
+	case <-done:
+	case v := <-b.ch:
+		b.n = v
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) pollWhileLocked() {
+	b.mu.Lock()
+	select {
+	case b.ch <- 1:
+	default:
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) httpWhileLocked(c *http.Client, req *http.Request) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp, err := c.Do(req) // want "Client.Do while holding b.mu"
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func (b *box) missingUnlock(flag bool) {
+	b.mu.Lock() // want "b.mu.Lock in .* is not released on every exit path"
+	if flag {
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) branchUnlock(hit bool) {
+	b.mu.Lock()
+	if hit {
+		b.n++
+		b.mu.Unlock()
+		<-b.ch // released before blocking: clean
+		return
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) panicPath(bad bool) {
+	b.mu.Lock()
+	if bad {
+		panic("invariant violated")
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) deferClosure() {
+	b.mu.Lock()
+	defer func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+	b.n++
+}
+
+func (b *box) lockPerIteration(items []int) {
+	for _, it := range items {
+		b.mu.Lock()
+		b.n += it
+		b.mu.Unlock()
+	}
+	b.ch <- 1 // not held here: clean
+}
+
+func (b *box) sendInLoopWhileLocked(items []int) {
+	b.mu.Lock()
+	for _, it := range items {
+		b.ch <- it // want "channel send while holding b.mu"
+	}
+	b.mu.Unlock()
+}

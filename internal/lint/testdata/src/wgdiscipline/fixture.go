@@ -1,0 +1,37 @@
+// Fixture for the wgdiscipline analyzer: Add before the go statement,
+// Done via defer.
+package fixture
+
+import "sync"
+
+func addInsideGoroutine(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		go func() {
+			wg.Add(1) // want "wg.Add inside the spawned goroutine"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func plainDone(wg *sync.WaitGroup) {
+	wg.Done() // want "wg.Done should run via defer"
+}
+
+func disciplined(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneInDeferredClosure(wg *sync.WaitGroup) {
+	defer func() {
+		wg.Done()
+	}()
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGDisciplineAnalyzer enforces the two WaitGroup rules that keep
+// fan-out joins race-free: Add must run in the spawning goroutine
+// (before the `go` statement — an Add inside the spawned body races the
+// parent's Wait, which may return before the child gets scheduled), and
+// Done must run via defer so a panic or early return cannot leak the
+// count and deadlock Wait forever.
+var WGDisciplineAnalyzer = &Analyzer{
+	Name: "wgdiscipline",
+	Doc: "require WaitGroup.Add before the go statement and Done via defer " +
+		"in the spawned goroutine",
+	InspectTests: true,
+	Run:          runWGDiscipline,
+}
+
+func runWGDiscipline(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, root, ok := wgCall(info, call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Add":
+				if lit := spawnedLit(stack); lit != nil {
+					pass.Reportf(call.Pos(), "%s.Add inside the spawned goroutine races Wait in the parent; call Add before the go statement", root)
+				}
+			case "Done":
+				if !underDefer(stack) {
+					pass.Reportf(call.Pos(), "%s.Done should run via defer so a panic or early return cannot leak the count", root)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// wgCall classifies a call as a sync.WaitGroup method, returning the
+// method name and the canonical receiver expression.
+func wgCall(info *types.Info, call *ast.CallExpr) (method, root string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || typeBaseName(recv.Type()) != "WaitGroup" {
+		return "", "", false
+	}
+	return sel.Sel.Name, exprString(sel.X), true
+}
+
+// spawnedLit returns the innermost enclosing function literal that is
+// launched directly by a go statement (go func(){...}()), or nil.
+func spawnedLit(stack []ast.Node) *ast.FuncLit {
+	for i := len(stack) - 1; i >= 2; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok || call.Fun != lit {
+			return nil // a closure not invoked in place bounds the search
+		}
+		if _, ok := stack[i-2].(*ast.GoStmt); ok {
+			return lit
+		}
+		return nil
+	}
+	return nil
+}
+
+// underDefer reports whether the node is inside a defer statement —
+// either as the deferred call itself or within a deferred closure.
+func underDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -78,7 +78,6 @@ func (s *Scope) Span(name string) func() {
 	//vbrlint:ignore determinism span timers are display-only wall time; they never influence generated or simulated values
 	start := time.Now()
 	return func() {
-		//vbrlint:ignore determinism span timers are display-only wall time; they never influence generated or simulated values
 		s.reg.Histogram(name + ".seconds").Observe(time.Since(start).Seconds())
 	}
 }

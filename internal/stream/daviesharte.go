@@ -47,6 +47,7 @@ type dhStitch struct {
 // Next implements the gaussian contract: it emits one stitched block per
 // call (the final block may be short), reusing dst as the only
 // caller-visible buffer.
+//vbrlint:hotpath
 func (d *dhStitch) Next(ctx context.Context, dst []float64) (int, error) {
 	if d.pos >= d.n {
 		return 0, io.EOF

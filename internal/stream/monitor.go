@@ -20,6 +20,7 @@ type aggLevel struct {
 	m2   float64
 }
 
+//vbrlint:hotpath
 func (l *aggLevel) add(v float64) {
 	l.acc += v
 	l.fill++
@@ -73,6 +74,7 @@ func NewMonitor(maxM int) *Monitor {
 }
 
 // Add folds one frame into every aggregation level.
+//vbrlint:hotpath
 func (mo *Monitor) Add(v float64) {
 	for _, l := range mo.levels {
 		l.add(v)
@@ -94,14 +96,23 @@ type Probe struct {
 	Levels int
 }
 
+// maxProbeLevels bounds the log-log regression scratch in Probe.
+// Levels are geometrically spaced (m = 1, 4, 16, …), so 32 levels
+// would need a stream of 4³¹ frames — the fixed arrays always suffice
+// and keep the per-block probe allocation-free.
+const maxProbeLevels = 32
+
 // Probe summarizes the monitor's current state.
+//
+//vbrlint:hotpath
 func (mo *Monitor) Probe() Probe {
 	base := mo.levels[0]
 	p := Probe{N: base.n, Mean: base.mean, H: math.NaN()}
 	if v := base.variance(); !math.IsNaN(v) {
 		p.Std = math.Sqrt(v)
 	}
-	var lx, ly []float64
+	var lxa, lya [maxProbeLevels]float64
+	lx, ly := lxa[:0], lya[:0]
 	for _, l := range mo.levels {
 		if l.n < minAggSamples {
 			continue

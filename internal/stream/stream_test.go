@@ -277,6 +277,28 @@ func TestMonitorIIDBaseline(t *testing.T) {
 	}
 }
 
+// TestMonitorZeroAlloc pins the hotpath guarantee hotalloc enforces
+// statically: per-frame Add and per-block Probe never allocate. Probe's
+// log-log regression scratch lives in fixed arrays, so validating a
+// stream adds no GC pressure to the serving path.
+func TestMonitorZeroAlloc(t *testing.T) {
+	mo := NewMonitor(maxAggLevel(1 << 14))
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 1<<14; i++ {
+		mo.Add(rng.NormFloat64())
+	}
+	if allocs := testing.AllocsPerRun(100, func() { mo.Add(1.0) }); allocs != 0 {
+		t.Errorf("Monitor.Add allocates %v per call, want 0", allocs)
+	}
+	var sink Probe
+	if allocs := testing.AllocsPerRun(100, func() { sink = mo.Probe() }); allocs != 0 {
+		t.Errorf("Monitor.Probe allocates %v per call, want 0", allocs)
+	}
+	if sink.Levels < 2 {
+		t.Fatalf("probe used %d levels, want ≥ 2 so the regression actually ran", sink.Levels)
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	base := Config{Model: paperModel(), N: 100}
 	cases := []struct {
