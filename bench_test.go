@@ -14,6 +14,7 @@ import (
 	"vbr/internal/codec"
 	"vbr/internal/experiments"
 	"vbr/internal/fgn"
+	"vbr/internal/lrd"
 	"vbr/internal/queue"
 	"vbr/internal/stats"
 	"vbr/internal/synth"
@@ -496,6 +497,53 @@ func BenchmarkAblation_CodecFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := coder.CodeFrame(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Estimator-battery benchmarks: the batch MAVAR estimator, its
+// per-observation streaming update (the monitor hotpath — must stay
+// allocation-free), and the full five-estimator EstimateAll bundle with
+// calibrated error bars.
+
+func benchFGN(b *testing.B, n int) []float64 {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs, err := fgn.DaviesHarte(n, 0.8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return xs
+}
+
+func BenchmarkMAVAR(b *testing.B) {
+	xs := benchFGN(b, 65536)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrd.MAVAR(xs, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOnlineMAVARAdd(b *testing.B) {
+	o := lrd.NewOnlineMAVAR(1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Add(float64(i&1023) - 511.5)
+	}
+}
+
+func BenchmarkEstimateAll(b *testing.B) {
+	xs := benchFGN(b, 65536)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lrd.EstimateAll(xs, 64); err != nil {
 			b.Fatal(err)
 		}
 	}

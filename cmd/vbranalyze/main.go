@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"vbr/internal/cli"
 	"vbr/internal/experiments"
@@ -73,6 +75,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		fig11  = fs.Bool("fig11", false, "Fig 11: variance-time plot")
 		fig12  = fs.Bool("fig12", false, "Fig 12: R/S pox diagram")
 		scn    = fs.Bool("scenes", false, "scene detection and scene-level model (§4.2 extension)")
+
+		calibrate = fs.Bool("calibrate", false, "run the estimator calibration battery on synthesized known-H fGn (ignores -in/-frames)")
+		calSeeds  = fs.Int("calibrate-seeds", 32, "calibration: realizations per (H, n) cell")
+		calHs     = fs.String("calibrate-hurst", "", "calibration: comma-separated true-H grid (default 0.6,0.7,0.8,0.9)")
+		calNs     = fs.String("calibrate-frames", "", "calibration: comma-separated series lengths (default 4096,16384,65536)")
+		calJSON   = fs.String("calibrate-json", "", "calibration: also write the JSON artifact to this path")
+		calGo     = fs.String("calibrate-go", "", "calibration: also write the generated Go table (internal/lrd/calibration_table.go) to this path")
 	)
 	ob := cli.RegisterObsFlags(fs)
 	if err := cli.ParseFlags(fs, args); err != nil {
@@ -84,6 +93,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	}
 	defer cli.FinishObs(finish, &retErr)
 	scope := obs.From(ctx)
+
+	if *calibrate {
+		return runCalibrate(ctx, *seed, *calSeeds, *calHs, *calNs, *calJSON, *calGo)
+	}
 
 	suite, err := loadOrGenerate(*in, *frames, *seed)
 	if err != nil {
@@ -375,6 +388,92 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	}
 	if !any {
 		return cli.Usagef("no analysis selected; use -all or individual flags (see -help)")
+	}
+	return nil
+}
+
+// parseFloatList parses a comma-separated float list ("0.6,0.7").
+func parseFloatList(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma-separated integer list ("4096,16384").
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// runCalibrate runs the estimator calibration battery and writes the
+// table, plus the optional JSON artifact and generated Go table used to
+// refresh the committed internal/lrd calibration.
+func runCalibrate(ctx context.Context, seed uint64, seeds int, hs, ns, jsonPath, goPath string) error {
+	cfg := experiments.DefaultCalibrationConfig()
+	cfg.BaseSeed = seed
+	if seeds > 0 {
+		cfg.Seeds = seeds
+	}
+	hlist, err := parseFloatList(hs)
+	if err != nil {
+		return cli.Usagef("bad -calibrate-hurst: %v", err)
+	}
+	if hlist != nil {
+		cfg.Hs = hlist
+	}
+	nlist, err := parseIntList(ns)
+	if err != nil {
+		return cli.Usagef("bad -calibrate-frames: %v", err)
+	}
+	if nlist != nil {
+		cfg.Ns = nlist
+	}
+	res, err := experiments.Calibrate(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Format())
+	for _, out := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{jsonPath, res.WriteJSON},
+		{goPath, res.WriteGo},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			return err
+		}
+		if err := out.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out.path)
 	}
 	return nil
 }

@@ -80,6 +80,30 @@ func TestPaperScaleStatistics(t *testing.T) {
 			t.Errorf("%s H = %v outside the reproduction band", name, h)
 		}
 	}
+	// MAVAR reads the scene-process crossover on this trace, not the
+	// LRD asymptote: scenes make consecutive frames nearly equal
+	// (lag-1 autocorrelation ≈ 0.94), which suppresses the small-τ
+	// modified Allan variance that the inverse-variance-weighted fit
+	// emphasizes, so the raw slope sits well above the fGn band. The
+	// estimator itself is validated against known-H fGn by the
+	// committed calibration battery (internal/lrd/calibration_test.go)
+	// and against the model's generator output by the stream tests;
+	// here we pin the documented crossover reading so a change in the
+	// synthetic trace or the fit convention is caught deliberately.
+	if m := t3.Estimates.MAVAR; math.IsNaN(m) || m < 1.0 || m > 1.3 {
+		t.Errorf("MAVAR crossover H = %v, expected the documented 1.0–1.3 scene-process reading", m)
+	}
+	// The calibrated bars must cover all five primary estimators, each
+	// with a finite bias-corrected Ĥ and error half-width on a trace
+	// well inside the battery grid.
+	if len(t3.Estimates.Bars) != 5 {
+		t.Fatalf("Table 3 bars = %d, want 5", len(t3.Estimates.Bars))
+	}
+	for _, bar := range t3.Estimates.Bars {
+		if math.IsNaN(bar.H) || !(bar.CI95 > 0) {
+			t.Errorf("calibrated %s bar = %+v, want finite Ĥ ± CI95", bar.Estimator, bar)
+		}
+	}
 
 	// Marginal model: Fig. 4 ordering and Fig. 6 fit quality.
 	f4, err := suite.Fig4()

@@ -52,6 +52,11 @@ var (
 	// ErrAllCombosFailed reports a multiplexer run in which every lag
 	// combination failed, leaving no survivors to average over.
 	ErrAllCombosFailed = errors.New("all lag combinations failed")
+
+	// ErrInvalidSeries reports a sample series an estimator cannot work
+	// on: too short, constant, containing NaN/Inf values, or otherwise
+	// degenerate for the statistic being fitted.
+	ErrInvalidSeries = errors.New("invalid sample series")
 )
 
 // Cancelled wraps ctx's error so that the result matches both

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"vbr/internal/lrd"
+)
+
+func smallCalibrationConfig() CalibrationConfig {
+	return CalibrationConfig{
+		Hs:       []float64{0.7, 0.85},
+		Ns:       []int{512, 1024},
+		Seeds:    3,
+		BaseSeed: 7,
+	}
+}
+
+func TestCalibrateSmoke(t *testing.T) {
+	cfg := smallCalibrationConfig()
+	res, err := Calibrate(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	want := len(lrd.EstimatorNames) * len(cfg.Hs) * len(cfg.Ns)
+	if len(res.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), want)
+	}
+	// Estimator-major order, every cell populated.
+	for i, c := range res.Cells {
+		if wantEst := lrd.EstimatorNames[i/(len(cfg.Hs)*len(cfg.Ns))]; c.Estimator != wantEst {
+			t.Fatalf("cell %d estimator = %q, want %q", i, c.Estimator, wantEst)
+		}
+		if c.Seeds != cfg.Seeds || !(c.Std > 0) {
+			t.Fatalf("cell %d degenerate: %+v", i, c)
+		}
+	}
+
+	// The battery is deterministic: a rerun under different parallelism
+	// must reduce to the identical table.
+	cfg2 := cfg
+	cfg2.Workers = 1
+	res2, err := Calibrate(context.Background(), cfg2)
+	if err != nil {
+		t.Fatalf("Calibrate rerun: %v", err)
+	}
+	for i := range res.Cells {
+		if res.Cells[i] != res2.Cells[i] {
+			t.Fatalf("cell %d differs across runs:\n  %+v\n  %+v", i, res.Cells[i], res2.Cells[i])
+		}
+	}
+
+	if s := res.Format(); !strings.Contains(s, "mavar") || !strings.Contains(s, "variance-time") {
+		t.Fatalf("Format missing estimator rows:\n%s", s)
+	}
+	var goSrc bytes.Buffer
+	if err := res.WriteGo(&goSrc); err != nil {
+		t.Fatalf("WriteGo: %v", err)
+	}
+	for _, frag := range []string{"Code generated", "package lrd", "builtinCalibrationCells", `{Estimator: "mavar"`} {
+		if !strings.Contains(goSrc.String(), frag) {
+			t.Fatalf("WriteGo output missing %q:\n%s", frag, goSrc.String())
+		}
+	}
+	var js bytes.Buffer
+	if err := res.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(js.String(), `"cells"`) {
+		t.Fatalf("WriteJSON output missing cells:\n%s", js.String())
+	}
+}
+
+func TestCalibrationConfigValidate(t *testing.T) {
+	for name, mutate := range map[string]func(*CalibrationConfig){
+		"no hs":       func(c *CalibrationConfig) { c.Hs = nil },
+		"no ns":       func(c *CalibrationConfig) { c.Ns = nil },
+		"bad h":       func(c *CalibrationConfig) { c.Hs = []float64{1.2} },
+		"short n":     func(c *CalibrationConfig) { c.Ns = []int{64} },
+		"1 seed only": func(c *CalibrationConfig) { c.Seeds = 1 },
+	} {
+		cfg := smallCalibrationConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+	if err := DefaultCalibrationConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package lrd
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCommittedCalibrationTable asserts the acceptance properties of the
+// committed battery output (calibration_table.go). These are claims the
+// README makes about the estimator battery; if a MAVAR change degrades
+// them, regenerating the table via `make calibrate` must surface the
+// regression here rather than silently shipping worse error bars.
+func TestCommittedCalibrationTable(t *testing.T) {
+	byKey := map[string]map[[2]float64]CalibrationCell{}
+	for _, c := range builtinCalibrationCells {
+		if c.Seeds < 32 {
+			t.Errorf("cell %s H=%g n=%d: only %d seeds, want ≥ 32", c.Estimator, c.H, c.N, c.Seeds)
+		}
+		if math.IsNaN(c.Bias) || math.IsNaN(c.Std) || c.Std <= 0 {
+			t.Errorf("cell %s H=%g n=%d: degenerate stats bias=%v std=%v", c.Estimator, c.H, c.N, c.Bias, c.Std)
+		}
+		m := byKey[c.Estimator]
+		if m == nil {
+			m = map[[2]float64]CalibrationCell{}
+			byKey[c.Estimator] = m
+		}
+		m[[2]float64{c.H, float64(c.N)}] = c
+	}
+
+	for _, name := range EstimatorNames {
+		if len(byKey[name]) == 0 {
+			t.Errorf("committed table has no cells for estimator %q", name)
+		}
+	}
+
+	// The battery grid must cover the documented range.
+	for _, h := range []float64{0.6, 0.7, 0.8, 0.9} {
+		for _, n := range []float64{4096, 16384, 65536} {
+			if _, ok := byKey[EstMAVAR][[2]float64{h, n}]; !ok {
+				t.Fatalf("committed table missing mavar cell H=%g n=%g", h, n)
+			}
+			if _, ok := byKey[EstVarianceTime][[2]float64{h, n}]; !ok {
+				t.Fatalf("committed table missing variance-time cell H=%g n=%g", h, n)
+			}
+		}
+	}
+
+	// Acceptance: MAVAR |bias| ≤ 0.03 on the longest series, and MAVAR's
+	// sample std no worse than variance–time's at EVERY (H, n) cell —
+	// i.e. the new estimator strictly dominates the classical one's
+	// precision across the calibrated grid.
+	for key, mc := range byKey[EstMAVAR] {
+		if key[1] == 65536 && math.Abs(mc.Bias) > 0.03 {
+			t.Errorf("mavar H=%g n=%g: |bias| = %.4f > 0.03", key[0], key[1], math.Abs(mc.Bias))
+		}
+		vt, ok := byKey[EstVarianceTime][key]
+		if !ok {
+			t.Fatalf("no variance-time cell matching mavar cell H=%g n=%g", key[0], key[1])
+		}
+		if mc.Std > vt.Std {
+			t.Errorf("mavar H=%g n=%g: std %.4f exceeds variance-time std %.4f", key[0], key[1], mc.Std, vt.Std)
+		}
+	}
+}
+
+// TestCalibrationLookup exercises the bilinear interpolation and its
+// clamping policy on a synthetic two-by-two grid.
+func TestCalibrationLookup(t *testing.T) {
+	cells := []CalibrationCell{
+		{Estimator: "e", H: 0.6, N: 4096, Bias: 0.10, Std: 0.010, Seeds: 8},
+		{Estimator: "e", H: 0.6, N: 16384, Bias: 0.20, Std: 0.020, Seeds: 8},
+		{Estimator: "e", H: 0.8, N: 4096, Bias: 0.30, Std: 0.030, Seeds: 8},
+		{Estimator: "e", H: 0.8, N: 16384, Bias: 0.40, Std: 0.040, Seeds: 8},
+	}
+	c := NewCalibration(cells)
+
+	check := func(h float64, n int, wantBias, wantStd float64) {
+		t.Helper()
+		bias, std, ok := c.Lookup("e", h, n)
+		if !ok {
+			t.Fatalf("Lookup(e, %g, %d): not ok", h, n)
+		}
+		if math.Abs(bias-wantBias) > 1e-12 || math.Abs(std-wantStd) > 1e-12 {
+			t.Fatalf("Lookup(e, %g, %d) = (%.4f, %.4f), want (%.4f, %.4f)", h, n, bias, std, wantBias, wantStd)
+		}
+	}
+
+	// Exact grid points.
+	check(0.6, 4096, 0.10, 0.010)
+	check(0.8, 16384, 0.40, 0.040)
+	// Midpoints: n = 8192 is the log₂ midpoint of [4096, 16384].
+	check(0.7, 4096, 0.20, 0.020)
+	check(0.6, 8192, 0.15, 0.015)
+	check(0.7, 8192, 0.25, 0.025)
+	// Clamped outside the grid.
+	check(0.5, 1024, 0.10, 0.010)
+	check(0.95, 1<<20, 0.40, 0.040)
+
+	if _, _, ok := c.Lookup("missing", 0.7, 8192); ok {
+		t.Fatal("Lookup on unknown estimator reported ok")
+	}
+	if _, _, ok := c.Lookup("e", math.NaN(), 8192); ok {
+		t.Fatal("Lookup with NaN H reported ok")
+	}
+
+	// Bar: bias-corrected center, 1.96σ half-width.
+	b := c.Bar("e", 0.7, 8192)
+	if math.Abs(b.H-(0.7-0.25)) > 1e-12 || math.Abs(b.CI95-1.96*0.025) > 1e-12 {
+		t.Fatalf("Bar = %+v, want H=0.45 CI95=%.4f", b, 1.96*0.025)
+	}
+	if b.Raw != 0.7 || b.Estimator != "e" {
+		t.Fatalf("Bar metadata = %+v", b)
+	}
+	// No applicable cell: raw passes through with NaN half-width.
+	b = c.Bar("missing", 0.7, 8192)
+	if b.H != 0.7 || !math.IsNaN(b.CI95) {
+		t.Fatalf("Bar without cell = %+v, want passthrough with NaN CI95", b)
+	}
+	b = c.Bar("e", math.NaN(), 8192)
+	if !math.IsNaN(b.H) || !math.IsNaN(b.CI95) {
+		t.Fatalf("Bar with NaN raw = %+v, want NaN center and half-width", b)
+	}
+}
+
+// TestDefaultCalibrationServesCommittedTable spot-checks that the
+// package-level calibration is built from the committed cells.
+func TestDefaultCalibrationServesCommittedTable(t *testing.T) {
+	c := DefaultCalibration()
+	for _, cell := range builtinCalibrationCells[:4] {
+		bias, std, ok := c.Lookup(cell.Estimator, cell.H, cell.N)
+		if !ok || bias != cell.Bias || std != cell.Std {
+			t.Fatalf("Lookup(%s, %g, %d) = (%v, %v, %v), want committed (%v, %v)",
+				cell.Estimator, cell.H, cell.N, bias, std, ok, cell.Bias, cell.Std)
+		}
+	}
+}

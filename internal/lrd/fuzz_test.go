@@ -1,0 +1,124 @@
+package lrd
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"vbr/internal/errs"
+)
+
+// maxFuzzFrames caps how much of a corpus entry a robustness target
+// decodes, so fuzzing stays a crash hunt rather than a stress test.
+const maxFuzzFrames = 8 << 10
+
+// fuzzSeries reinterprets raw fuzz bytes as a float64 series — every
+// bit pattern is admitted, including NaN, ±Inf and subnormals, which is
+// exactly the hostile input the estimators must reject gracefully.
+func fuzzSeries(data []byte) []float64 {
+	n := len(data) / 8
+	if n > maxFuzzFrames {
+		n = maxFuzzFrames
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return xs
+}
+
+// seedEstimatorCorpus adds the degenerate shapes every estimator must
+// survive: empty, too-short, constant, NaN- and Inf-poisoned, and a
+// plausible well-behaved series.
+func seedEstimatorCorpus(f *testing.F) {
+	enc := func(xs []float64) []byte {
+		b := make([]byte, 8*len(xs))
+		for i, v := range xs {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add([]byte{})
+	f.Add(enc([]float64{1, 2, 3}))
+	constant := make([]float64, 512)
+	for i := range constant {
+		constant[i] = 4.25
+	}
+	f.Add(enc(constant))
+	poisoned := make([]float64, 512)
+	for i := range poisoned {
+		poisoned[i] = float64(i % 17)
+	}
+	poisoned[100] = math.NaN()
+	poisoned[200] = math.Inf(1)
+	poisoned[300] = math.Inf(-1)
+	f.Add(enc(poisoned))
+	healthy := make([]float64, 1024)
+	s := 0.0
+	for i := range healthy {
+		s = 0.9*s + float64((i*2654435761)%1000)/1000 - 0.5
+		healthy[i] = s
+	}
+	f.Add(enc(healthy))
+}
+
+// checkEstimator is the shared oracle: the estimator must not panic,
+// and any failure must wrap the errs.ErrInvalidSeries sentinel so
+// callers can distinguish "bad series" from infrastructure errors.
+func checkEstimator(t *testing.T, name string, h float64, err error) {
+	t.Helper()
+	if err != nil {
+		if !errors.Is(err, errs.ErrInvalidSeries) {
+			t.Fatalf("%s error does not wrap errs.ErrInvalidSeries: %v", name, err)
+		}
+		return
+	}
+	if math.IsNaN(h) || math.IsInf(h, 0) {
+		t.Fatalf("%s returned non-finite Ĥ = %v without an error", name, h)
+	}
+}
+
+func FuzzVarianceTime(f *testing.F) {
+	seedEstimatorCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := EstimateBy(EstVarianceTime, fuzzSeries(data))
+		checkEstimator(t, EstVarianceTime, h, err)
+	})
+}
+
+func FuzzRS(f *testing.F) {
+	seedEstimatorCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := EstimateBy(EstRS, fuzzSeries(data))
+		checkEstimator(t, EstRS, h, err)
+	})
+}
+
+func FuzzWhittle(f *testing.F) {
+	seedEstimatorCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := EstimateBy(EstWhittle, fuzzSeries(data))
+		checkEstimator(t, EstWhittle, h, err)
+	})
+}
+
+func FuzzMAVAR(f *testing.F) {
+	seedEstimatorCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := fuzzSeries(data)
+		h, err := EstimateBy(EstMAVAR, xs)
+		checkEstimator(t, EstMAVAR, h, err)
+		if err != nil {
+			return
+		}
+		// On success the structured result must be coherent too.
+		r, err := MAVAR(xs, 0, 0)
+		if err != nil {
+			t.Fatalf("MAVAR failed after EstimateBy succeeded: %v", err)
+		}
+		if len(r.Points) < 2 || r.FitLo > r.FitHi || r.Octaves < 2 {
+			t.Fatalf("degenerate MAVAR result: %+v", r)
+		}
+	})
+}

@@ -11,14 +11,26 @@ import (
 	"math"
 	"sort"
 
+	"vbr/internal/errs"
 	"vbr/internal/stats"
 )
+
+// checkFinite rejects series containing NaN or ±Inf observations: every
+// estimator's regression would silently propagate them into Ĥ.
+func checkFinite(xs []float64) error {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lrd: non-finite observation %v at index %d: %w", v, i, errs.ErrInvalidSeries)
+		}
+	}
+	return nil
+}
 
 // regress fits y = a + b·x by ordinary least squares and returns the
 // slope b. It requires at least two distinct x values.
 func regress(x, y []float64) (slope float64, err error) {
 	if len(x) != len(y) || len(x) < 2 {
-		return 0, fmt.Errorf("lrd: regression needs ≥ 2 paired points, got %d/%d", len(x), len(y))
+		return 0, fmt.Errorf("lrd: regression needs ≥ 2 paired points, got %d/%d: %w", len(x), len(y), errs.ErrInvalidSeries)
 	}
 	var sx, sy, sxx, sxy float64
 	n := float64(len(x))
@@ -31,7 +43,7 @@ func regress(x, y []float64) (slope float64, err error) {
 	den := n*sxx - sx*sx
 	//vbrlint:ignore floateq exact-zero guard: the regression denominator vanishes only for a constant abscissa
 	if den == 0 {
-		return 0, fmt.Errorf("lrd: regression degenerate (constant abscissa)")
+		return 0, fmt.Errorf("lrd: regression degenerate (constant abscissa): %w", errs.ErrInvalidSeries)
 	}
 	return (n*sxy - sx*sy) / den, nil
 }
@@ -80,14 +92,17 @@ type VarianceTimeResult struct {
 func VarianceTime(xs []float64, minM, fitLo, fitHi int) (*VarianceTimeResult, error) {
 	n := len(xs)
 	if n < 100 {
-		return nil, fmt.Errorf("lrd: variance-time needs ≥ 100 points, got %d", n)
+		return nil, fmt.Errorf("lrd: variance-time needs ≥ 100 points, got %d: %w", n, errs.ErrInvalidSeries)
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, fmt.Errorf("lrd: variance-time: %w", err)
 	}
 	if minM < 1 {
 		minM = 1
 	}
 	maxM := n / 10
 	if maxM < minM {
-		return nil, fmt.Errorf("lrd: series too short for minM=%d", minM)
+		return nil, fmt.Errorf("lrd: series too short for minM=%d: %w", minM, errs.ErrInvalidSeries)
 	}
 	if fitLo <= 0 {
 		fitLo = minM
@@ -98,7 +113,7 @@ func VarianceTime(xs []float64, minM, fitLo, fitHi int) (*VarianceTimeResult, er
 	v0 := stats.Variance(xs)
 	//vbrlint:ignore floateq exact-zero guard: only a literally constant series has zero variance
 	if v0 == 0 {
-		return nil, fmt.Errorf("lrd: constant series has no variance-time structure")
+		return nil, fmt.Errorf("lrd: constant series has no variance-time structure: %w", errs.ErrInvalidSeries)
 	}
 	ms := logSpacedInts(minM, maxM, 40)
 	res := &VarianceTimeResult{Points: make([]VTPoint, 0, len(ms))}
@@ -181,14 +196,17 @@ func rsStatistic(xs []float64) (float64, bool) {
 func RS(xs []float64, minLag, numLags, numStarts, fitLo, fitHi int) (*RSResult, error) {
 	n := len(xs)
 	if n < 100 {
-		return nil, fmt.Errorf("lrd: R/S needs ≥ 100 points, got %d", n)
+		return nil, fmt.Errorf("lrd: R/S needs ≥ 100 points, got %d: %w", n, errs.ErrInvalidSeries)
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, fmt.Errorf("lrd: R/S: %w", err)
 	}
 	if minLag < 4 {
 		minLag = 4
 	}
 	maxLag := n / 2
 	if maxLag < minLag {
-		return nil, fmt.Errorf("lrd: series too short for minLag=%d", minLag)
+		return nil, fmt.Errorf("lrd: series too short for minLag=%d: %w", minLag, errs.ErrInvalidSeries)
 	}
 	if numLags < 2 {
 		numLags = 20
@@ -286,9 +304,12 @@ func PeriodogramH(xs []float64, lowFrac float64) (*PeriodogramResult, error) {
 	if !(lowFrac > 0 && lowFrac <= 1) {
 		return nil, fmt.Errorf("lrd: lowFrac must be in (0,1], got %v", lowFrac)
 	}
+	if err := checkFinite(xs); err != nil {
+		return nil, fmt.Errorf("lrd: periodogram: %w", err)
+	}
 	freqs, ords := stats.Periodogram(xs)
 	if len(freqs) < 10 {
-		return nil, fmt.Errorf("lrd: series too short for periodogram regression")
+		return nil, fmt.Errorf("lrd: series too short for periodogram regression: %w", errs.ErrInvalidSeries)
 	}
 	k := int(lowFrac * float64(len(freqs)))
 	if k < 5 {
@@ -331,7 +352,10 @@ type WhittleResult struct {
 func Whittle(xs []float64) (*WhittleResult, error) {
 	n := len(xs)
 	if n < 128 {
-		return nil, fmt.Errorf("lrd: Whittle needs ≥ 128 points, got %d", n)
+		return nil, fmt.Errorf("lrd: Whittle needs ≥ 128 points, got %d: %w", n, errs.ErrInvalidSeries)
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, fmt.Errorf("lrd: Whittle: %w", err)
 	}
 	freqs, ords := stats.Periodogram(xs)
 	logs := make([]float64, len(freqs))
@@ -406,7 +430,7 @@ func WhittleLadder(xs []float64, useLog bool, minBlocks int) ([]LadderPoint, err
 	n := len(xs)
 	maxM := n / minBlocks
 	if maxM < 1 {
-		return nil, fmt.Errorf("lrd: series of %d too short for a Whittle ladder", n)
+		return nil, fmt.Errorf("lrd: series of %d too short for a Whittle ladder: %w", n, errs.ErrInvalidSeries)
 	}
 	series := xs
 	if useLog {
@@ -429,7 +453,7 @@ func WhittleLadder(xs []float64, useLog bool, minBlocks int) ([]LadderPoint, err
 		out = append(out, LadderPoint{M: m, WhittleResult: *w})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("lrd: empty Whittle ladder")
+		return nil, fmt.Errorf("lrd: empty Whittle ladder: %w", errs.ErrInvalidSeries)
 	}
 	return out, nil
 }
@@ -501,8 +525,74 @@ func goldenMin(f func(float64) float64, a, b, tol float64) float64 {
 	return (a + b) / 2
 }
 
+// Canonical estimator names, shared by EstimateBy, the calibration
+// battery, and the committed calibration table.
+const (
+	EstVarianceTime = "variance-time"
+	EstRS           = "rs"
+	EstPeriodogram  = "periodogram"
+	EstWhittle      = "whittle"
+	EstMAVAR        = "mavar"
+)
+
+// EstimatorNames lists the five primary estimators in canonical order.
+var EstimatorNames = []string{EstVarianceTime, EstRS, EstPeriodogram, EstWhittle, EstMAVAR}
+
+// EstimateBy runs one primary estimator under its canonical settings —
+// the exact configuration the calibration battery characterizes, so the
+// committed bias/variance cells apply to its output. Whittle here is
+// the plain (unaggregated, untransformed) estimator.
+func EstimateBy(name string, xs []float64) (float64, error) {
+	switch name {
+	case EstVarianceTime:
+		r, err := VarianceTime(xs, 1, 0, 0)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return r.H, nil
+	case EstRS:
+		r, err := RS(xs, 0, 25, 12, 0, 0)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return r.H, nil
+	case EstPeriodogram:
+		r, err := PeriodogramH(xs, 0.1)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return r.H, nil
+	case EstWhittle:
+		r, err := Whittle(xs)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return r.H, nil
+	case EstMAVAR:
+		r, err := MAVAR(xs, 0, 0)
+		if err != nil {
+			return math.NaN(), err
+		}
+		return r.H, nil
+	}
+	return math.NaN(), fmt.Errorf("lrd: unknown estimator %q", name)
+}
+
+// HBar is one estimator's calibrated report: the raw point estimate
+// under canonical settings, the bias-corrected value, and the ±1.96σ
+// error bar — both read off the committed calibration table for the
+// estimator at this series length. Bias and CI95 are NaN when the
+// calibration grid has no applicable cell.
+type HBar struct {
+	Estimator string
+	Raw       float64 // point estimate, canonical settings
+	H         float64 // Raw − interpolated bias
+	CI95      float64 // 1.96 × calibrated sample σ
+}
+
 // Estimates bundles every estimator's output on one series, mirroring
-// Table 3 of the paper.
+// Table 3 of the paper, plus the §3.2.3-style agreement check: the
+// calibrated error bars of the five primary estimators.
 type Estimates struct {
 	VarianceTime float64
 	RS           float64
@@ -512,6 +602,14 @@ type Estimates struct {
 	Whittle      float64
 	WhittleCI95  float64
 	Periodogram  float64
+	MAVAR        float64
+
+	// Bars holds the five primary estimators' bias-corrected estimates
+	// with calibrated error bars, in EstimatorNames order. Note the
+	// whittle bar is the plain Whittle estimator on the raw series (the
+	// calibrated configuration), not the aggregated/log variant reported
+	// in the Whittle field.
+	Bars []HBar
 }
 
 // EstimateAll runs every Hurst estimator with the paper's settings
@@ -572,13 +670,35 @@ func EstimateAll(xs []float64, aggM int) (*Estimates, error) {
 	}
 	out.Periodogram = pg.H
 
+	mv, err := MAVAR(xs, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("MAVAR: %w", err)
+	}
+	out.MAVAR = mv.H
+
+	// Calibrated error bars for the five primary estimators. The raw
+	// values above already use the canonical settings except Whittle,
+	// which EstimateAll reports aggregated/log-transformed; its bar
+	// re-runs the plain estimator the table was calibrated against. A
+	// bar whose estimator fails on this series (e.g. plain Whittle on a
+	// very short series) carries NaN rather than failing the bundle.
+	cal := DefaultCalibration()
+	raws := []float64{out.VarianceTime, out.RS, out.Periodogram, math.NaN(), out.MAVAR}
+	if pw, err := Whittle(xs); err == nil {
+		raws[3] = pw.H
+	}
+	out.Bars = make([]HBar, len(EstimatorNames))
+	for i, name := range EstimatorNames {
+		out.Bars[i] = cal.Bar(name, raws[i], len(xs))
+	}
+
 	return out, nil
 }
 
 // Median returns the median of the point estimates in e, a robust
 // consensus value for reporting.
 func (e *Estimates) Median() float64 {
-	hs := []float64{e.VarianceTime, e.RS, e.RSAggregated, e.Whittle, e.Periodogram}
+	hs := []float64{e.VarianceTime, e.RS, e.RSAggregated, e.Whittle, e.Periodogram, e.MAVAR}
 	sort.Float64s(hs)
 	return hs[len(hs)/2]
 }

@@ -1,0 +1,117 @@
+package lrd
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEstimatorAffineInvariance: Ĥ measures correlation structure, so
+// every estimator must be invariant (up to numerical noise) under the
+// affine map x ↦ a·x + b with a > 0 — rescaling the units or shifting
+// the baseline of a trace cannot change its Hurst parameter. The
+// variance-based estimators are exactly invariant analytically; the
+// spectral ones admit slightly more floating-point drift through the
+// FFT, hence the per-estimator tolerances.
+func TestEstimatorAffineInvariance(t *testing.T) {
+	xs := testSeries(t, 0.8, 4096)
+	tol := map[string]float64{
+		EstVarianceTime: 1e-9,
+		EstRS:           1e-9,
+		EstMAVAR:        1e-9,
+		EstPeriodogram:  1e-6,
+		EstWhittle:      1e-6,
+	}
+	for _, a := range []float64{0.004, 3.75} {
+		for _, b := range []float64{0, -2.5, 117} {
+			mapped := make([]float64, len(xs))
+			for i, v := range xs {
+				mapped[i] = a*v + b
+			}
+			for _, name := range EstimatorNames {
+				h0, err := EstimateBy(name, xs)
+				if err != nil {
+					t.Fatalf("%s on base series: %v", name, err)
+				}
+				h1, err := EstimateBy(name, mapped)
+				if err != nil {
+					t.Fatalf("%s on %g·x%+g: %v", name, a, b, err)
+				}
+				if d := math.Abs(h1 - h0); d > tol[name] {
+					t.Errorf("%s not affine invariant: Ĥ(x)=%v, Ĥ(%g·x%+g)=%v (|Δ|=%.2e > %g)",
+						name, h0, a, b, h1, d, tol[name])
+				}
+			}
+		}
+	}
+}
+
+// TestOnlineMAVARMatchesBatch: the batch MAVAR entry point is defined
+// as feeding the whole series through the same per-octave accumulators
+// the streaming form uses, so an OnlineMAVAR fed any block partition of
+// the series must reproduce the batch result bit for bit — the
+// streaming monitor's Ĥ is the committed estimator, not an
+// approximation of it.
+func TestOnlineMAVARMatchesBatch(t *testing.T) {
+	xs := testSeries(t, 0.8, 10_000)
+	batch, err := MAVAR(xs, 0, 0)
+	if err != nil {
+		t.Fatalf("batch MAVAR: %v", err)
+	}
+	for _, block := range []int{1, 7, 256, 4096, len(xs)} {
+		o := NewOnlineMAVAR(MaxMavarTau(len(xs)))
+		for lo := 0; lo < len(xs); lo += block {
+			hi := lo + block
+			if hi > len(xs) {
+				hi = len(xs)
+			}
+			for _, v := range xs[lo:hi] {
+				o.Add(v)
+			}
+		}
+		r, err := o.Result(0, 0)
+		if err != nil {
+			t.Fatalf("block=%d: Result: %v", block, err)
+		}
+		if math.Float64bits(r.H) != math.Float64bits(batch.H) ||
+			math.Float64bits(r.Mu) != math.Float64bits(batch.Mu) {
+			t.Fatalf("block=%d: online Ĥ=%v µ=%v, batch Ĥ=%v µ=%v — not bitwise equal",
+				block, r.H, r.Mu, batch.H, batch.Mu)
+		}
+		if r.FitLo != batch.FitLo || r.FitHi != batch.FitHi || r.Octaves != batch.Octaves ||
+			len(r.Points) != len(batch.Points) {
+			t.Fatalf("block=%d: result shape differs: %+v vs %+v", block, r, batch)
+		}
+		for i := range r.Points {
+			if r.Points[i].Tau != batch.Points[i].Tau ||
+				r.Points[i].Windows != batch.Points[i].Windows ||
+				math.Float64bits(r.Points[i].ModVar) != math.Float64bits(batch.Points[i].ModVar) {
+				t.Fatalf("block=%d: point %d differs: %+v vs %+v", block, i, r.Points[i], batch.Points[i])
+			}
+		}
+		h, oct := o.Estimate()
+		if math.Float64bits(h) != math.Float64bits(batch.H) || oct != batch.Octaves {
+			t.Fatalf("block=%d: Estimate()=(%v, %d), want (%v, %d)", block, h, oct, batch.H, batch.Octaves)
+		}
+	}
+}
+
+// TestOnlineMAVARHotpathAllocFree pins the O(1)-memory streaming
+// contract: once constructed, neither the per-observation Add nor the
+// snapshot Estimate may allocate.
+func TestOnlineMAVARHotpathAllocFree(t *testing.T) {
+	o := NewOnlineMAVAR(1 << 16)
+	for i := 0; i < 1<<12; i++ {
+		o.Add(float64(i % 97))
+	}
+	if allocs := testing.AllocsPerRun(200, func() { o.Add(1.0) }); allocs != 0 {
+		t.Errorf("OnlineMAVAR.Add allocates %v per observation, want 0", allocs)
+	}
+	var h float64
+	var oct int
+	if allocs := testing.AllocsPerRun(200, func() { h, oct = o.Estimate() }); allocs != 0 {
+		t.Errorf("OnlineMAVAR.Estimate allocates %v per call, want 0", allocs)
+	}
+	if math.IsNaN(h) || oct < 2 {
+		t.Fatalf("Estimate() = (%v, %d) after warmup", h, oct)
+	}
+}

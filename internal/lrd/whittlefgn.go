@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"vbr/internal/errs"
 	"vbr/internal/stats"
 )
 
@@ -50,7 +51,10 @@ func fgnSpectrum(lambda, h float64) float64 {
 func WhittleFGN(xs []float64) (*WhittleResult, error) {
 	n := len(xs)
 	if n < 128 {
-		return nil, fmt.Errorf("lrd: Whittle needs ≥ 128 points, got %d", n)
+		return nil, fmt.Errorf("lrd: Whittle needs ≥ 128 points, got %d: %w", n, errs.ErrInvalidSeries)
+	}
+	if err := checkFinite(xs); err != nil {
+		return nil, fmt.Errorf("lrd: Whittle (FGN): %w", err)
 	}
 	freqs, ords := stats.Periodogram(xs)
 

@@ -88,6 +88,48 @@ func TestTraceNDJSON(t *testing.T) {
 	}
 }
 
+// TestTraceTrailers: after the body is fully streamed the response
+// carries the stream's final validation probe as HTTP trailers — the
+// calibrated MAVAR Ĥ, its 95% half-width, and the variance–time Ĥ.
+func TestTraceTrailers(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/trace?n=16384&seed=11&format=bin")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatalf("draining body: %v", err)
+	}
+	parse := func(name string) float64 {
+		t.Helper()
+		v := resp.Trailer.Get(name)
+		if v == "" {
+			t.Fatalf("trailer %s missing (trailers: %v)", name, resp.Trailer)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("trailer %s = %q: %v", name, v, err)
+		}
+		return f
+	}
+	h := parse("X-Vbr-Hhat-Mavar")
+	herr := parse("X-Vbr-Hhat-Mavar-Err")
+	hvt := parse("X-Vbr-Hhat-Vt")
+	if h < 0.4 || h > 1.1 {
+		t.Errorf("MAVAR Ĥ trailer = %v, want a plausible Hurst estimate", h)
+	}
+	if !(herr > 0) || herr > 0.3 {
+		t.Errorf("MAVAR error-bar trailer = %v, want a small positive half-width", herr)
+	}
+	if hvt < 0.3 || hvt > 1.2 {
+		t.Errorf("variance–time Ĥ trailer = %v", hvt)
+	}
+}
+
 func TestTraceBinary(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/trace?n=1500&seed=5&format=bin")

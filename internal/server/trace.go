@@ -18,6 +18,15 @@ const (
 	formatBinary = "bin"    // little-endian float64 frames
 )
 
+// Trailer names carrying the stream's final validation probe: the
+// calibrated MAVAR Ĥ with its ±1.96σ half-width, and the classical
+// variance–time Ĥ for comparison.
+const (
+	trailerHMavar    = "X-Vbr-Hhat-Mavar"
+	trailerHMavarErr = "X-Vbr-Hhat-Mavar-Err"
+	trailerHVT       = "X-Vbr-Hhat-Vt"
+)
+
 // parseFloat is strconv.ParseFloat with NaN/Inf rejected: wire
 // parameters must be finite.
 func parseFloat(s string) (float64, error) {
@@ -121,6 +130,11 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Vbr-Frames", strconv.Itoa(cfg.N))
 	w.Header().Set("X-Vbr-Backend", cfg.Backend.String())
 	w.Header().Set("X-Vbr-Seed", strconv.FormatUint(cfg.Seed, 10))
+	// The stream validates itself online; once the last block is out the
+	// final monitor probe travels back as HTTP trailers (headers are long
+	// gone by then). Ĥ is the calibrated MAVAR estimate with its 95%
+	// half-width; clients that ignore trailers lose nothing else.
+	w.Header().Set("Trailer", trailerHMavar+", "+trailerHMavarErr+", "+trailerHVT)
 
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
@@ -163,6 +177,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+	}
+	p := src.Probe()
+	if !math.IsNaN(p.HMavar) {
+		w.Header().Set(trailerHMavar, strconv.FormatFloat(p.HMavar, 'g', -1, 64))
+	}
+	if !math.IsNaN(p.HMavarErr) {
+		w.Header().Set(trailerHMavarErr, strconv.FormatFloat(p.HMavarErr, 'g', -1, 64))
+	}
+	if !math.IsNaN(p.H) {
+		w.Header().Set(trailerHVT, strconv.FormatFloat(p.H, 'g', -1, 64))
 	}
 	scope.Count("server.trace.completed", 1)
 	scope.Count("server.trace.frames", int64(cfg.N))

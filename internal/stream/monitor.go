@@ -1,6 +1,10 @@
 package stream
 
-import "math"
+import (
+	"math"
+
+	"vbr/internal/lrd"
+)
 
 // minAggSamples is the minimum number of aggregated points a level must
 // hold before its variance enters the Ĥ fit; below that the sample
@@ -42,14 +46,21 @@ func (l *aggLevel) variance() float64 {
 	return l.m2 / float64(l.n)
 }
 
-// Monitor validates a stream online: it maintains Welford running
-// moments at geometrically spaced aggregation levels m = 1, 4, 16, …
-// and estimates Ĥ from the variance–time relation
-// Var(X^(m)) ∝ m^(2H−2), i.e. H = 1 + slope/2 of log Var against
-// log m. All state is O(number of levels) — a handful of scalars —
-// regardless of how many frames pass through.
+// Monitor validates a stream online with two independent Ĥ probes plus
+// running moments, all in O(log n) state regardless of how many frames
+// pass through:
+//
+//   - Welford moments at geometrically spaced aggregation levels
+//     m = 1, 4, 16, … feed the variance–time relation
+//     Var(X^(m)) ∝ m^(2H−2), i.e. H = 1 + slope/2 of log Var against
+//     log m — the cheap, classical drift alarm.
+//   - An lrd.OnlineMAVAR tracks the modified Allan variance across
+//     octave-spaced τ; its Ĥ gets a bias correction and a calibrated
+//     ±1.96σ half-width from the committed battery table, so snapshots
+//     report honest uncertainty, not a bare point value.
 type Monitor struct {
 	levels []*aggLevel
+	mavar  *lrd.OnlineMAVAR
 }
 
 // maxAggLevel picks the largest aggregation level worth tracking for a
@@ -63,22 +74,25 @@ func maxAggLevel(n int) int {
 	return m
 }
 
-// NewMonitor builds a monitor with aggregation levels 1, 4, 16, …, up
-// to maxM (rounded down to a power of four).
-func NewMonitor(maxM int) *Monitor {
-	mo := &Monitor{}
-	for m := 1; m <= maxM; m *= 4 {
+// NewMonitor builds a monitor sized for a stream of n frames:
+// aggregation levels 1, 4, 16, … up to maxAggLevel(n), and MAVAR
+// octaves 1, 2, 4, … up to lrd.MaxMavarTau(n).
+func NewMonitor(n int) *Monitor {
+	mo := &Monitor{mavar: lrd.NewOnlineMAVAR(lrd.MaxMavarTau(n))}
+	for m := 1; m <= maxAggLevel(n); m *= 4 {
 		mo.levels = append(mo.levels, &aggLevel{m: m})
 	}
 	return mo
 }
 
-// Add folds one frame into every aggregation level.
+// Add folds one frame into every aggregation level and the MAVAR
+// accumulators.
 //vbrlint:hotpath
 func (mo *Monitor) Add(v float64) {
 	for _, l := range mo.levels {
 		l.add(v)
 	}
+	mo.mavar.Add(v)
 }
 
 // Probe is a point-in-time validation snapshot of a stream.
@@ -94,6 +108,15 @@ type Probe struct {
 	H float64
 	// Levels is the number of aggregation levels behind H.
 	Levels int
+	// HMavar is the streaming modified-Allan-variance estimate of the
+	// Hurst parameter, bias-corrected against the committed calibration
+	// battery; NaN until at least two octaves hold enough windows.
+	HMavar float64
+	// HMavarErr is the calibrated 1.96σ (95%) half-width around HMavar,
+	// NaN when the battery has no applicable cell.
+	HMavarErr float64
+	// MavarOctaves is the number of τ octaves behind HMavar.
+	MavarOctaves int
 }
 
 // maxProbeLevels bounds the log-log regression scratch in Probe.
@@ -107,9 +130,15 @@ const maxProbeLevels = 32
 //vbrlint:hotpath
 func (mo *Monitor) Probe() Probe {
 	base := mo.levels[0]
-	p := Probe{N: base.n, Mean: base.mean, H: math.NaN()}
+	p := Probe{N: base.n, Mean: base.mean, H: math.NaN(), HMavar: math.NaN(), HMavarErr: math.NaN()}
 	if v := base.variance(); !math.IsNaN(v) {
 		p.Std = math.Sqrt(v)
+	}
+	if raw, oct := mo.mavar.Estimate(); !math.IsNaN(raw) {
+		bar := lrd.DefaultCalibration().Bar(lrd.EstMAVAR, raw, int(base.n))
+		p.HMavar = bar.H
+		p.HMavarErr = bar.CI95
+		p.MavarOctaves = oct
 	}
 	var lxa, lya [maxProbeLevels]float64
 	lx, ly := lxa[:0], lya[:0]

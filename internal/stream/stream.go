@@ -191,9 +191,18 @@ type Stream struct {
 // least driftMinFrames frames are in the monitor. The tolerance is
 // deliberately loose: LRD series converge slowly (§4.2), so tight
 // bounds would false-alarm on healthy streams.
+//
+// Hurst drift, by contrast, is a calibrated test: the monitor's MAVAR
+// Ĥ carries a battery-derived 1.96σ half-width, so the stream flags
+// drift when the configured H falls outside Ĥ ± hurstDriftSigma·σ.
+// Five sigma keeps the per-block alarm rate negligible even though
+// consecutive probes of one stream are strongly correlated, while a
+// genuinely mis-generated stream (wrong H by ≳ 0.05 at 16k frames)
+// still trips it within a few blocks.
 const (
-	driftTol       = 0.25
-	driftMinFrames = 1 << 14
+	driftTol        = 0.25
+	driftMinFrames  = 1 << 14
+	hurstDriftSigma = 5
 )
 
 // Open is equivalent to OpenCtx(context.Background(), cfg).
@@ -224,7 +233,7 @@ func OpenCtx(ctx context.Context, cfg Config) (*Stream, error) {
 		tab:  tab,
 		gbuf: make([]float64, cfg.BlockSize),
 		out:  make([]float64, cfg.BlockSize),
-		mon:  NewMonitor(maxAggLevel(cfg.N)),
+		mon:  NewMonitor(cfg.N),
 	}
 	if mu := gp.Mean(); !math.IsInf(mu, 0) && mu > 0 {
 		s.wantMean = mu
@@ -301,12 +310,22 @@ func (s *Stream) Next(ctx context.Context) ([]float64, error) {
 	if !math.IsNaN(p.H) {
 		scope.SetGauge("stream.hhat", p.H)
 	}
+	if !math.IsNaN(p.HMavar) {
+		scope.SetGauge("stream.hhat.mavar", p.HMavar)
+	}
+	if !math.IsNaN(p.HMavarErr) {
+		scope.SetGauge("stream.hhat.mavar.err", p.HMavarErr)
+	}
 	if p.N >= driftMinFrames {
 		if s.wantMean > 0 && math.Abs(p.Mean-s.wantMean) > driftTol*s.wantMean {
 			scope.Count("stream.drift.mean", 1)
 		}
 		if s.wantStd > 0 && math.Abs(p.Std-s.wantStd) > driftTol*s.wantStd {
 			scope.Count("stream.drift.std", 1)
+		}
+		if !math.IsNaN(p.HMavar) && !math.IsNaN(p.HMavarErr) &&
+			math.Abs(p.HMavar-s.cfg.Model.Hurst) > hurstDriftSigma/1.96*p.HMavarErr {
+			scope.Count("stream.drift.hurst", 1)
 		}
 	}
 	return out, nil

@@ -255,12 +255,24 @@ func TestStreamProbeTracksMoments(t *testing.T) {
 	if p.H < 0.55 || p.H > 1.05 {
 		t.Errorf("probe Ĥ = %v, want within drift-alarm range of H=0.8", p.H)
 	}
+	if math.IsNaN(p.HMavar) || p.MavarOctaves < 2 {
+		t.Fatalf("probe MAVAR Ĥ unavailable: %+v", p)
+	}
+	if !(p.HMavarErr > 0) || p.HMavarErr > 0.2 {
+		t.Errorf("probe MAVAR error bar = %v, want a finite calibrated half-width", p.HMavarErr)
+	}
+	// The calibrated MAVAR probe is the precise one: its 95% band around
+	// the configured H=0.8 is a few hundredths wide at 64k frames. Allow
+	// double the half-width for the marginal transform and stitching.
+	if math.Abs(p.HMavar-0.8) > 2*p.HMavarErr+0.04 {
+		t.Errorf("probe MAVAR Ĥ = %v ± %v, want near H=0.8", p.HMavar, p.HMavarErr)
+	}
 }
 
 // TestMonitorIIDBaseline: white noise must probe near H = 0.5 with unit
 // moments — the monitor's sanity anchor.
 func TestMonitorIIDBaseline(t *testing.T) {
-	mo := NewMonitor(maxAggLevel(1 << 16))
+	mo := NewMonitor(1 << 16)
 	rng := rand.New(rand.NewPCG(42, 0))
 	for i := 0; i < 1<<16; i++ {
 		mo.Add(rng.NormFloat64())
@@ -277,12 +289,50 @@ func TestMonitorIIDBaseline(t *testing.T) {
 	}
 }
 
+// TestMonitorBoundedMemory pins the O(1)-state claim of the monitor
+// itself: feeding 400k frames through both Ĥ probes (variance–time
+// levels and the MAVAR octave accumulators) must not grow the live heap
+// measurably — all state is the fixed per-level scalars allocated at
+// construction.
+func TestMonitorBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile in -short mode")
+	}
+	const n = 400_000
+	mo := NewMonitor(n)
+	rng := rand.New(rand.NewPCG(7, 0))
+
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	for i := 0; i < n; i++ {
+		mo.Add(rng.NormFloat64())
+	}
+	p := mo.Probe()
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	if grew := ms.HeapAlloc - base; ms.HeapAlloc > base && grew > 64<<10 {
+		t.Errorf("live heap grew by %d bytes over %d frames, want ≈ 0 — monitor is not O(1)", grew, n)
+	}
+	if p.N != n || math.IsNaN(p.HMavar) || !(p.HMavarErr > 0) {
+		t.Fatalf("probe after %d frames = %+v, want MAVAR Ĥ with calibrated error bar", n, p)
+	}
+	// White noise is H = 0.5; the battery grid starts at 0.6, so the
+	// corrected estimate clamps to the edge cell — still near 0.5.
+	if math.Abs(p.HMavar-0.5) > 0.1 {
+		t.Errorf("iid MAVAR Ĥ = %v, want ≈ 0.5", p.HMavar)
+	}
+}
+
 // TestMonitorZeroAlloc pins the hotpath guarantee hotalloc enforces
 // statically: per-frame Add and per-block Probe never allocate. Probe's
 // log-log regression scratch lives in fixed arrays, so validating a
 // stream adds no GC pressure to the serving path.
 func TestMonitorZeroAlloc(t *testing.T) {
-	mo := NewMonitor(maxAggLevel(1 << 14))
+	mo := NewMonitor(1 << 14)
 	rng := rand.New(rand.NewPCG(42, 0))
 	for i := 0; i < 1<<14; i++ {
 		mo.Add(rng.NormFloat64())

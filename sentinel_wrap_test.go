@@ -40,6 +40,7 @@ func TestSentinelsSurviveCmdWrapping(t *testing.T) {
 		errs.ErrInvalidModel,
 		errs.ErrInvalidWorkload,
 		errs.ErrInfeasibleLags,
+		errs.ErrInvalidSeries,
 		errs.ErrCheckpointVersion,
 		errs.ErrCheckpointCorrupt,
 		errs.ErrCheckpointMismatch,

@@ -156,8 +156,24 @@ func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error
 // (Normal, Lognormal, Gamma, Pareto, Gamma/Pareto, ...).
 type Distribution = dist.Distribution
 
-// HurstEstimates bundles the Table 3 estimators' results.
+// HurstEstimates bundles the Table 3 estimators' results, including the
+// calibrated error bars of the five primary estimators.
 type HurstEstimates = lrd.Estimates
+
+// HurstBar is one estimator's calibrated report: the raw point
+// estimate, the bias-corrected value, and the ±1.96σ half-width, both
+// read off the committed calibration battery.
+type HurstBar = lrd.HBar
+
+// MAVARResult is the modified-Allan-variance estimate of H: the
+// per-octave Mod σ²_y(τ) plot points, the fitted range and the slope-
+// derived Ĥ.
+type MAVARResult = lrd.MAVARResult
+
+// OnlineMAVAR is the streaming form of the MAVAR estimator: feed
+// observations one at a time in O(1) memory and read Ĥ at any point.
+// Feeding a whole series through it is exactly EstimateMAVAR.
+type OnlineMAVAR = lrd.OnlineMAVAR
 
 // EstimateHurst runs every §3.2.3 estimator on a series; aggM is the
 // aggregation level for the aggregated variants (hundreds, as in the
@@ -165,6 +181,23 @@ type HurstEstimates = lrd.Estimates
 func EstimateHurst(xs []float64, aggM int) (*HurstEstimates, error) {
 	return lrd.EstimateAll(xs, aggM)
 }
+
+// EstimateMAVAR estimates H from the modified Allan variance of the
+// series (a post-paper estimator: octave-spaced log–log regression of
+// Mod σ²_y(τ), H = 1 + µ/2). Zero fitLo/fitHi select the calibrated
+// default fit range.
+func EstimateMAVAR(xs []float64, fitLo, fitHi int) (*MAVARResult, error) {
+	return lrd.MAVAR(xs, fitLo, fitHi)
+}
+
+// NewOnlineMAVAR builds a streaming MAVAR estimator tracking octaves
+// up to maxTau observations.
+func NewOnlineMAVAR(maxTau int) *OnlineMAVAR { return lrd.NewOnlineMAVAR(maxTau) }
+
+// MaxMavarTau returns the largest octave-spaced observation interval
+// worth tracking for a series of n frames — the natural maxTau argument
+// for NewOnlineMAVAR when the stream length is known in advance.
+func MaxMavarTau(n int) int { return lrd.MaxMavarTau(n) }
 
 // SummaryStats are the Table 2 descriptive statistics.
 type SummaryStats = stats.Summary
@@ -360,6 +393,7 @@ var (
 	ErrCheckpointMismatch = errs.ErrCheckpointMismatch
 	ErrTargetUnreachable  = errs.ErrTargetUnreachable
 	ErrAllCombosFailed    = errs.ErrAllCombosFailed
+	ErrInvalidSeries      = errs.ErrInvalidSeries
 )
 
 // QCCurveCtx computes a Fig. 14 curve under a context: cancellation
