@@ -37,9 +37,9 @@ race:
 	$(GO) test -race -run 'TestAverageLoss|TestFig14|TestRun' ./internal/queue/ ./internal/experiments/ ./internal/runner/
 	$(GO) test -race ./internal/fleet/
 
-# Short fuzzing pass over the parser/decoder fuzz targets and the Ĥ
-# estimator robustness targets; one target per invocation as go test
-# requires.
+# Short fuzzing pass over the parser/decoder fuzz targets, the Ĥ
+# estimator robustness targets, and the scenario-zoo cascade invariants;
+# one target per invocation as go test requires.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeSymbols -fuzztime=$(FUZZTIME) ./internal/codec/
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=$(FUZZTIME) ./internal/codec/
@@ -49,6 +49,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRS -fuzztime=$(FUZZTIME) ./internal/lrd/
 	$(GO) test -fuzz=FuzzWhittle -fuzztime=$(FUZZTIME) ./internal/lrd/
 	$(GO) test -fuzz=FuzzMAVAR -fuzztime=$(FUZZTIME) ./internal/lrd/
+	$(GO) test -fuzz=FuzzCascade -fuzztime=$(FUZZTIME) ./internal/source/
 
 # Regenerate the committed estimator calibration table: run the full
 # bias/variance battery (known-H fGn × lengths × 32 seeds, base seed
@@ -62,13 +63,14 @@ calibrate:
 
 # Pinned benchmark subset as a committed/CI JSON snapshot: the two
 # generators, the fluid queue, the end-to-end Fig 14 sweep, the
-# generation-cache cold/warm/batch trio, and the estimator battery
+# generation-cache cold/warm/batch trio, the estimator battery
 # (batch MAVAR, the streaming per-observation update, the full
-# EstimateAll bundle). The text output goes through an intermediate
-# file so a benchmark failure fails the target rather than feeding
-# benchjson an empty stream.
+# EstimateAll bundle), and the per-frame hot path of every scenario-zoo
+# model. The text output goes through an intermediate file so a
+# benchmark failure fails the target rather than feeding benchjson an
+# empty stream.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$|ColdGenerate$$|WarmGenerate$$|BatchGenerate$$|MAVAR$$|OnlineMAVARAdd$$|EstimateAll$$' -benchmem -count=3 . > bench.out
+	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$|ColdGenerate$$|WarmGenerate$$|BatchGenerate$$|MAVAR$$|OnlineMAVARAdd$$|EstimateAll$$|SourceNext$$' -benchmem -count=3 . > bench.out
 	@out="$(BENCH_OUT)"; \
 	if [ -z "$$out" ]; then i=0; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; out=BENCH_$$i.json; fi; \
 	$(GO) run ./cmd/benchjson -o "$$out" bench.out && echo "wrote $$out"

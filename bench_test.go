@@ -281,7 +281,7 @@ func BenchmarkAblation_ACFFFT(b *testing.B) {
 func benchWorkload(b *testing.B) queue.Workload {
 	b.Helper()
 	s := suite(b)
-	mux, err := queue.NewMux(s.Trace, 1, 0, 1)
+	mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: 1, MinLagFrames: 0, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func BenchmarkAblation_QuantileTable10k(b *testing.B) { benchQuantileTable(b, 10
 func BenchmarkAblation_QuantileTable100k(b *testing.B) { benchQuantileTable(b, 100000) }
 
 func benchQuantileTable(b *testing.B, size int) {
-	gp, err := NewGammaPareto(27791, 6254, 12)
+	gp, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -546,5 +546,36 @@ func BenchmarkEstimateAll(b *testing.B) {
 		if _, err := lrd.EstimateAll(xs, 64); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The per-frame hot path of every registered scenario-zoo model — the
+// cost GET /v1/trace?model= and the SourceMux pay per sample. The
+// farima member's default horizon is trimmed so its epoch rollovers
+// (and the Davies–Harte block synthesis they trigger) land inside the
+// measured window rather than dominating a single giant setup.
+func BenchmarkSourceNext(b *testing.B) {
+	ctx := context.Background()
+	for _, name := range SourceModels() {
+		spec := name
+		if name == "farima" {
+			spec = "farima:n=8192,block=2048"
+		}
+		b.Run(name, func(b *testing.B) {
+			src, err := NewSource(spec, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := src.Next(ctx); err != nil {
+				b.Fatal(err) // warm the lazy first block
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := src.Next(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

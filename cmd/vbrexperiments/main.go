@@ -272,6 +272,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		if err := step("Tail fidelity", func() (interface{ Format() string }, error) { return suite.ExtTailFidelityCtx(ctx) }); err != nil {
 			return err
 		}
+		if err := step("Heterogeneous mixes", func() (interface{ Format() string }, error) { return suite.ExtMixCtx(ctx) }); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(stdout, "=== complete in %v ===\n", time.Since(start).Round(time.Millisecond))

@@ -17,6 +17,12 @@
 //	vbrsim -frames 171000 -fig15 -slices
 //	vbrsim -in trace.bin -point -n 5 -capacity 20e6 -tmax 2ms
 //	vbrsim -in trace.bin -point -faults -fault-gap 800 -fault-outage 0.3
+//
+// Instead of a trace, -point can multiplex scenario-zoo models
+// (see vbrgen or the README's zoo table for the registry):
+//
+//	vbrsim -point -source gop -n 5 -capacity 20e6
+//	vbrsim -point -mix 'farima*3+onoff:fps=24*2' -capacity 30e6
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"vbr/internal/checkpoint"
@@ -33,6 +40,7 @@ import (
 	"vbr/internal/errs"
 	"vbr/internal/experiments"
 	"vbr/internal/queue"
+	"vbr/internal/source"
 )
 
 func main() {
@@ -55,6 +63,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 
 		point    = fs.Bool("point", false, "simulate one operating point")
 		nSources = fs.Int("n", 1, "multiplexed sources (-point)")
+		srcSpec  = fs.String("source", "", "scenario-zoo model for -point, e.g. gop or cascade:depth=10; -n copies are multiplexed")
+		mixSpec  = fs.String("mix", "", "scenario-zoo mix spec for -point, e.g. 'farima*3+onoff:fps=24*2'")
 		capacity = fs.Float64("capacity", 6e6, "channel capacity, bits/s (-point)")
 		tmax     = fs.Duration("tmax", 2*time.Millisecond, "max buffer delay Q/(N·C) (-point)")
 
@@ -86,12 +96,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	if *faults && !*point {
 		return cli.Usagef("-faults applies to -point simulations")
 	}
-
-	suite, err := loadOrGenerate(*in, *frames, *seed)
+	zooSpec, err := resolveZooSpec(*srcSpec, *mixSpec, *nSources)
 	if err != nil {
 		return err
 	}
-	suite.UseSlices = *slices
+	if zooSpec != "" {
+		switch {
+		case !*point:
+			return cli.Usagef("-source/-mix apply to -point simulations")
+		case *in != "":
+			return cli.Usagef("-source/-mix conflict with -in: zoo models replace the trace")
+		case *slices:
+			return cli.Usagef("scenario-zoo sources simulate at frame granularity; drop -slices")
+		}
+	}
+
+	var suite *experiments.Suite
+	if *fig14 || *fig15 || *fig16 || *fig17 || (*point && zooSpec == "") {
+		suite, err = loadOrGenerate(*in, *frames, *seed)
+		if err != nil {
+			return err
+		}
+		suite.UseSlices = *slices
+	}
 
 	any := false
 	if *fig14 {
@@ -126,16 +153,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	}
 	if *point {
 		any = true
-		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: suite.Trace, N: *nSources, MinLagFrames: 1000, Seed: *seed})
-		if err != nil {
-			return err
-		}
-		opts := queue.Options{}
-		if *faults {
-			intervals := len(suite.Trace.Frames)
+		var agg queue.Aggregator
+		intervals := *frames
+		if zooSpec != "" {
+			agg, err = zooAggregator(zooSpec, *frames, *seed)
+			if err != nil {
+				return err
+			}
+		} else {
+			mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: suite.Trace, N: *nSources, MinLagFrames: 1000, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			agg = mux
+			intervals = len(suite.Trace.Frames)
 			if *slices {
 				intervals = len(suite.Trace.Slices)
 			}
+		}
+		opts := queue.Options{}
+		if *faults {
 			sched, err := queue.GenerateFaults(*faultSeed, intervals, queue.FaultConfig{
 				MeanGap:    *faultGap,
 				MeanLength: *faultLen,
@@ -158,12 +195,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 				100*float64(sched.DegradedIntervals(intervals))/float64(intervals))
 		}
 		q := tmax.Seconds() * *capacity / 8
-		r, err := mux.AverageLossCtx(ctx, *capacity, q, *slices, opts)
+		r, err := agg.AverageLossCtx(ctx, *capacity, q, *slices, opts)
 		if err != nil {
 			return err
 		}
+		n := agg.NSources()
 		fmt.Fprintf(stdout, "N=%d  C=%.3f Mb/s (%.3f Mb/s per source)  T_max=%v  Q=%.0f bytes\n",
-			*nSources, *capacity/1e6, *capacity/float64(*nSources)/1e6, *tmax, q)
+			n, *capacity/1e6, *capacity/float64(n)/1e6, *tmax, q)
 		fmt.Fprintf(stdout, "P_l      = %.3g\n", r.Pl)
 		fmt.Fprintf(stdout, "P_l-WES  = %.3g\n", r.PlWES)
 		fmt.Fprintf(stdout, "max backlog = %.0f bytes\n", r.MaxBacklog)
@@ -179,6 +217,43 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		return cli.Usagef("no simulation selected; use -fig14/-fig15/-fig16/-fig17/-point")
 	}
 	return nil
+}
+
+// resolveZooSpec folds the -source/-mix flags into one registry spec:
+// -source names a single model replicated -n times, -mix gives the
+// population spec verbatim. Empty when neither flag is set.
+func resolveZooSpec(src, mix string, n int) (string, error) {
+	if src != "" && mix != "" {
+		return "", cli.Usagef("-source and -mix are mutually exclusive")
+	}
+	if src != "" {
+		if strings.ContainsAny(src, "+*") {
+			return "", cli.Usagef("-source takes a single model (got %q); use -mix for populations", src)
+		}
+		if n > 1 {
+			return fmt.Sprintf("%s*%d", src, n), nil
+		}
+		return src, nil
+	}
+	return mix, nil
+}
+
+// zooAggregator builds the scenario-zoo multiplexer for a -point run.
+// An unknown model name is a usage error (exit 2), matching how bad
+// flag combinations are reported.
+func zooAggregator(spec string, frames int, seed uint64) (queue.Aggregator, error) {
+	specs, err := source.ParseSpec(spec)
+	if err != nil {
+		if errors.Is(err, errs.ErrUnknownModel) {
+			return nil, cli.Usagef("%v", err)
+		}
+		return nil, err
+	}
+	srcs, err := source.NewPopulation(specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return queue.NewSourceMuxFromConfig(queue.SourceMuxConfig{Sources: srcs, Frames: frames, Seed: seed})
 }
 
 // runFig14 drives the checkpointable Q–C sweep: progress is loaded from

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -228,6 +229,72 @@ func TestCLIFleetChaosSoak(t *testing.T) {
 	}
 	if out := rest(); !strings.Contains(out, "vbrfleet drained cleanly") {
 		t.Errorf("missing drain banner in output:\n%s", out)
+	}
+}
+
+// TestCLIFleetZooModels is the serve-smoke zoo acceptance: scenario-zoo
+// traces (GET /v1/trace?model=) end-to-end through the fleet front
+// door. Each spec must echo itself in X-Vbr-Model, stream exactly the
+// requested frame count, reproduce byte-for-byte on repeat, and pin to
+// one worker — the proxy routes zoo requests by a consistent hash of
+// the spec string, so the repeat lands on the worker whose generators
+// are already warm. The mix spec is requested with its "+" separator
+// unencoded, proving the spec survives query decoding across both the
+// proxy hop and the worker.
+func TestCLIFleetZooModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	base, cmd, rest := startVBRFleet(t, "-workers", "2")
+
+	const frames = 256
+	fetch := func(query string) (http.Header, []byte) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("%s/v1/trace?n=%d&seed=7&model=%s", base, frames, query))
+		if err != nil {
+			t.Fatalf("zoo trace %q: %v", query, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading zoo trace %q: %v", query, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("zoo trace %q: status %d: %s", query, resp.StatusCode, body)
+		}
+		return resp.Header, body
+	}
+
+	for _, tc := range []struct {
+		spec  string
+		query string // as sent on the wire; "+" deliberately unencoded in the mix
+	}{
+		{"gop", "gop"},
+		{"cascade:depth=8", url.QueryEscape("cascade:depth=8")},
+		{"poisson:fps=24*2+onoff:fps=24", "poisson:fps=24*2+onoff:fps=24"},
+	} {
+		h1, body1 := fetch(tc.query)
+		h2, body2 := fetch(tc.query)
+		if got := h1.Get("X-Vbr-Model"); got != tc.spec {
+			t.Errorf("X-Vbr-Model = %q, want %q", got, tc.spec)
+		}
+		if n := bytes.Count(body1, []byte("\n")); n != frames {
+			t.Errorf("model %q streamed %d frames, want %d", tc.spec, n, frames)
+		}
+		if !bytes.Equal(body1, body2) {
+			t.Errorf("model %q: repeat request is not byte-identical", tc.spec)
+		}
+		if w1, w2 := h1.Get("X-Vbr-Worker"), h2.Get("X-Vbr-Worker"); w1 == "" || w1 != w2 {
+			t.Errorf("model %q routed to workers %q then %q, want one pinned worker", tc.spec, w1, w2)
+		}
+	}
+
+	// Clean drain.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("vbrfleet exited uncleanly: %v\n%s", err, rest())
 	}
 }
 

@@ -294,6 +294,50 @@ func TestCLIFaultInjection(t *testing.T) {
 	}
 }
 
+// TestCLIZooSim exercises vbrsim's scenario-zoo flags end to end:
+// -source replicates one registry model, -mix multiplexes a
+// heterogeneous population, both deterministic at the process level,
+// and bad specs or flag combinations are usage errors (exit 2).
+func TestCLIZooSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests skipped in -short mode")
+	}
+	args := []string{"-point", "-source", "gop", "-n", "3", "-frames", "4096", "-capacity", "14e6"}
+	out1 := runCmd(t, "vbrsim", args...)
+	out2 := runCmd(t, "vbrsim", args...)
+	if out1 != out2 {
+		t.Errorf("zoo simulation not deterministic:\n--- run 1:\n%s--- run 2:\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "N=3") || !strings.Contains(out1, "P_l") {
+		t.Errorf("zoo -source run missing report:\n%s", out1)
+	}
+
+	out := runCmd(t, "vbrsim", "-point", "-mix", "farima:n=4096*2+onoff:fps=24", "-frames", "4096", "-capacity", "24e6")
+	if !strings.Contains(out, "N=3") || !strings.Contains(out, "P_l") {
+		t.Errorf("zoo -mix run missing report:\n%s", out)
+	}
+
+	for _, c := range []struct {
+		args []string
+		msg  string
+	}{
+		{[]string{"-point", "-source", "nosuchmodel"}, "unknown traffic model"},
+		{[]string{"-point", "-mix", "gop+nosuchmodel"}, "unknown traffic model"},
+		{[]string{"-point", "-source", "gop", "-mix", "poisson"}, "mutually exclusive"},
+		{[]string{"-point", "-source", "gop*3"}, "use -mix for populations"},
+		{[]string{"-source", "gop"}, "-source/-mix apply to -point"},
+		{[]string{"-point", "-source", "gop", "-slices"}, "frame granularity"},
+	} {
+		code, out := runCmdExit(t, "vbrsim", c.args...)
+		if code != 2 {
+			t.Errorf("vbrsim %v: exit %d, want 2\n%s", c.args, code, out)
+		}
+		if !strings.Contains(out, c.msg) {
+			t.Errorf("vbrsim %v: output missing %q:\n%s", c.args, c.msg, out)
+		}
+	}
+}
+
 // TestCLIInterruptResume is the end-to-end resilience check: a Hosking
 // generation is interrupted with SIGINT, must save a checkpoint and exit
 // 130, and the resumed run must produce output bitwise-identical to an

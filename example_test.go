@@ -47,9 +47,10 @@ func ExampleModel_Generate() {
 	// all positive: true
 }
 
-// ExampleNewGammaPareto shows the hybrid marginal's threshold construction.
-func ExampleNewGammaPareto() {
-	gp, err := vbr.NewGammaPareto(27791, 6254, 12)
+// ExampleNewGammaParetoFromParams shows the hybrid marginal's threshold
+// construction.
+func ExampleNewGammaParetoFromParams() {
+	gp, err := vbr.NewGammaParetoFromParams(vbr.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -36,7 +36,7 @@ func main() {
 	const tmax = 0.002
 
 	points, err := vbr.SMG(vbr.SMGConfig{
-		NewMux: func(n int) (*vbr.Mux, error) {
+		NewMux: func(n int) (vbr.Aggregator, error) {
 			return vbr.NewMuxFromConfig(vbr.MuxConfig{Trace: tr, N: n, MinLagFrames: 800, Seed: 7})
 		},
 		Ns:      []int{1, 2, 5, 10, 20},

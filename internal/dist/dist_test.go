@@ -47,7 +47,7 @@ func allDistributions(t *testing.T) []Distribution {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gp, err := NewGammaPareto(27791, 6254, 12)
+	gp, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,10 +76,10 @@ func TestConstructorValidation(t *testing.T) {
 	if _, err := NewUniform(3, 3); err == nil {
 		t.Error("NewUniform empty interval should fail")
 	}
-	if _, err := NewGammaPareto(-1, 1, 2); err == nil {
+	if _, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: -1, SigmaGamma: 1, TailSlope: 2}); err == nil {
 		t.Error("NewGammaPareto negative mean should fail")
 	}
-	if _, err := NewGammaPareto(1, 1, 0); err == nil {
+	if _, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 1, SigmaGamma: 1, TailSlope: 0}); err == nil {
 		t.Error("NewGammaPareto zero tail slope should fail")
 	}
 	if _, err := GammaFromMoments(0, 1); err == nil {
@@ -227,7 +227,7 @@ func TestParetoCCDFSlope(t *testing.T) {
 func TestGammaParetoThresholdSlopeMatch(t *testing.T) {
 	// At x_th the log-log density slopes of body and tail must agree:
 	// (s-1) - λ x_th == -(a+1).
-	gp, err := NewGammaPareto(27791, 6254, 12)
+	gp, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestGammaParetoThresholdSlopeMatch(t *testing.T) {
 }
 
 func TestGammaParetoCDFContinuity(t *testing.T) {
-	gp, _ := NewGammaPareto(100, 30, 5)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 5})
 	xth := gp.Threshold()
 	below := gp.CDF(xth * (1 - 1e-9))
 	above := gp.CDF(xth * (1 + 1e-9))
@@ -249,7 +249,7 @@ func TestGammaParetoCDFContinuity(t *testing.T) {
 }
 
 func TestGammaParetoTailIsExactlyPareto(t *testing.T) {
-	gp, _ := NewGammaPareto(100, 30, 5)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 5})
 	xth := gp.Threshold()
 	// CCDF(x)/CCDF(x_th) should equal (x_th/x)^a for x > x_th.
 	for _, mult := range []float64{1.5, 2, 5, 10, 100} {
@@ -263,14 +263,14 @@ func TestGammaParetoTailIsExactlyPareto(t *testing.T) {
 func TestGammaParetoTailMassSmall(t *testing.T) {
 	// With the paper's trace parameters the tail should carry a few
 	// percent of the mass (the paper reports ~3%).
-	gp, _ := NewGammaPareto(27791, 6254, 12)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if tm := gp.TailMass(); tm < 0.001 || tm > 0.15 {
 		t.Errorf("tail mass %v outside plausible range", tm)
 	}
 }
 
 func TestGammaParetoMomentsNumeric(t *testing.T) {
-	gp, _ := NewGammaPareto(100, 30, 6)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 6})
 	// Numeric mean/variance via quantile sampling.
 	const n = 2000000
 	var sum, sum2 float64
@@ -287,11 +287,11 @@ func TestGammaParetoMomentsNumeric(t *testing.T) {
 }
 
 func TestGammaParetoInfiniteMoments(t *testing.T) {
-	gp1, _ := NewGammaPareto(100, 30, 0.9)
+	gp1, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 0.9})
 	if !math.IsInf(gp1.Mean(), 1) {
 		t.Error("tail slope < 1 should give infinite mean")
 	}
-	gp2, _ := NewGammaPareto(100, 30, 1.5)
+	gp2, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 1.5})
 	if math.IsInf(gp2.Mean(), 1) {
 		t.Error("tail slope 1.5 should give finite mean")
 	}
@@ -301,7 +301,7 @@ func TestGammaParetoInfiniteMoments(t *testing.T) {
 }
 
 func TestQuantileTable(t *testing.T) {
-	gp, _ := NewGammaPareto(27791, 6254, 12)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	tab, err := gp.QuantileTable(10000) // the paper's table size
 	if err != nil {
 		t.Fatal(err)
@@ -386,7 +386,7 @@ func TestFitParetoTailErrors(t *testing.T) {
 
 func TestFitGammaParetoOnHybridSample(t *testing.T) {
 	rng := rand.New(rand.NewPCG(17, 19))
-	truth, _ := NewGammaPareto(27791, 6254, 8)
+	truth, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 8})
 	xs := make([]float64, 80000)
 	for i := range xs {
 		xs[i] = truth.Sample(rng)
@@ -462,7 +462,7 @@ func TestHeavyTailOrdering(t *testing.T) {
 	mean, sd := 27791.0, 6254.0
 	n, _ := NewNormal(mean, sd)
 	g, _ := GammaFromMoments(mean, sd)
-	gp, _ := NewGammaPareto(mean, sd, 9)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: mean, SigmaGamma: sd, TailSlope: 9})
 	x := mean + 6*sd
 	cN, cG, cGP := 1-n.CDF(x), 1-g.CDF(x), gp.CCDF(x)
 	if !(cN < cG && cG < cGP) {

@@ -67,15 +67,6 @@ func NewGammaParetoFromParams(p GammaParetoParams) (*GammaPareto, error) {
 	return d, nil
 }
 
-// NewGammaPareto is equivalent to NewGammaParetoFromParams with the
-// positional arguments (μ_Γ, σ_Γ, m_T) named.
-//
-// Deprecated: use NewGammaParetoFromParams; the struct form keeps the
-// three same-typed parameters from being silently transposed.
-func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
-	return NewGammaParetoFromParams(GammaParetoParams{MuGamma: muGamma, SigmaGamma: sigmaGamma, TailSlope: tailSlope})
-}
-
 // Threshold returns x_th, the body/tail attachment point.
 func (d *GammaPareto) Threshold() float64 { return d.xth }
 

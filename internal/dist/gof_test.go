@@ -44,7 +44,7 @@ func TestAndersonDarlingTailSensitivity(t *testing.T) {
 	// The motivation for A² over KS in this repo: a Gamma fitted by
 	// moments to Gamma/Pareto data looks fine to the eye in the body but
 	// A² flags the tail; the hybrid fits far better.
-	truth, _ := NewGammaPareto(27791, 6254, 9)
+	truth, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 9})
 	xs := gofSample(t, truth, 30000, 2)
 	gammaFit, err := FitGamma(xs)
 	if err != nil {
@@ -87,7 +87,7 @@ func TestChiSquareCalibration(t *testing.T) {
 }
 
 func TestChiSquareRejectsWrongModel(t *testing.T) {
-	truth, _ := NewGammaPareto(27791, 6254, 9)
+	truth, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 9})
 	xs := gofSample(t, truth, 30000, 7)
 	normalFit, err := FitNormal(xs)
 	if err != nil {

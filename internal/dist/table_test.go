@@ -98,7 +98,7 @@ func TestSelfConvolveMatchesGammaAddition(t *testing.T) {
 func TestSelfConvolveGammaParetoCoVShrinks(t *testing.T) {
 	// The paper's conclusion: as N grows the aggregate's coefficient of
 	// variation σ/μ falls like 1/√N, compressing the marginal.
-	gp, _ := NewGammaPareto(27791, 6254, 12)
+	gp, _ := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	tab, _ := NewDensityTable(gp, 0, 150000, 4096)
 	base := math.Sqrt(tab.Variance()) / tab.Mean()
 	agg, err := tab.SelfConvolve(16)

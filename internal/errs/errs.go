@@ -57,6 +57,11 @@ var (
 	// on: too short, constant, containing NaN/Inf values, or otherwise
 	// degenerate for the statistic being fitted.
 	ErrInvalidSeries = errors.New("invalid sample series")
+
+	// ErrUnknownModel reports a traffic-model name or spec that no
+	// registered scenario-zoo builder recognizes. CLI front ends map it
+	// to a usage error (exit 2); the HTTP layer maps it to 400.
+	ErrUnknownModel = errors.New("unknown traffic model")
 )
 
 // Cancelled wraps ctx's error so that the result matches both

@@ -472,7 +472,7 @@ func TestSliceGranularityQueueing(t *testing.T) {
 
 	run := func(useSlices bool) []queue.QCPoint {
 		t.Helper()
-		mux, err := queue.NewMux(small.Trace, 2, small.minLag(), 42)
+		mux, err := queue.NewMuxFromConfig(queue.MuxConfig{Trace: small.Trace, N: 2, MinLagFrames: small.minLag(), Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -133,7 +133,7 @@ func (s *Suite) Fig15Ctx(ctx context.Context) (*Fig15Result, error) {
 	var gainCnt int
 	for _, target := range targets {
 		points, err := queue.SMGCtx(ctx, queue.SMGConfig{
-			NewMux: func(n int) (*queue.Mux, error) {
+			NewMux: func(n int) (queue.Aggregator, error) {
 				return queue.NewMuxFromConfig(queue.MuxConfig{Trace: s.Trace, N: n, MinLagFrames: s.minLag(), Seed: 200 + uint64(n)})
 			},
 			Ns:        s.fig15Ns(),

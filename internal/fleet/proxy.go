@@ -156,13 +156,24 @@ func (p *Proxy) handleTrace(w http.ResponseWriter, r *http.Request) {
 	scope := obs.From(ctx)
 	scope.Count("fleet.proxy.trace.requests", 1)
 
-	cands := p.sup.Candidates(ModelKey(p.requestModel(r.URL.Query().Get)))
+	// Scenario-zoo requests route by their spec string; classic fARIMA
+	// requests by their resolved model parameters. Either way equal
+	// identities hash to the same worker. The spec normalization must
+	// match the worker's (query decoding turns "+" into a space).
+	q := r.URL.Query()
+	var key uint64
+	if spec := strings.TrimSpace(strings.ReplaceAll(q.Get("model"), " ", "+")); spec != "" {
+		key = SpecKey(spec)
+	} else {
+		key = ModelKey(p.requestModel(q.Get))
+	}
+	cands := p.sup.Candidates(key)
 	if len(cands) == 0 {
 		p.unavailable(w, scope, errors.New("fleet: no worker available for trace"))
 		return
 	}
 
-	format := r.URL.Query().Get("format")
+	format := q.Get("format")
 	if format == "" {
 		format = "ndjson"
 	}

@@ -84,6 +84,12 @@ func ModelKey(m core.Model) uint64 {
 	return fnv1a(buf[:])
 }
 
+// SpecKey hashes a scenario-zoo model spec for ring routing. A zoo
+// request's identity is the spec string itself — not the μΓ/σΓ/m_T/H
+// quadruple — so equal specs route to the same worker and keep its
+// per-model state hot.
+func SpecKey(spec string) uint64 { return fnv1a([]byte(spec)) }
+
 // fnv1a is the 64-bit FNV-1a hash (stdlib hash/fnv without the
 // allocation of the hash.Hash64 interface).
 func fnv1a(b []byte) uint64 {

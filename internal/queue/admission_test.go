@@ -9,7 +9,7 @@ import (
 )
 
 func TestMarginalAllocationSingleSourceIsQuantile(t *testing.T) {
-	gp, err := dist.NewGammaPareto(27791, 6254, 12)
+	gp, err := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +28,7 @@ func TestMarginalAllocationSingleSourceIsQuantile(t *testing.T) {
 func TestMarginalAllocationSMGShape(t *testing.T) {
 	// Per-source allocation must fall monotonically toward the mean rate
 	// as N grows — the bufferless version of Fig. 15.
-	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	gp, _ := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	const interval = 1.0 / 24
 	meanRate := gp.Mean() * 8 / interval
 	prev := math.Inf(1)
@@ -56,7 +56,7 @@ func TestMarginalAllocationMatchesIIDSimulation(t *testing.T) {
 	// Ground truth: simulate N i.i.d. sources through a bufferless queue
 	// at the allocated capacity; the overflow (loss > 0 per interval)
 	// fraction must be ≈ eps.
-	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	gp, _ := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	const interval = 1.0 / 24
 	const eps = 0.01
 	const n = 5
@@ -86,7 +86,7 @@ func TestMarginalAllocationMatchesIIDSimulation(t *testing.T) {
 func TestMarginalAllocationHeavyTailMatters(t *testing.T) {
 	// The paper's point: at small eps the Pareto tail demands visibly
 	// more capacity than a Gaussian with the same moments.
-	gp, _ := dist.NewGammaPareto(27791, 6254, 8)
+	gp, _ := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 8})
 	gauss, _ := dist.NewNormal(gp.Mean(), math.Sqrt(gp.Variance()))
 	const interval = 1.0 / 24
 	const eps = 1e-5
@@ -104,7 +104,7 @@ func TestMarginalAllocationHeavyTailMatters(t *testing.T) {
 }
 
 func TestMarginalAllocationValidation(t *testing.T) {
-	gp, _ := dist.NewGammaPareto(100, 30, 5)
+	gp, _ := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 100, SigmaGamma: 30, TailSlope: 5})
 	if _, err := MarginalAllocation(nil, 1, 1, 0.01, 1000); err == nil {
 		t.Error("nil distribution should fail")
 	}
@@ -123,7 +123,7 @@ func TestMarginalAllocationValidation(t *testing.T) {
 }
 
 func TestAdmissibleSources(t *testing.T) {
-	gp, _ := dist.NewGammaPareto(27791, 6254, 12)
+	gp, _ := dist.NewGammaParetoFromParams(dist.GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	const interval = 1.0 / 24
 	const eps = 1e-3
 	// Capacity for exactly 5 sources, then ask how many fit.

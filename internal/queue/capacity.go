@@ -103,9 +103,11 @@ type QCPoint struct {
 	PerSourceBps float64
 }
 
-// QCCurveConfig parameterizes a Q–C tradeoff sweep.
+// QCCurveConfig parameterizes a Q–C tradeoff sweep over any
+// Aggregator — the classic lagged-trace Mux or a scenario-zoo
+// SourceMux population.
 type QCCurveConfig struct {
-	Mux       *Mux
+	Mux       Aggregator
 	Target    LossTarget
 	TmaxGrid  []float64 // buffer delays to evaluate (seconds)
 	UseSlices bool      // simulate at slice granularity (the paper's choice)
@@ -139,9 +141,12 @@ func QCCurveCtx(ctx context.Context, cfg QCCurveConfig) ([]QCPoint, error) {
 	for _, p := range cfg.Resume {
 		resumed[p.TmaxSec] = p.PerSourceBps
 	}
-	n := float64(cfg.Mux.N)
-	mean := cfg.Mux.Trace.MeanRate() * n
-	peak := cfg.Mux.Trace.PeakRate() * n * 1.05 // headroom for slice-level peaks
+	n := float64(cfg.Mux.NSources())
+	mean, peak, err := cfg.Mux.RateEnvelope()
+	if err != nil {
+		return nil, err
+	}
+	peak *= 1.05 // headroom for slice-level peaks
 
 	scope := obs.From(ctx)
 	points := make([]QCPoint, 0, len(cfg.TmaxGrid))
@@ -214,7 +219,7 @@ type SMGPoint struct {
 
 // SMGConfig parameterizes the statistical-multiplexing-gain analysis.
 type SMGConfig struct {
-	NewMux    func(n int) (*Mux, error) // constructs the N-source multiplexer
+	NewMux    func(n int) (Aggregator, error) // constructs the N-source multiplexer
 	Ns        []int
 	Target    LossTarget
 	TmaxSec   float64 // Fig. 15 fixes T_max = 2 ms
@@ -250,8 +255,11 @@ func SMGCtx(ctx context.Context, cfg SMGConfig) ([]SMGPoint, error) {
 		if err != nil {
 			return out, err
 		}
-		mean := mux.Trace.MeanRate() * float64(n)
-		peak := mux.Trace.PeakRate() * float64(n) * 1.05
+		mean, peak, err := mux.RateEnvelope()
+		if err != nil {
+			return out, err
+		}
+		peak *= 1.05
 		lossAt := func(c float64) (float64, error) {
 			q := cfg.TmaxSec * c / 8
 			r, err := mux.AverageLossCtx(ctx, c, q, cfg.UseSlices, Options{})

@@ -11,6 +11,7 @@ import (
 	"vbr/internal/errs"
 	"vbr/internal/obs"
 	"vbr/internal/runner"
+	"vbr/internal/source"
 	"vbr/internal/trace"
 )
 
@@ -71,13 +72,14 @@ func NewMuxFromConfig(cfg MuxConfig) (*Mux, error) {
 	return &Mux{Trace: cfg.Trace, N: cfg.N, MinLagFrames: cfg.MinLagFrames, Seed: cfg.Seed}, nil
 }
 
-// NewMux is equivalent to NewMuxFromConfig with the positional
-// arguments named.
-//
-// Deprecated: use NewMuxFromConfig; the struct form keeps the integer
-// parameters from being silently transposed.
-func NewMux(tr *trace.Trace, n int, minLag int, seed uint64) (*Mux, error) {
-	return NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: minLag, Seed: seed})
+// NSources implements Aggregator.
+func (m *Mux) NSources() int { return m.N }
+
+// RateEnvelope implements Aggregator: the aggregate mean and peak of N
+// phased copies are N times the trace's single-source rates (phasing
+// changes neither the marginal sum nor the per-copy peak bound).
+func (m *Mux) RateEnvelope() (meanBps, peakBps float64, err error) {
+	return m.Trace.MeanRate() * float64(m.N), m.Trace.PeakRate() * float64(m.N), nil
 }
 
 // Lags draws one admissible lag combination: N offsets whose pairwise
@@ -110,29 +112,66 @@ func (m *Mux) Lags(rng *rand.Rand) []int {
 	return lags
 }
 
+// AggregateSources sums one interval series per source into an
+// aggregate workload: the shared §5.1 aggregation step behind both the
+// lagged-trace Mux and the scenario-zoo SourceMux. The sum runs
+// source-major (all of source 0's intervals, then source 1's, …), which
+// fixes the float addition order: two populations yielding the same
+// per-source series produce the bitwise-same workload.
+func AggregateSources(ctx context.Context, srcs []source.Source, intervals int, intervalSec float64) (Workload, error) {
+	if len(srcs) == 0 {
+		return Workload{}, fmt.Errorf("queue: no sources to aggregate")
+	}
+	if intervals < 1 {
+		return Workload{}, fmt.Errorf("queue: aggregation needs ≥ 1 intervals, got %d", intervals)
+	}
+	agg := make([]float64, intervals)
+	for _, src := range srcs {
+		if ctx.Err() != nil {
+			return Workload{}, errs.Cancelled(ctx)
+		}
+		for i := 0; i < intervals; i++ {
+			v, err := src.Next(ctx)
+			if err != nil {
+				return Workload{}, fmt.Errorf("queue: aggregating %s at interval %d: %w", src.Meta().Name, i, err)
+			}
+			agg[i] += v
+		}
+	}
+	return Workload{Bytes: agg, Interval: intervalSec}, nil
+}
+
+// lagged builds the Source population of one lag combination: a phased
+// looping copy of vals per lag, the §5.1 construction.
+func lagged(vals []float64, lags []int, scale int, perFrame float64) ([]source.Source, error) {
+	srcs := make([]source.Source, len(lags))
+	for i, lag := range lags {
+		s, err := source.Loop(vals, lag*scale, perFrame*float64(scale))
+		if err != nil {
+			return nil, err
+		}
+		srcs[i] = s
+	}
+	return srcs, nil
+}
+
 // FrameWorkload sums the N lagged frame series into one aggregate
 // workload at frame granularity.
-//
-//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
 func (m *Mux) FrameWorkload(lags []int) (Workload, error) {
 	if len(lags) != m.N {
 		return Workload{}, fmt.Errorf("queue: %d lags for %d sources", len(lags), m.N)
 	}
-	n := len(m.Trace.Frames)
-	agg := make([]float64, n)
-	for _, lag := range lags {
-		for i := 0; i < n; i++ {
-			agg[i] += m.Trace.FrameAt(lag + i)
-		}
+	srcs, err := lagged(m.Trace.Frames, lags, 1, m.Trace.FrameRate)
+	if err != nil {
+		return Workload{}, err
 	}
-	return Workload{Bytes: agg, Interval: 1 / m.Trace.FrameRate}, nil
+	//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
+	return AggregateSources(context.Background(), srcs, len(m.Trace.Frames), 1/m.Trace.FrameRate)
 }
 
 // SliceWorkload sums the N lagged slice series into one aggregate
 // workload at slice granularity (the resolution the paper's simulations
 // use). The trace must carry slice data.
-//
-//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
 func (m *Mux) SliceWorkload(lags []int) (Workload, error) {
 	if m.Trace.Slices == nil {
 		return Workload{}, fmt.Errorf("queue: trace has no slice data")
@@ -141,15 +180,12 @@ func (m *Mux) SliceWorkload(lags []int) (Workload, error) {
 		return Workload{}, fmt.Errorf("queue: %d lags for %d sources", len(lags), m.N)
 	}
 	spf := m.Trace.SlicesPerFrame
-	n := len(m.Trace.Slices)
-	agg := make([]float64, n)
-	for _, lag := range lags {
-		off := lag * spf
-		for i := 0; i < n; i++ {
-			agg[i] += m.Trace.SliceAt(off + i)
-		}
+	srcs, err := lagged(m.Trace.Slices, lags, spf, m.Trace.FrameRate)
+	if err != nil {
+		return Workload{}, err
 	}
-	return Workload{Bytes: agg, Interval: 1 / (m.Trace.FrameRate * float64(spf))}, nil
+	//vbrlint:ignore ctxcheck bounded aggregation over N phased copies of the trace; no blocking calls
+	return AggregateSources(context.Background(), srcs, len(m.Trace.Slices), 1/(m.Trace.FrameRate*float64(spf)))
 }
 
 // Combos returns the number of lag combinations §5.1 prescribes: one for
@@ -223,6 +259,16 @@ func (m *Mux) AverageLossCtx(ctx context.Context, capacityBps, bufferBytes float
 	if err != nil {
 		return nil, err
 	}
+	return averageOverCombos(ctx, ws, capacityBps, bufferBytes, opts)
+}
+
+// averageOverCombos runs the fluid simulation over one workload per lag
+// combination and averages the survivors — the shared §5.1 averaging
+// step behind every Aggregator. Combinations run concurrently and
+// panic-safe; a failed combination is excluded and reported in
+// Result.ComboErrors, and only full failure or cancellation errors the
+// call.
+func averageOverCombos(ctx context.Context, ws []Workload, capacityBps, bufferBytes float64, opts Options) (*Result, error) {
 	results := runner.Run(ctx, len(ws), runner.Options{
 		Label: func(i int) string { return fmt.Sprintf("lag combo %d", i) },
 	}, func(_ context.Context, c int) (*Result, error) {

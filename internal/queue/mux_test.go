@@ -25,26 +25,26 @@ func testTrace(t testing.TB, frames int) *trace.Trace {
 
 func TestNewMuxValidation(t *testing.T) {
 	tr := testTrace(t, 3000)
-	if _, err := NewMux(nil, 1, 0, 1); err == nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: nil, N: 1, MinLagFrames: 0, Seed: 1}); err == nil {
 		t.Error("nil trace should fail")
 	}
-	if _, err := NewMux(tr, 0, 0, 1); err == nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 0, MinLagFrames: 0, Seed: 1}); err == nil {
 		t.Error("zero sources should fail")
 	}
-	if _, err := NewMux(tr, 2, -1, 1); err == nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 2, MinLagFrames: -1, Seed: 1}); err == nil {
 		t.Error("negative lag should fail")
 	}
-	if _, err := NewMux(tr, 5, 1000, 1); err == nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 5, MinLagFrames: 1000, Seed: 1}); err == nil {
 		t.Error("impossible lag packing should fail")
 	}
-	if _, err := NewMux(tr, 5, 100, 1); err != nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 5, MinLagFrames: 100, Seed: 1}); err != nil {
 		t.Errorf("valid mux rejected: %v", err)
 	}
 }
 
 func TestLagsRespectMinDistance(t *testing.T) {
 	tr := testTrace(t, 3000)
-	m, err := NewMux(tr, 5, 200, 42)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 5, MinLagFrames: 200, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestLagsRespectMinDistance(t *testing.T) {
 
 func TestFrameWorkloadConservesBytes(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 7)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestFrameWorkloadConservesBytes(t *testing.T) {
 
 func TestSliceWorkload(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 2, 100, 7)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 2, MinLagFrames: 100, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestSliceWorkload(t *testing.T) {
 	}
 	// Trace without slice data.
 	noSlices := &trace.Trace{Frames: tr.Frames, FrameRate: 24}
-	m2, _ := NewMux(noSlices, 2, 100, 7)
+	m2, _ := NewMuxFromConfig(MuxConfig{Trace: noSlices, N: 2, MinLagFrames: 100, Seed: 7})
 	if _, err := m2.SliceWorkload(lags); err == nil {
 		t.Error("missing slices should fail")
 	}
@@ -137,7 +137,7 @@ func TestSliceWorkload(t *testing.T) {
 func TestCombos(t *testing.T) {
 	tr := testTrace(t, 2000)
 	for _, c := range []struct{ n, want int }{{1, 1}, {2, 1}, {3, 6}, {20, 6}} {
-		m, err := NewMux(tr, c.n, 50, 1)
+		m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: c.n, MinLagFrames: 50, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestCombos(t *testing.T) {
 
 func TestAverageLossSmoke(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestStatisticalMultiplexingGainAppears(t *testing.T) {
 	target := LossTarget{Pl: 1e-3}
 	var prev float64 = math.Inf(1)
 	for _, n := range []int{1, 4, 8} {
-		m, err := NewMux(tr, n, 300, 17)
+		m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: 300, Seed: 17})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +213,7 @@ func TestStatisticalMultiplexingGainAppears(t *testing.T) {
 
 func TestQCCurveShape(t *testing.T) {
 	tr := testTrace(t, 3000)
-	m, err := NewMux(tr, 2, 300, 19)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 2, MinLagFrames: 300, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,8 +245,8 @@ func TestQCCurveShape(t *testing.T) {
 func TestSMGAndRealizedGain(t *testing.T) {
 	tr := testTrace(t, 3000)
 	points, err := SMG(SMGConfig{
-		NewMux: func(n int) (*Mux, error) {
-			return NewMux(tr, n, 300, 23)
+		NewMux: func(n int) (Aggregator, error) {
+			return NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: 300, Seed: 23})
 		},
 		Ns:      []int{1, 5},
 		Target:  LossTarget{Pl: 1e-3},

@@ -29,7 +29,7 @@ func scopedCtx(t *testing.T) (context.Context, *obs.Registry) {
 // result lands first — deterministic instead of a rare flake.
 func TestAverageLossWindowSeriesFromFirstCombo(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13) // N=3 → 6 combos
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13}) // N=3 → 6 combos
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestAverageLossWindowSeriesFromFirstCombo(t *testing.T) {
 // failures, and that queue.bytes.simulated sums exactly the survivors.
 func TestAverageLossComboMetricsConsistent(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ func TestNewMuxSpacingBoundary(t *testing.T) {
 
 	// Exactly feasible: N·MinLag == len → the zero-slack equally-spaced
 	// placement must be accepted, not rejected.
-	m, err := NewMux(tr, n, l/n, 1)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: l/n, Seed: 1})
 	if err != nil {
 		t.Fatalf("zero-slack placement rejected: %v", err)
 	}
@@ -47,18 +47,18 @@ func TestNewMuxSpacingBoundary(t *testing.T) {
 	}
 
 	// One frame of slack: still feasible.
-	if _, err := NewMux(tr, n, (l-1)/n, 1); err != nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: (l-1)/n, Seed: 1}); err != nil {
 		t.Errorf("near-tight placement rejected: %v", err)
 	}
 
 	// One frame too many: infeasible, and identified as such.
-	_, err = NewMux(tr, n, l/n+1, 1)
+	_, err = NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: l/n+1, Seed: 1})
 	if !errors.Is(err, errs.ErrInfeasibleLags) {
 		t.Errorf("over-tight placement: got %v, want ErrInfeasibleLags", err)
 	}
 
 	// N == 1 never has a spacing constraint.
-	if _, err := NewMux(tr, 1, l*10, 1); err != nil {
+	if _, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 1, MinLagFrames: l*10, Seed: 1}); err != nil {
 		t.Errorf("single source with huge MinLag rejected: %v", err)
 	}
 }
@@ -67,7 +67,7 @@ func TestNewMuxSpacingBoundary(t *testing.T) {
 
 func TestAverageLossComboFailuresDegradeGracefully(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13) // N=3 → 6 combos
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13}) // N=3 → 6 combos
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestAverageLossComboFailuresDegradeGracefully(t *testing.T) {
 
 func TestAverageLossAllCombosFailed(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestAverageLossAllCombosFailed(t *testing.T) {
 
 func TestAverageLossCtxCancelled(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestGenerateFaultsDeterministic(t *testing.T) {
 
 func TestFaultedSimulationDeterministicAndLossy(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 3, 100, 13)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestMinCapacityTargetUnreachable(t *testing.T) {
 
 func TestQCCurveResumeSkipsCompletedPoints(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 2, 100, 19)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 2, MinLagFrames: 100, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestQCCurveResumeSkipsCompletedPoints(t *testing.T) {
 
 func TestQCCurveCtxReturnsPartialOnCancel(t *testing.T) {
 	tr := testTrace(t, 2000)
-	m, err := NewMux(tr, 2, 100, 19)
+	m, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 2, MinLagFrames: 100, Seed: 19})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestSMGCtxCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	pts, err := SMGCtx(ctx, SMGConfig{
-		NewMux:  func(n int) (*Mux, error) { return NewMux(tr, n, 100, 23) },
+		NewMux:  func(n int) (Aggregator, error) { return NewMuxFromConfig(MuxConfig{Trace: tr, N: n, MinLagFrames: 100, Seed: 23}) },
 		Ns:      []int{1, 5},
 		Target:  LossTarget{Pl: 1e-3},
 		TmaxSec: 0.002,

@@ -7,8 +7,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"vbr/internal/obs"
+	"vbr/internal/source"
 	"vbr/internal/stream"
 )
 
@@ -86,11 +88,72 @@ func (s *Server) parseStreamConfig(get func(string) string) (stream.Config, erro
 	return cfg, nil
 }
 
+// probeSource is what the trace writer loop needs: block-by-block
+// frames plus a final online-validation probe. The classic fARIMA
+// stream and the scenario-zoo block adapter both satisfy it.
+type probeSource interface {
+	stream.BlockSource
+	Probe() stream.Probe
+}
+
+var (
+	_ probeSource = (*stream.Stream)(nil)
+	_ probeSource = (*source.BlockAdapter)(nil)
+)
+
+// ModelHeader names the zoo model serving a /v1/trace response when
+// the request carried a model= parameter.
+const ModelHeader = "X-Vbr-Model"
+
+// parseZooSource maps /v1/trace query parameters onto a scenario-zoo
+// source when model= names one. Query decoding turns "+" into a
+// space, so spaces in the spec are read back as the mix separator —
+// model=farima*3+onoff works without percent-encoding.
+func (s *Server) parseZooSource(get func(string) string, spec string) (*source.BlockAdapter, int, uint64, error) {
+	n, block := 171_000, 4096
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"n", &n},
+		{"block", &block},
+	} {
+		if v := get(p.name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("server: parameter %s: %w", p.name, err)
+			}
+			*p.dst = i
+		}
+	}
+	var seed uint64
+	if v := get("seed"); v != "" {
+		var err error
+		if seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, 0, 0, fmt.Errorf("server: parameter seed: %w", err)
+		}
+	}
+	if n > s.cfg.MaxFrames {
+		return nil, 0, 0, fmt.Errorf("server: n=%d exceeds the per-request cap of %d frames", n, s.cfg.MaxFrames)
+	}
+	src, err := source.New(spec, seed)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ad, err := source.Blocks(src, n, block)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return ad, n, seed, nil
+}
+
 // handleTrace streams a synthetic trace as chunked NDJSON (default) or
-// raw little-endian float64 frames. Frames are produced block by block
-// from a BlockSource and flushed per block, so memory stays O(block)
-// regardless of n, and a slow or vanished client is detected through
-// r.Context() — generation stops instead of racing ahead of the socket.
+// raw little-endian float64 frames. The default path serves the §4
+// fARIMA stream; model= routes through the scenario-zoo registry
+// instead. Frames are produced block by block from a BlockSource and
+// flushed per block, so memory stays O(block) regardless of n, and a
+// slow or vanished client is detected through r.Context() —
+// generation stops instead of racing ahead of the socket.
 //vbrlint:hotpath
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
@@ -99,11 +162,35 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	defer scope.Span("server.trace")()
 
 	q := r.URL.Query()
-	cfg, err := s.parseStreamConfig(q.Get)
-	if err != nil {
-		scope.Count("server.trace.badrequest", 1)
-		writeError(w, http.StatusBadRequest, err)
-		return
+	var (
+		src  probeSource
+		n    int
+		seed uint64
+	)
+	if spec := strings.TrimSpace(strings.ReplaceAll(q.Get("model"), " ", "+")); spec != "" {
+		ad, zn, zseed, err := s.parseZooSource(q.Get, spec)
+		if err != nil {
+			scope.Count("server.trace.badrequest", 1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		src, n, seed = ad, zn, zseed
+		w.Header().Set(ModelHeader, spec)
+	} else {
+		cfg, err := s.parseStreamConfig(q.Get)
+		if err != nil {
+			scope.Count("server.trace.badrequest", 1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := stream.OpenCtx(ctx, cfg)
+		if err != nil {
+			scope.Count("server.trace.badrequest", 1)
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		src, n, seed = st, cfg.N, cfg.Seed
+		w.Header().Set("X-Vbr-Backend", cfg.Backend.String())
 	}
 	format := q.Get("format")
 	if format == "" {
@@ -115,21 +202,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	src, err := stream.OpenCtx(ctx, cfg)
-	if err != nil {
-		scope.Count("server.trace.badrequest", 1)
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-
 	if format == formatBinary {
 		w.Header().Set("Content-Type", "application/octet-stream")
 	} else {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
-	w.Header().Set("X-Vbr-Frames", strconv.Itoa(cfg.N))
-	w.Header().Set("X-Vbr-Backend", cfg.Backend.String())
-	w.Header().Set("X-Vbr-Seed", strconv.FormatUint(cfg.Seed, 10))
+	w.Header().Set("X-Vbr-Frames", strconv.Itoa(n))
+	w.Header().Set("X-Vbr-Seed", strconv.FormatUint(seed, 10))
 	// The stream validates itself online; once the last block is out the
 	// final monitor probe travels back as HTTP trailers (headers are long
 	// gone by then). Ĥ is the calibrated MAVAR estimate with its 95%
@@ -143,7 +222,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	for {
 		blk, err := src.Next(ctx)
 		if err != nil {
-			if src.Pos() >= cfg.N {
+			if src.Pos() >= n {
 				break // io.EOF: the full trace went out
 			}
 			// Mid-stream failure: the client went away, the drain
@@ -189,5 +268,5 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(trailerHVT, strconv.FormatFloat(p.H, 'g', -1, 64))
 	}
 	scope.Count("server.trace.completed", 1)
-	scope.Count("server.trace.frames", int64(cfg.N))
+	scope.Count("server.trace.frames", int64(n))
 }

@@ -1,0 +1,204 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+func init() {
+	register(Builder{
+		Name: "poisson",
+		Doc:  "memoryless packet-count baseline: bytes per frame = pkt · Poisson(rate/(8·fps·pkt))",
+		Defaults: Params{
+			"rate": 5e6,  // target load, bits per second
+			"pkt":  1500, // packet size, bytes
+			"fps":  24,
+		},
+		New: newPoisson,
+	})
+	register(Builder{
+		Name: "onoff",
+		Doc:  "bursty on/off \"VR-frame\" baseline: peak-rate frames in exponential ON/OFF sojourns",
+		Defaults: Params{
+			"rate":   5e6,  // mean load, bits per second
+			"peak":   20e6, // ON-state rate, bits per second
+			"meanon": 0.5,  // mean ON sojourn, seconds
+			"fps":    72,   // VR-style high frame rate
+		},
+		New: newOnOff,
+	})
+}
+
+// poissonSource is the classic memoryless baseline the paper's §5
+// results are contrasted against: per frame, a Poisson packet count at
+// the rate matching the target load. It has no correlation at any lag,
+// so it sits at the opposite extreme of the zoo from farima/cascade.
+type poissonSource struct {
+	lambda float64 // mean packets per frame
+	pkt    float64
+	fps    float64
+	rng    *rand.Rand
+}
+
+// maxPoissonLambda caps the per-frame mean packet count; beyond it the
+// additive decomposition below would loop too long per frame and the
+// model degenerates to near-constant traffic anyway.
+const maxPoissonLambda = 1 << 20
+
+func newPoisson(user Params, seed uint64) (Source, error) {
+	p, err := Params(registry["poisson"].Defaults).merged(user)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []string{"rate", "pkt", "fps"} {
+		if !(p[k] > 0) {
+			return nil, fmt.Errorf("source: poisson %s must be positive, got %v", k, p[k])
+		}
+	}
+	lambda := p["rate"] / (8 * p["fps"] * p["pkt"])
+	if lambda > maxPoissonLambda {
+		return nil, fmt.Errorf("source: poisson mean packets/frame %.3g too large (max %d); raise pkt or fps", lambda, maxPoissonLambda)
+	}
+	s := &poissonSource{lambda: lambda, pkt: p["pkt"], fps: p["fps"]}
+	s.Reset(seed)
+	return s, nil
+}
+
+// poissonStreamSalt decorrelates the Poisson baseline's PCG stream from
+// the other zoo members' under a shared seed.
+const poissonStreamSalt = 0x9015
+
+func (s *poissonSource) Reset(seed uint64) {
+	s.rng = rand.New(rand.NewPCG(seed, poissonStreamSalt))
+}
+
+// poissonDraw samples Poisson(lambda) by Knuth's product method for
+// small means, decomposed additively (Poisson(a+b) = Poisson(a) +
+// Poisson(b), exact) into ≤30-mean chunks for large ones so the
+// product never underflows.
+func poissonDraw(rng *rand.Rand, lambda float64) int {
+	const chunk = 30
+	n := 0
+	for lambda > chunk {
+		n += poissonKnuth(rng, chunk)
+		lambda -= chunk
+	}
+	return n + poissonKnuth(rng, lambda)
+}
+
+func poissonKnuth(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+//vbrlint:hotpath
+func (s *poissonSource) Next(ctx context.Context) (float64, error) {
+	return s.pkt * float64(poissonDraw(s.rng, s.lambda)), nil
+}
+
+func (s *poissonSource) Meta() Meta {
+	return Meta{
+		Name:      "poisson",
+		MeanBytes: s.lambda * s.pkt,
+		FrameRate: s.fps,
+	}
+}
+
+// onOffSource is the bursty baseline: frames alternate between an ON
+// state emitting at the peak rate and a silent OFF state, with
+// exponentially distributed sojourns whose means realize the requested
+// average load (duty cycle = rate/peak). It is the "VR-frame" shape of
+// SNIPPETS Snippets 1–2: bursts of full-size frames separated by idle
+// gaps, short-range correlated only.
+type onOffSource struct {
+	onBytes float64 // bytes per ON frame = peak/(8·fps)
+	meanOn  float64 // mean ON sojourn, frames
+	meanOff float64 // mean OFF sojourn, frames
+	fps     float64
+	rate    float64
+	peak    float64
+
+	rng  *rand.Rand
+	on   bool
+	left float64 // frames remaining in the current sojourn
+}
+
+func newOnOff(user Params, seed uint64) (Source, error) {
+	p, err := Params(registry["onoff"].Defaults).merged(user)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []string{"rate", "peak", "meanon", "fps"} {
+		if !(p[k] > 0) {
+			return nil, fmt.Errorf("source: onoff %s must be positive, got %v", k, p[k])
+		}
+	}
+	if p["rate"] >= p["peak"] {
+		return nil, fmt.Errorf("source: onoff rate (%v) must be below peak (%v)", p["rate"], p["peak"])
+	}
+	duty := p["rate"] / p["peak"]
+	meanOnFrames := p["meanon"] * p["fps"]
+	s := &onOffSource{
+		onBytes: p["peak"] / (8 * p["fps"]),
+		meanOn:  meanOnFrames,
+		meanOff: meanOnFrames * (1 - duty) / duty,
+		fps:     p["fps"],
+		rate:    p["rate"],
+		peak:    p["peak"],
+	}
+	s.Reset(seed)
+	return s, nil
+}
+
+// onOffStreamSalt decorrelates the on/off baseline's PCG stream from
+// the other zoo members' under a shared seed.
+const onOffStreamSalt = 0x0f0f
+
+func (s *onOffSource) Reset(seed uint64) {
+	s.rng = rand.New(rand.NewPCG(seed, onOffStreamSalt))
+	s.on = true
+	s.left = s.sojourn(s.meanOn)
+}
+
+// sojourn draws an exponential sojourn length in frames, floored at one
+// frame so every visit to a state emits at least once.
+func (s *onOffSource) sojourn(mean float64) float64 {
+	return math.Max(1, s.rng.ExpFloat64()*mean)
+}
+
+//vbrlint:hotpath
+func (s *onOffSource) Next(ctx context.Context) (float64, error) {
+	if s.left < 1 {
+		s.on = !s.on
+		if s.on {
+			s.left += s.sojourn(s.meanOn)
+		} else {
+			s.left += s.sojourn(s.meanOff)
+		}
+	}
+	s.left--
+	if s.on {
+		return s.onBytes, nil
+	}
+	return 0, nil
+}
+
+func (s *onOffSource) Meta() Meta {
+	return Meta{
+		Name:      "onoff",
+		MeanBytes: s.rate / (8 * s.fps),
+		PeakBytes: s.onBytes,
+		FrameRate: s.fps,
+		FrameTags: []string{"on", "off"},
+	}
+}

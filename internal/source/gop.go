@@ -1,0 +1,248 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"vbr/internal/codec"
+	"vbr/internal/dist"
+)
+
+func init() {
+	register(Builder{
+		Name: "gop",
+		Doc:  "GoP I/P/B frame-structured codec traffic with keyframe/busy-frame correlation",
+		Defaults: Params{
+			"gop":     12,    // frames per GOP (I-frame period)
+			"bframes": 2,     // B frames between references (MPEG IBBP)
+			"imean":   60000, // mean I-frame bytes
+			"pmean":   25000, // mean P-frame bytes
+			"bmean":   9000,  // mean B-frame bytes
+			"cv":      0.25,  // within-type coefficient of variation
+			"rho":     0.9,   // AR(1) correlation of the per-GOP activity level
+			"acv":     0.3,   // coefficient of variation of the activity level
+			"fps":     24,
+		},
+		New: newGoP,
+	})
+}
+
+// gopSource generates MPEG-style GoP traffic: a deterministic I/P/B
+// frame-type cycle (the codec package's display-order rule), per-type
+// mean sizes, and a shared per-GOP "scene activity" level — an AR(1)
+// mean-one lognormal factor that scales every frame in the GOP. The
+// shared factor is what couples keyframe size to busy-frame size: an
+// active scene inflates the I frame and its P/B followers together
+// (SNIPPETS Snippet 3's KeyFrameModel/BusyPFrameCorrelation shape).
+// Around the activity-scaled type mean, each frame draws independent
+// Gamma noise with coefficient of variation cv.
+type gopSource struct {
+	gop     int
+	bframes int
+	fps     float64
+	mean    [3]float64 // I, P, B mean bytes
+	noise   dist.Gamma // mean-one Gamma, shape = 1/cv²
+	rho     float64
+	sigmaA  float64 // lognormal σ of the activity factor
+
+	rng *rand.Rand
+	t   int
+	// act is the current GOP's activity factor; actZ its underlying
+	// standard-normal AR(1) state.
+	act  float64
+	actZ float64
+}
+
+func newGoP(user Params, seed uint64) (Source, error) {
+	p, err := Params(registry["gop"].Defaults).merged(user)
+	if err != nil {
+		return nil, err
+	}
+	g := int(p["gop"])
+	b := int(p["bframes"])
+	if g < 1 {
+		return nil, fmt.Errorf("source: gop length must be ≥ 1, got %d", g)
+	}
+	if b < 0 || b+1 > g {
+		return nil, fmt.Errorf("source: bframes must be in [0, gop-1], got %d with gop %d", b, g)
+	}
+	for _, k := range []string{"imean", "pmean", "bmean", "fps"} {
+		if !(p[k] > 0) {
+			return nil, fmt.Errorf("source: gop %s must be positive, got %v", k, p[k])
+		}
+	}
+	cv := p["cv"]
+	if !(cv > 0) {
+		return nil, fmt.Errorf("source: gop cv must be positive, got %v", cv)
+	}
+	rho := p["rho"]
+	if !(rho >= 0 && rho < 1) {
+		return nil, fmt.Errorf("source: gop rho must be in [0,1), got %v", rho)
+	}
+	acv := p["acv"]
+	if !(acv >= 0) {
+		return nil, fmt.Errorf("source: gop acv must be ≥ 0, got %v", acv)
+	}
+	// Mean-one Gamma noise: shape = rate = 1/cv².
+	noise, err := dist.NewGamma(1/(cv*cv), 1/(cv*cv))
+	if err != nil {
+		return nil, err
+	}
+	// Mean-one lognormal with coefficient of variation acv:
+	// σ² = ln(1+acv²), μ = -σ²/2.
+	s := &gopSource{
+		gop:     g,
+		bframes: b,
+		fps:     p["fps"],
+		mean:    [3]float64{p["imean"], p["pmean"], p["bmean"]},
+		noise:   noise,
+		rho:     rho,
+		sigmaA:  math.Sqrt(math.Log(1 + acv*acv)),
+	}
+	s.Reset(seed)
+	return s, nil
+}
+
+// gopStreamSalt decorrelates the GoP model's PCG stream from the other
+// zoo members' streams under a shared seed.
+const gopStreamSalt = 0x60b5
+
+func (s *gopSource) Reset(seed uint64) {
+	s.rng = rand.New(rand.NewPCG(seed, gopStreamSalt))
+	s.t = 0
+	s.actZ = s.rng.NormFloat64()
+	s.act = s.activity(s.actZ)
+}
+
+// activity maps the standard-normal AR(1) state to the mean-one
+// lognormal factor exp(σz - σ²/2).
+func (s *gopSource) activity(z float64) float64 {
+	return math.Exp(s.sigmaA*z - s.sigmaA*s.sigmaA/2)
+}
+
+// frameType mirrors codec.InterCoder's display-order GOP rule.
+func (s *gopSource) frameType(t int) codec.FrameType {
+	if t%s.gop == 0 {
+		return codec.FrameI
+	}
+	if t%(s.bframes+1) == 0 {
+		return codec.FrameP
+	}
+	return codec.FrameB
+}
+
+//vbrlint:hotpath
+func (s *gopSource) Next(ctx context.Context) (float64, error) {
+	if s.t > 0 && s.t%s.gop == 0 {
+		// New GOP: advance the AR(1) activity state.
+		s.actZ = s.rho*s.actZ + math.Sqrt(1-s.rho*s.rho)*s.rng.NormFloat64()
+		s.act = s.activity(s.actZ)
+	}
+	var mean float64
+	switch s.frameType(s.t) {
+	case codec.FrameI:
+		mean = s.mean[0]
+	case codec.FrameP:
+		mean = s.mean[1]
+	default:
+		mean = s.mean[2]
+	}
+	s.t++
+	return mean * s.act * s.noise.Sample(s.rng), nil
+}
+
+func (s *gopSource) Meta() Meta {
+	// Per-GOP type census from the display-order rule.
+	var sum float64
+	for t := 0; t < s.gop; t++ {
+		switch s.frameType(t) {
+		case codec.FrameI:
+			sum += s.mean[0]
+		case codec.FrameP:
+			sum += s.mean[1]
+		default:
+			sum += s.mean[2]
+		}
+	}
+	return Meta{
+		Name:      "gop",
+		MeanBytes: sum / float64(s.gop),
+		FrameRate: s.fps,
+		FrameTags: []string{"I", "P", "B"},
+	}
+}
+
+// FitGoP estimates the gop model's per-type means and within-type
+// coefficient of variation from observed frame sizes and their codec
+// frame types (e.g. the outputs of codec.InterCoder.CodeSequence), so
+// synthetic GoP traffic can be calibrated to a real coded sequence.
+// The returned Params overlay the model defaults.
+func FitGoP(sizes []float64, types []codec.FrameType) (Params, error) {
+	if len(sizes) == 0 || len(sizes) != len(types) {
+		return nil, fmt.Errorf("source: FitGoP needs matching non-empty sizes/types, got %d/%d", len(sizes), len(types))
+	}
+	var sum [3]float64
+	var n [3]int
+	idx := func(ft codec.FrameType) (int, error) {
+		switch ft {
+		case codec.FrameI:
+			return 0, nil
+		case codec.FrameP:
+			return 1, nil
+		case codec.FrameB:
+			return 2, nil
+		}
+		return 0, fmt.Errorf("source: FitGoP: unknown frame type %q", ft)
+	}
+	for i, v := range sizes {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("source: FitGoP: frame %d size must be positive and finite, got %v", i, v)
+		}
+		j, err := idx(types[i])
+		if err != nil {
+			return nil, err
+		}
+		sum[j] += v
+		n[j]++
+	}
+	if n[0] == 0 || n[1] == 0 {
+		return nil, fmt.Errorf("source: FitGoP needs at least one I and one P frame, got %d/%d", n[0], n[1])
+	}
+	mean := [3]float64{}
+	for j := range mean {
+		if n[j] > 0 {
+			mean[j] = sum[j] / float64(n[j])
+		}
+	}
+	// Pool the within-type relative variance for a single cv estimate.
+	var relSq float64
+	var relN int
+	for i, v := range sizes {
+		j, _ := idx(types[i])
+		if n[j] < 2 {
+			continue
+		}
+		r := v/mean[j] - 1
+		relSq += r * r
+		relN++
+	}
+	p := Params{
+		"imean": mean[0],
+		"pmean": mean[1],
+		"bmean": mean[2],
+	}
+	//vbrlint:ignore floateq exact-zero test: the census never incremented the B bucket
+	if mean[2] == 0 {
+		// No B frames observed: fall back to the P mean so the model
+		// stays constructible (bframes=0 specs won't sample it anyway).
+		p["bmean"] = mean[1]
+	}
+	if relN > 1 {
+		if cv := math.Sqrt(relSq / float64(relN-1)); cv > 0 {
+			p["cv"] = cv
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,98 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mix is the heterogeneous-population combinator: its per-frame output
+// is the sum of its members' frames, modelling N different sources
+// sharing one buffer (the LRD-video-plus-bursty-background setup of
+// arxiv cs/9809045). All members must agree on the frame rate — the
+// sum of per-frame bytes is only meaningful on a common frame clock.
+// Reset fans the seed out to members through SubSeed, so a Mix is as
+// deterministic as its members.
+type Mix struct {
+	members []Source
+	meta    Meta
+}
+
+// NewMix combines members into one summed Source.
+func NewMix(members []Source) (*Mix, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("source: mix needs at least one member")
+	}
+	fps := members[0].Meta().FrameRate
+	names := make([]string, 0, len(members))
+	var mean, peak float64
+	unbounded := false
+	tagSet := map[string]bool{}
+	for i, m := range members {
+		meta := m.Meta()
+		//vbrlint:ignore floateq frame rates are configuration literals sharing one clock; exact mismatch is the defect
+		if meta.FrameRate != fps {
+			return nil, fmt.Errorf("source: mix members must share a frame rate: member 0 has %v fps, member %d (%s) has %v",
+				fps, i, meta.Name, meta.FrameRate)
+		}
+		names = append(names, meta.Name)
+		mean += meta.MeanBytes
+		//vbrlint:ignore floateq PeakBytes 0 is the exact unbounded sentinel assigned from literals, never computed
+		if meta.PeakBytes == 0 {
+			unbounded = true
+		}
+		peak += meta.PeakBytes
+		for _, t := range meta.FrameTags {
+			tagSet[t] = true
+		}
+	}
+	if unbounded {
+		peak = 0
+	}
+	tags := make([]string, 0, len(tagSet))
+	for t := range tagSet {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	if len(tags) == 0 {
+		tags = nil
+	}
+	return &Mix{
+		members: members,
+		meta: Meta{
+			Name:      "mix(" + strings.Join(names, "+") + ")",
+			MeanBytes: mean,
+			PeakBytes: peak,
+			FrameRate: fps,
+			FrameTags: tags,
+		},
+	}, nil
+}
+
+// Members exposes the member sources (read-only view) for consumers
+// that multiplex them individually rather than summed.
+func (m *Mix) Members() []Source { return m.members }
+
+// Reset implements Source: member i is reseeded with SubSeed(seed, i).
+func (m *Mix) Reset(seed uint64) {
+	for i, s := range m.members {
+		s.Reset(SubSeed(seed, i))
+	}
+}
+
+//vbrlint:hotpath
+func (m *Mix) Next(ctx context.Context) (float64, error) {
+	var sum float64
+	for _, s := range m.members {
+		v, err := s.Next(ctx)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// Meta implements Source.
+func (m *Mix) Meta() Meta { return m.meta }

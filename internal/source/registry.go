@@ -1,0 +1,175 @@
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vbr/internal/errs"
+)
+
+// Builder constructs one zoo model from parameters. Builders are
+// registered at package init; the registry is read-only afterwards, so
+// lookups need no locking.
+type Builder struct {
+	// Name is the registry key ("farima", "gop", "cascade", ...).
+	Name string
+	// Doc is a one-line description for CLI listings.
+	Doc string
+	// Defaults declares every parameter the model accepts with its
+	// default value; user params outside this set are rejected.
+	Defaults Params
+	// New builds a Source with user params merged over Defaults and
+	// randomness derived from seed.
+	New func(p Params, seed uint64) (Source, error)
+}
+
+var registry = map[string]Builder{}
+
+// register adds a builder at package init. Duplicate names are a
+// programming error.
+func register(b Builder) {
+	if _, dup := registry[b.Name]; dup {
+		panic("source: duplicate model " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Names lists the registered model names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the builder for a model name.
+func Lookup(name string) (Builder, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Builder{}, fmt.Errorf("%w: %q (registered: %s)",
+			errs.ErrUnknownModel, name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Spec is one parsed model term: a registry name, its parameter
+// overrides, and a population count (from the "*count" suffix in mix
+// specs; 1 when absent).
+type Spec struct {
+	Name   string
+	Params Params
+	Count  int
+}
+
+// ParseSpec parses a model spec of the form
+//
+//	name[:key=value,key=value][*count][+name...]
+//
+// e.g. "gop", "cascade:depth=10,beta=1.2", or the heterogeneous mix
+// "farima*3+onoff:rate=2e6*2". Parameter names are validated later by
+// the builder; this layer only checks structure. Unknown model names
+// wrap errs.ErrUnknownModel.
+func ParseSpec(spec string) ([]Spec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("%w: empty spec", errs.ErrUnknownModel)
+	}
+	terms := strings.Split(spec, "+")
+	out := make([]Spec, 0, len(terms))
+	for _, term := range terms {
+		s, err := parseTerm(strings.TrimSpace(term))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseTerm(term string) (Spec, error) {
+	if term == "" {
+		return Spec{}, fmt.Errorf("%w: empty term in spec", errs.ErrUnknownModel)
+	}
+	count := 1
+	if star := strings.LastIndex(term, "*"); star >= 0 {
+		c, err := strconv.Atoi(strings.TrimSpace(term[star+1:]))
+		if err != nil || c < 1 {
+			return Spec{}, fmt.Errorf("source: bad population count in %q (want name[:params]*count)", term)
+		}
+		count = c
+		term = strings.TrimSpace(term[:star])
+	}
+	name := term
+	params := Params{}
+	if colon := strings.Index(term, ":"); colon >= 0 {
+		name = term[:colon]
+		for _, kv := range strings.Split(term[colon+1:], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			eq := strings.Index(kv, "=")
+			if eq <= 0 {
+				return Spec{}, fmt.Errorf("source: bad parameter %q in %q (want key=value)", kv, term)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(kv[eq+1:]), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("source: bad value for %s in %q: %w", kv[:eq], term, err)
+			}
+			params[strings.TrimSpace(kv[:eq])] = v
+		}
+	}
+	if _, err := Lookup(name); err != nil {
+		return Spec{}, err
+	}
+	return Spec{Name: name, Params: params, Count: count}, nil
+}
+
+// New builds a single Source from a spec string. A one-term spec with
+// count 1 yields the model directly; anything else (counts > 1 or
+// multiple "+" terms) yields a Mix of the expanded population, all
+// seeded from derived sub-seeds of seed.
+func New(spec string, seed uint64) (Source, error) {
+	specs, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 1 && specs[0].Count == 1 {
+		b, err := Lookup(specs[0].Name)
+		if err != nil {
+			return nil, err
+		}
+		return b.New(specs[0].Params, seed)
+	}
+	members, err := NewPopulation(specs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewMix(members)
+}
+
+// NewPopulation expands specs into the flat []Source population they
+// describe — one instance per count, each seeded with a distinct
+// SubSeed of seed — for consumers that multiplex members individually
+// rather than summing them (the queue's SourceMux).
+func NewPopulation(specs []Spec, seed uint64) ([]Source, error) {
+	var out []Source
+	for _, s := range specs {
+		b, err := Lookup(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < s.Count; i++ {
+			src, err := b.New(s.Params, SubSeed(seed, len(out)))
+			if err != nil {
+				return nil, fmt.Errorf("source: building %s[%d]: %w", s.Name, i, err)
+			}
+			out = append(out, src)
+		}
+	}
+	return out, nil
+}

@@ -60,6 +60,7 @@ import (
 	"vbr/internal/lrd"
 	"vbr/internal/queue"
 	"vbr/internal/scenes"
+	"vbr/internal/source"
 	"vbr/internal/stats"
 	"vbr/internal/stream"
 	"vbr/internal/synth"
@@ -141,15 +142,6 @@ type GammaParetoParams = dist.GammaParetoParams
 // NewGammaParetoFromParams constructs the hybrid marginal.
 func NewGammaParetoFromParams(p GammaParetoParams) (*GammaPareto, error) {
 	return dist.NewGammaParetoFromParams(p)
-}
-
-// NewGammaPareto is equivalent to NewGammaParetoFromParams with the
-// positional arguments named.
-//
-// Deprecated: use NewGammaParetoFromParams; the struct form keeps the
-// three same-typed parameters from being silently transposed.
-func NewGammaPareto(muGamma, sigmaGamma, tailSlope float64) (*GammaPareto, error) {
-	return dist.NewGammaPareto(muGamma, sigmaGamma, tailSlope)
 }
 
 // Distribution is the common interface of all marginal models
@@ -234,13 +226,21 @@ func NewMuxFromConfig(cfg MuxConfig) (*Mux, error) {
 	return queue.NewMuxFromConfig(cfg)
 }
 
-// NewMux is equivalent to NewMuxFromConfig with the positional
-// arguments named.
-//
-// Deprecated: use NewMuxFromConfig; the struct form keeps the integer
-// parameters from being silently transposed.
-func NewMux(tr *Trace, n, minLagFrames int, seed uint64) (*Mux, error) {
-	return queue.NewMux(tr, n, minLagFrames, seed)
+// Aggregator is the multiplexer contract the capacity search and Q–C
+// sweeps consume; Mux and SourceMux both implement it.
+type Aggregator = queue.Aggregator
+
+// SourceMux multiplexes a heterogeneous scenario-zoo population
+// (independently seeded model replications instead of lagged trace
+// copies) behind the same Aggregator contract as Mux.
+type SourceMux = queue.SourceMux
+
+// SourceMuxConfig parameterizes a scenario-zoo multiplexer.
+type SourceMuxConfig = queue.SourceMuxConfig
+
+// NewSourceMuxFromConfig validates and constructs a zoo multiplexer.
+func NewSourceMuxFromConfig(cfg SourceMuxConfig) (*SourceMux, error) {
+	return queue.NewSourceMuxFromConfig(cfg)
 }
 
 // LossTarget is a QOS target for capacity searches.
@@ -394,6 +394,7 @@ var (
 	ErrTargetUnreachable  = errs.ErrTargetUnreachable
 	ErrAllCombosFailed    = errs.ErrAllCombosFailed
 	ErrInvalidSeries      = errs.ErrInvalidSeries
+	ErrUnknownModel       = errs.ErrUnknownModel
 )
 
 // QCCurveCtx computes a Fig. 14 curve under a context: cancellation
@@ -475,6 +476,59 @@ func OpenStream(cfg StreamConfig) (*Stream, error) { return stream.Open(cfg) }
 func CollectStream(ctx context.Context, src BlockSource) ([]float64, error) {
 	return stream.Collect(ctx, src)
 }
+
+// ------------------------------------------------------------------
+// Scenario zoo: pluggable per-frame traffic sources.
+
+// Source is the scenario-zoo contract: a deterministic per-frame byte
+// supplier with Reset(seed), Next(ctx) and self-describing Meta.
+type Source = source.Source
+
+// SourceMeta describes a source: model name, mean/peak rates, frame
+// rate and frame-type tags.
+type SourceMeta = source.Meta
+
+// SourceParams are a model's named numeric parameters.
+type SourceParams = source.Params
+
+// SourceSpec is one parsed term of a mix specification.
+type SourceSpec = source.Spec
+
+// MixSource sums the per-frame bytes of member sources sharing a
+// frame rate.
+type MixSource = source.Mix
+
+// SourceModels lists the registered zoo models, sorted.
+func SourceModels() []string { return source.Names() }
+
+// NewSource builds a source from a spec like "gop:cv=0.3" or a mix
+// spec like "farima*3+onoff*2". Unknown models return an error
+// matching ErrUnknownModel.
+func NewSource(spec string, seed uint64) (Source, error) { return source.New(spec, seed) }
+
+// NewSourcePopulation expands a mix spec (honoring "+" terms and
+// *count multipliers) into independently seeded sources — the natural
+// input for SourceMuxConfig.Sources.
+func NewSourcePopulation(spec string, seed uint64) ([]Source, error) {
+	specs, err := source.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return source.NewPopulation(specs, seed)
+}
+
+// SourceBlockAdapter drives any zoo Source as a BlockSource with an
+// online Hurst/mean probe attached.
+type SourceBlockAdapter = source.BlockAdapter
+
+// SourceBlocks adapts src to n frames of block-sized output.
+func SourceBlocks(src Source, n, block int) (*SourceBlockAdapter, error) {
+	return source.Blocks(src, n, block)
+}
+
+// SourceSubSeed derives the seed of population member i from a base
+// seed, the same splitmix64 schedule used by batch generation.
+func SourceSubSeed(base uint64, i int) uint64 { return source.SubSeed(base, i) }
 
 // ------------------------------------------------------------------
 // Cross-request generation cache and parallel batch engine.

@@ -53,7 +53,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Errorf("generated traffic H %v; LRD lost", est.Median())
 	}
 
-	mux, err := NewMux(tr, 3, 400, 1)
+	mux, err := NewMuxFromConfig(MuxConfig{Trace: tr, N: 3, MinLagFrames: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestPublicAPITraceIO(t *testing.T) {
 }
 
 func TestPublicAPIMarginal(t *testing.T) {
-	gp, err := NewGammaPareto(27791, 6254, 12)
+	gp, err := NewGammaParetoFromParams(GammaParetoParams{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
