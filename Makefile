@@ -50,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzWhittle -fuzztime=$(FUZZTIME) ./internal/lrd/
 	$(GO) test -fuzz=FuzzMAVAR -fuzztime=$(FUZZTIME) ./internal/lrd/
 	$(GO) test -fuzz=FuzzCascade -fuzztime=$(FUZZTIME) ./internal/source/
+	$(GO) test -fuzz=FuzzPaxson -fuzztime=$(FUZZTIME) ./internal/fgn/
 
 # Regenerate the committed estimator calibration table: run the full
 # bias/variance battery (known-H fGn × lengths × 32 seeds, base seed
@@ -61,16 +62,16 @@ calibrate:
 		-calibrate-json internal/lrd/calibration.json \
 		-calibrate-go internal/lrd/calibration_table.go
 
-# Pinned benchmark subset as a committed/CI JSON snapshot: the two
-# generators, the fluid queue, the end-to-end Fig 14 sweep, the
-# generation-cache cold/warm/batch trio, the estimator battery
-# (batch MAVAR, the streaming per-observation update, the full
-# EstimateAll bundle), and the per-frame hot path of every scenario-zoo
-# model. The text output goes through an intermediate file so a
-# benchmark failure fails the target rather than feeding benchjson an
-# empty stream.
+# Pinned benchmark subset as a committed/CI JSON snapshot: the three
+# fGn generators plus the paper-scale Auto-policy cold generation, the
+# fluid queue, the end-to-end Fig 14 sweep, the generation-cache
+# cold/warm/batch trio, the estimator battery (batch MAVAR, the
+# streaming per-observation update, the full EstimateAll bundle), and
+# the per-frame hot path of every scenario-zoo model. The text output
+# goes through an intermediate file so a benchmark failure fails the
+# target rather than feeding benchjson an empty stream.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$|ColdGenerate$$|WarmGenerate$$|BatchGenerate$$|MAVAR$$|OnlineMAVARAdd$$|EstimateAll$$|SourceNext$$' -benchmem -count=3 . > bench.out
+	$(GO) test -run '^$$' -bench 'Ablation_Hosking10k$$|Ablation_DaviesHarte10k$$|Paxson10k$$|Paxson171k$$|Ablation_QueueFluid$$|Fig14_QCCurves$$|ColdGenerate$$|WarmGenerate$$|BatchGenerate$$|MAVAR$$|OnlineMAVARAdd$$|EstimateAll$$|SourceNext$$' -benchmem -count=3 . > bench.out
 	@out="$(BENCH_OUT)"; \
 	if [ -z "$$out" ]; then i=0; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; out=BENCH_$$i.json; fi; \
 	$(GO) run ./cmd/benchjson -o "$$out" bench.out && echo "wrote $$out"

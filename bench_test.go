@@ -254,6 +254,36 @@ func BenchmarkAblation_DaviesHarte10k(b *testing.B) {
 	}
 }
 
+// The Paxson FFT-approximate generator at the same length as the two
+// exact engines above: one spectrum evaluation plus a single inverse
+// FFT per trace.
+func BenchmarkPaxson10k(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fgn.Paxson(10000, 0.8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Paper-scale cold generation under the Auto policy: the full §4
+// pipeline (fGn → marginal transform) for the paper's 171,000-frame,
+// 2-hour trace, no pool. Auto resolves to Paxson at this length; the
+// acceptance bar is under a second per trace — against the 10 hours
+// the paper reports for its 1994 Hosking run.
+func BenchmarkPaxson171k(b *testing.B) {
+	opts := DefaultGenOptions()
+	opts.Generator = BackendAuto
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		if _, err := benchCacheModel.Generate(171_000, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Direct O(n·lag) autocorrelation vs the FFT path.
 func BenchmarkAblation_ACFDirect(b *testing.B) {
 	s := suite(b)

@@ -13,8 +13,9 @@
 //	vbrgen -n 171000 -o model.bin                  # paper parameters
 //	vbrgen -n 171000 -hurst 0.85 -tail 9 -o x.bin  # custom parameters
 //	vbrgen -n 50000 -variant gaussian -csv g.csv   # Fig. 16 ablation
-//	vbrgen -n 171000 -generator hosking -checkpoint gen.ckpt -o x.bin
-//	vbrgen -n 171000 -generator hosking -checkpoint gen.ckpt -resume -o x.bin
+//	vbrgen -n 171000 -backend auto -o x.bin        # policy picks the engine
+//	vbrgen -n 171000 -backend hosking -checkpoint gen.ckpt -o x.bin
+//	vbrgen -n 171000 -backend hosking -checkpoint gen.ckpt -resume -o x.bin
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"os"
 	"sort"
 
+	"vbr/internal/backend"
 	"vbr/internal/checkpoint"
 	"vbr/internal/cli"
 	"vbr/internal/core"
@@ -50,7 +52,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		sigma    = fs.Float64("std", 6254, "σ_Γ: Gamma-body std (bytes/frame)")
 		tail     = fs.Float64("tail", 12, "m_T: Pareto tail slope")
 		hurst    = fs.Float64("hurst", 0.8, "H: Hurst parameter")
-		gen      = fs.String("generator", "davies-harte", "LRD engine: hosking (the paper's exact O(n²) algorithm) | davies-harte (O(n log n))")
+		bk       = fs.String("backend", "", "Gaussian backend: hosking (the paper's exact O(n²) algorithm) | davies-harte | paxson (both O(n log n)) | auto (exact when short, paxson when long)")
+		gen      = fs.String("generator", "", "deprecated alias for -backend")
 		variant  = fs.String("variant", "full", "model variant: full | gaussian | iid")
 		tabSize  = fs.Int("table", 10000, "marginal mapping table size (paper: 10000)")
 		seed     = fs.Uint64("seed", 1, "random seed")
@@ -77,19 +80,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		return err
 	}
 	opts := core.GenOptions{TableSize: *tabSize, Standardize: true, Seed: *seed}
-	switch *gen {
-	case "hosking":
-		opts.Generator = core.HoskingExact
-		if *n > 50000 {
-			fmt.Fprintf(stderr, "note: Hosking is O(n²); %d points will take a while (the paper: \"10 hours on a 1994 workstation\")\n", *n)
+	spec := *bk
+	if *gen != "" {
+		if *bk != "" && *bk != *gen {
+			return cli.Usagef("-generator is a deprecated alias for -backend; they disagree (%q vs %q)", *gen, *bk)
 		}
-	case "davies-harte":
-		opts.Generator = core.DaviesHarteFast
-	default:
-		return cli.Usagef("unknown generator %q", *gen)
+		spec = *gen
 	}
-	if *ckptPath != "" && (*gen != "hosking" || *variant != "full") {
-		return cli.Usagef("-checkpoint requires -generator hosking and -variant full")
+	if spec == "" {
+		spec = "davies-harte"
+	}
+	b, err := backend.Parse(spec)
+	if err != nil {
+		return err
+	}
+	opts.Generator = b
+	if b.Resolve(*n, false) == backend.Hosking && *n > 50000 {
+		fmt.Fprintf(stderr, "note: Hosking is O(n²); %d points will take a while (the paper: \"10 hours on a 1994 workstation\")\n", *n)
+	}
+	if *ckptPath != "" && (b != backend.Hosking || *variant != "full") {
+		return cli.Usagef("-checkpoint requires -backend hosking and -variant full")
 	}
 	if *resume && *ckptPath == "" {
 		return cli.Usagef("-resume requires -checkpoint")

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"vbr/internal/backend"
 	"vbr/internal/checkpoint"
 	"vbr/internal/cli"
 	"vbr/internal/errs"
@@ -54,6 +55,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		in     = fs.String("in", "", "binary trace file; empty = regenerate synthetic movie")
 		frames = fs.Int("frames", 30000, "frames to generate when -in is empty")
 		seed   = fs.Uint64("seed", 1994, "seed for regeneration")
+		bk     = fs.String("backend", "", "Gaussian backend for regeneration: hosking | davies-harte | paxson | auto (default davies-harte)")
 		slices = fs.Bool("slices", false, "simulate at slice granularity (the paper's resolution; ~30× slower)")
 
 		fig14 = fs.Bool("fig14", false, "Fig 14: Q-C tradeoff curves")
@@ -96,6 +98,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	if *faults && !*point {
 		return cli.Usagef("-faults applies to -point simulations")
 	}
+	genBackend := backend.DaviesHarte
+	if *bk != "" {
+		if *in != "" {
+			return cli.Usagef("-backend applies to regeneration; it conflicts with -in")
+		}
+		if genBackend, err = backend.Parse(*bk); err != nil {
+			return err
+		}
+	}
 	zooSpec, err := resolveZooSpec(*srcSpec, *mixSpec, *nSources)
 	if err != nil {
 		return err
@@ -113,7 +124,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 
 	var suite *experiments.Suite
 	if *fig14 || *fig15 || *fig16 || *fig17 || (*point && zooSpec == "") {
-		suite, err = loadOrGenerate(*in, *frames, *seed)
+		suite, err = loadOrGenerate(*in, *frames, *seed, genBackend)
 		if err != nil {
 			return err
 		}
@@ -302,10 +313,10 @@ func runFig14(ctx context.Context, suite *experiments.Suite, ckptPath string, re
 }
 
 // loadOrGenerate reads a binary trace when a path is given, otherwise
-// regenerates the synthetic movie.
-func loadOrGenerate(path string, frames int, seed uint64) (*experiments.Suite, error) {
+// regenerates the synthetic movie with the selected Gaussian backend.
+func loadOrGenerate(path string, frames int, seed uint64, b backend.Backend) (*experiments.Suite, error) {
 	if path == "" {
-		return experiments.GenerateSuite(frames, seed)
+		return experiments.GenerateSuiteBackend(frames, seed, b)
 	}
 	f, err := os.Open(path)
 	if err != nil {

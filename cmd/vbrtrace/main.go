@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"vbr/internal/backend"
 	"vbr/internal/cli"
 	"vbr/internal/codec"
 	"vbr/internal/obs"
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 		bframes = fs.Int("bframes", 2, "B frames between references (interframe mode)")
 		frames  = fs.Int("frames", 171000, "number of frames")
 		seed    = fs.Uint64("seed", 1994, "random seed")
+		bk      = fs.String("backend", "davies-harte", "Gaussian backend behind the activity backbone: hosking | davies-harte | paxson | auto")
 		hurst   = fs.Float64("hurst", 0.8, "Hurst parameter of the activity process")
 		mean    = fs.Float64("mean", 27791, "Gamma-body mean, bytes/frame (activity mode)")
 		std     = fs.Float64("std", 6254, "Gamma-body std, bytes/frame (activity mode)")
@@ -93,6 +95,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) (retErr e
 	cfg.MeanBytes = *mean
 	cfg.StdBytes = *std
 	cfg.TailSlope = *tail
+	if cfg.Backend, err = backend.Parse(*bk); err != nil {
+		return err
+	}
 
 	endGen := scope.Span("trace.synth")
 	var tr *trace.Trace

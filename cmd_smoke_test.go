@@ -119,10 +119,19 @@ func TestCLIGenVariants(t *testing.T) {
 			t.Errorf("variant %s: trace not written", variant)
 		}
 	}
-	// The Hosking path (the paper's algorithm) on a short series.
+	// The Hosking path (the paper's algorithm) on a short series, via
+	// the deprecated -generator spelling.
 	out := runCmd(t, "vbrgen", "-n", "2000", "-generator", "hosking")
 	if !strings.Contains(out, "variance-time H") {
 		t.Errorf("hosking run missing verification:\n%s", out)
+	}
+	// The FFT-approximate Paxson backend and the Auto policy (which at
+	// this length picks the exact engine) both run end to end.
+	for _, bk := range []string{"paxson", "auto"} {
+		out := runCmd(t, "vbrgen", "-n", "3000", "-backend", bk)
+		if !strings.Contains(out, "generated 3000 frames") {
+			t.Errorf("-backend %s run missing summary:\n%s", bk, out)
+		}
 	}
 }
 
@@ -179,13 +188,19 @@ func TestCLIExitCodes(t *testing.T) {
 		msg  string
 	}{
 		{"vbrgen", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
-		{"vbrgen", []string{"-generator", "bogus"}, 2, "unknown generator"},
+		{"vbrgen", []string{"-generator", "bogus"}, 2, "names no engine"},
+		{"vbrgen", []string{"-backend", "bogus"}, 2, "names no engine"},
+		{"vbrgen", []string{"-backend", "paxson", "-generator", "hosking"}, 2, "deprecated alias"},
 		{"vbrgen", []string{"-resume"}, 2, "-resume requires -checkpoint"},
 		{"vbrgen", []string{"-checkpoint", "x.ckpt"}, 2, "-checkpoint requires"},
+		{"vbrgen", []string{"-backend", "paxson", "-checkpoint", "x.ckpt"}, 2, "-checkpoint requires -backend hosking"},
 		{"vbrsim", []string{"-frames", "2000"}, 2, "no simulation selected"},
 		{"vbrsim", []string{"-frames", "2000", "-faults"}, 2, "-faults applies to -point"},
+		{"vbrsim", []string{"-backend", "fourier", "-point"}, 2, "names no engine"},
+		{"vbrsim", []string{"-backend", "paxson", "-in", "x.bin", "-point"}, 2, "conflicts with -in"},
 		{"vbranalyze", []string{"-frames", "2000"}, 2, "no analysis selected"},
 		{"vbrtrace", []string{"-mode", "bogus", "-frames", "10"}, 2, "unknown mode"},
+		{"vbrtrace", []string{"-backend", "bogus", "-frames", "10"}, 2, "names no engine"},
 		{"vbrexperiments", []string{"-scale", "bogus"}, 2, "unknown scale"},
 	}
 	for _, c := range cases {

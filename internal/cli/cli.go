@@ -47,6 +47,10 @@ func ExitCode(err error) int {
 		return ExitOK
 	case errors.As(err, &ue):
 		return ExitUsage
+	case errors.Is(err, errs.ErrUnknownModel), errors.Is(err, errs.ErrUnknownBackend):
+		// Request-shaped failures: the command line named a traffic
+		// model or generation backend that does not exist.
+		return ExitUsage
 	case errors.Is(err, errs.ErrCancelled), errors.Is(err, context.Canceled):
 		return ExitInterrupt
 	default:

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"vbr/internal/backend"
 	"vbr/internal/dist"
 	"vbr/internal/errs"
 	"vbr/internal/fgn"
@@ -155,14 +156,23 @@ func FitCtx(ctx context.Context, frames []float64, opts FitOptions) (Model, erro
 }
 
 // Generator selects the Gaussian LRD engine.
-type Generator int
+//
+// Deprecated: Generator is the unified backend.Backend under its
+// historical name. New code should use backend.Backend (re-exported as
+// vbr.Backend) and its constants; the aliases remain so existing
+// callers keep compiling.
+type Generator = backend.Backend
 
 const (
 	// HoskingExact is the paper's generator (Eqs. 6–12): exact but O(n²).
-	HoskingExact Generator = iota
+	//
+	// Deprecated: use backend.Hosking (vbr.BackendHosking).
+	HoskingExact = backend.Hosking
 	// DaviesHarteFast is the O(n log n) circulant-embedding FGN
 	// generator, this repository's speed ablation.
-	DaviesHarteFast
+	//
+	// Deprecated: use backend.DaviesHarte (vbr.BackendDaviesHarte).
+	DaviesHarteFast = backend.DaviesHarte
 )
 
 // GenOptions controls synthetic traffic generation.
@@ -290,8 +300,10 @@ func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float
 	rng := rand.New(rand.NewPCG(opts.Seed, 0x6a55))
 	var x []float64
 	var err error
-	switch opts.Generator {
-	case HoskingExact:
+	// Auto resolves per request: exact Hosking below the cutoff, Paxson
+	// above it. A resolved concrete backend passes through unchanged.
+	switch opts.Generator.Resolve(n, false) {
+	case backend.Hosking:
 		if opts.Pool != nil {
 			var c *fgn.HoskingCoeffs
 			if c, err = opts.Pool.HoskingCoeffs(ctx, m.Hurst, n); err == nil {
@@ -300,7 +312,7 @@ func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float
 		} else {
 			x, err = fgn.HoskingCtx(ctx, n, m.Hurst, rng)
 		}
-	case DaviesHarteFast:
+	case backend.DaviesHarte:
 		if opts.Pool != nil {
 			var lam []float64
 			if lam, err = opts.Pool.DaviesHarteEigen(ctx, m.Hurst, n); err == nil {
@@ -309,8 +321,17 @@ func (m Model) gaussianCtx(ctx context.Context, n int, opts GenOptions) ([]float
 		} else {
 			x, err = fgn.DaviesHarteCtx(ctx, n, m.Hurst, rng)
 		}
+	case backend.Paxson:
+		if opts.Pool != nil {
+			var p []float64
+			if p, err = opts.Pool.PaxsonSpectrum(ctx, m.Hurst, n); err == nil {
+				x, err = fgn.PaxsonFromSpectrumCtx(ctx, n, p, rng)
+			}
+		} else {
+			x, err = fgn.PaxsonCtx(ctx, n, m.Hurst, rng)
+		}
 	default:
-		return nil, fmt.Errorf("core: unknown generator %d", opts.Generator)
+		return nil, fmt.Errorf("core: generator %d: %w", int(opts.Generator), errs.ErrUnknownBackend)
 	}
 	if err != nil {
 		return nil, err

@@ -62,6 +62,13 @@ var (
 	// registered scenario-zoo builder recognizes. CLI front ends map it
 	// to a usage error (exit 2); the HTTP layer maps it to 400.
 	ErrUnknownModel = errors.New("unknown traffic model")
+
+	// ErrUnknownBackend reports a generation-backend value — enum or
+	// string — that names none of the registered Gaussian engines
+	// (hosking, davies-harte, paxson, auto). Like ErrUnknownModel it is
+	// a request-shaped failure: CLI front ends map it to a usage error
+	// (exit 2) and the HTTP layer maps it to 400.
+	ErrUnknownBackend = errors.New("unknown generation backend")
 )
 
 // Cancelled wraps ctx's error so that the result matches both

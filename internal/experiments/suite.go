@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"vbr/internal/backend"
 	"vbr/internal/core"
 	"vbr/internal/obs"
 	"vbr/internal/synth"
@@ -87,9 +88,17 @@ func LoadSuite(r io.Reader) (*Suite, error) {
 // of the given length and seed. Used by the analysis and simulation
 // commands when no input file is supplied.
 func GenerateSuite(frames int, seed uint64) (*Suite, error) {
+	return GenerateSuiteBackend(frames, seed, backend.DaviesHarte)
+}
+
+// GenerateSuiteBackend is GenerateSuite with an explicit Gaussian
+// backend behind the synthetic movie's activity backbone (the -backend
+// flag of the simulation commands).
+func GenerateSuiteBackend(frames int, seed uint64, b backend.Backend) (*Suite, error) {
 	cfg := synth.DefaultConfig()
 	cfg.Frames = frames
 	cfg.Seed = seed
+	cfg.Backend = b
 	scale := PaperScale
 	if frames < 100000 {
 		scale = QuickScale

@@ -128,10 +128,7 @@ func (c *HoskingCoeffs) EnsureCtx(ctx context.Context, n int) error {
 			return fmt.Errorf("fgn: coefficient schedule interrupted at point %d of %d: %w", k, n, errs.Cancelled(ctx))
 		}
 		// N_k and D_k (Eqs. 7–8), with c.phi holding φ_{k-1,·}.
-		nk := c.rho[k]
-		for j := 1; j < k; j++ {
-			nk -= c.phi[j] * c.rho[k-j]
-		}
+		nk := dotRevSub(c.rho[k], c.phi[1:k], c.rho[1:k])
 		dk := c.dPrev - c.nPrev*c.nPrev/c.dPrev
 
 		phikk := nk / dk
@@ -230,10 +227,7 @@ func HoskingFromCoeffs(ctx context.Context, n int, c *HoskingCoeffs, rng *rand.R
 		}
 		updatePhiInPlace(phi, k, kk[k])
 		// Conditional mean (Eq. 11), summed in the cold path's order.
-		var m float64
-		for j := 1; j <= k; j++ {
-			m += phi[j] * x[k-j]
-		}
+		m := dotRevAdd(0, phi[1:k+1], x[:k])
 		x[k] = m + math.Sqrt(v[k])*rng.NormFloat64()
 	}
 	scope.Count("fgn.hosking.points", int64(n))

@@ -235,11 +235,8 @@ func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src Marsh
 			}
 		}
 
-		// N_k and D_k (Eqs. 7–8).
-		nk := rho[k]
-		for j := 1; j < k; j++ {
-			nk -= phiPrev[j] * rho[k-j]
-		}
+		// N_k and D_k (Eqs. 7–8); dotRevSub walks j = 1..k-1 in order.
+		nk := dotRevSub(rho[k], phiPrev[1:k], rho[1:k])
 		dk := dPrev - nPrev*nPrev/dPrev
 
 		phikk := nk / dk
@@ -249,10 +246,7 @@ func hoskingRun(ctx context.Context, n int, h float64, rng *rand.Rand, src Marsh
 		}
 
 		// Conditional mean and variance (Eqs. 11–12).
-		var m float64
-		for j := 1; j <= k; j++ {
-			m += phi[j] * x[k-j]
-		}
+		m := dotRevAdd(0, phi[1:k+1], x[:k])
 		v *= 1 - phikk*phikk
 		if v < 0 {
 			// Numerically impossible for valid ρ, but guard against

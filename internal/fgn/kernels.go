@@ -1,0 +1,63 @@
+package fgn
+
+// This file holds the blocked inner kernels of the Hosking recursion.
+// Both hot loops of the recursion are reversed dot products — the
+// linear-prediction term Σ φ_{k-1,j}·ρ_{k-j} of Eq. 7 and the
+// conditional mean Σ φ_{k,j}·X_{k-j} of Eq. 11 — walking one operand
+// forward and the other backward. The kernels unroll that walk into
+// 4-wide blocks while keeping a SINGLE accumulator updated strictly
+// left to right: every floating-point operation happens in exactly the
+// order the scalar loop performs it, so the blocked form is bitwise
+// identical to the original (pinned by TestHoskingPreTilingGolden).
+// Multi-accumulator or pairwise variants would be faster still but
+// reassociate the sum and change the bits; exact Hosking is the
+// repository's bitwise reference, so rounding order is part of its
+// contract.
+
+// dotRevAdd returns acc after folding in a[i]·b[len(b)-1-i] for
+// i = 0..len(a)-1, i.e. acc + a·reverse(b) accumulated sequentially.
+// Requires len(a) ≤ len(b); the tail of b beyond len(a) reversed
+// positions is untouched.
+//
+//vbrlint:hotpath
+func dotRevAdd(acc float64, a, b []float64) float64 {
+	n := len(a)
+	j := len(b) - 1
+	i := 0
+	for ; i+4 <= n; i, j = i+4, j-4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[j-3 : j+1 : j+1]
+		acc += aa[0] * bb[3]
+		acc += aa[1] * bb[2]
+		acc += aa[2] * bb[1]
+		acc += aa[3] * bb[0]
+	}
+	for ; i < n; i, j = i+1, j-1 {
+		acc += a[i] * b[j]
+	}
+	return acc
+}
+
+// dotRevSub is dotRevAdd with subtraction: acc − Σ a[i]·b[len(b)-1-i],
+// subtracted term by term in order (acc −= x is the same IEEE operation
+// sequence as the scalar loop's, not a subtract-of-sum, which would
+// round differently). Requires len(a) ≤ len(b).
+//
+//vbrlint:hotpath
+func dotRevSub(acc float64, a, b []float64) float64 {
+	n := len(a)
+	j := len(b) - 1
+	i := 0
+	for ; i+4 <= n; i, j = i+4, j-4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[j-3 : j+1 : j+1]
+		acc -= aa[0] * bb[3]
+		acc -= aa[1] * bb[2]
+		acc -= aa[2] * bb[1]
+		acc -= aa[3] * bb[0]
+	}
+	for ; i < n; i, j = i+1, j-1 {
+		acc -= a[i] * b[j]
+	}
+	return acc
+}

@@ -114,21 +114,15 @@ func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
 			// Warm mode: the schedule already holds φ_kk and v_k; only
 			// the in-place φ update and the conditional mean remain.
 			updatePhiInPlace(s.phi, k, s.kk[k])
-			var m float64
-			for j := 1; j <= k; j++ {
-				m += s.phi[j] * s.x[k-j]
-			}
+			m := dotRevAdd(0, s.phi[1:k+1], s.x[:k])
 			s.x[k] = m + math.Sqrt(s.vs[k])*s.rng.NormFloat64()
 			dst[produced] = s.x[k]
 			produced++
 			s.k = k + 1
 			continue
 		}
-		// N_k and D_k (Eqs. 7–8).
-		nk := s.rho[k]
-		for j := 1; j < k; j++ {
-			nk -= s.phiPrev[j] * s.rho[k-j]
-		}
+		// N_k and D_k (Eqs. 7–8); dotRevSub walks j = 1..k-1 in order.
+		nk := dotRevSub(s.rho[k], s.phiPrev[1:k], s.rho[1:k])
 		dk := s.dPrev - s.nPrev*s.nPrev/s.dPrev
 
 		phikk := nk / dk
@@ -138,10 +132,7 @@ func (s *HoskingStream) Next(ctx context.Context, dst []float64) (int, error) {
 		}
 
 		// Conditional mean and variance (Eqs. 11–12).
-		var m float64
-		for j := 1; j <= k; j++ {
-			m += s.phi[j] * s.x[k-j]
-		}
+		m := dotRevAdd(0, s.phi[1:k+1], s.x[:k])
 		s.v *= 1 - phikk*phikk
 		if s.v < 0 {
 			// Numerically impossible for valid ρ, but guard against

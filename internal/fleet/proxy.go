@@ -157,15 +157,18 @@ func (p *Proxy) handleTrace(w http.ResponseWriter, r *http.Request) {
 	scope.Count("fleet.proxy.trace.requests", 1)
 
 	// Scenario-zoo requests route by their spec string; classic fARIMA
-	// requests by their resolved model parameters. Either way equal
-	// identities hash to the same worker. The spec normalization must
-	// match the worker's (query decoding turns "+" into a space).
+	// requests by their resolved model parameters plus the backend —
+	// a worker's genpool caches Hosking coefficients, Davies–Harte
+	// eigenvalues and Paxson spectra under separate keys, so the engine
+	// is part of the cache identity. Either way equal identities hash
+	// to the same worker. The spec normalization must match the
+	// worker's (query decoding turns "+" into a space).
 	q := r.URL.Query()
 	var key uint64
 	if spec := strings.TrimSpace(strings.ReplaceAll(q.Get("model"), " ", "+")); spec != "" {
 		key = SpecKey(spec)
 	} else {
-		key = ModelKey(p.requestModel(q.Get))
+		key = TraceKey(p.requestModel(q.Get), q.Get("backend"))
 	}
 	cands := p.sup.Candidates(key)
 	if len(cands) == 0 {

@@ -48,7 +48,7 @@ func candidateOrder(t *testing.T, sup *Supervisor) []int {
 		route(w, "http://placeholder.invalid")
 	}
 	var ids []int
-	for _, w := range sup.Candidates(ModelKey(server.PaperDefault)) {
+	for _, w := range sup.Candidates(TraceKey(server.PaperDefault, "")) {
 		ids = append(ids, w.ID)
 	}
 	if len(ids) != len(sup.Workers()) {
@@ -124,6 +124,51 @@ func TestProxyTraceRoutesConsistently(t *testing.T) {
 	// Same parameters must pin to one worker (hot cache), not round-robin.
 	if a, b := hits[0].Load(), hits[1].Load(); (a != 3 || b != 0) && (a != 0 || b != 3) {
 		t.Fatalf("hits = [%d %d], want all 3 on one worker", a, b)
+	}
+}
+
+// TestProxyTraceBackendRouting pins the backend half of the routing
+// key: alias spellings of one engine stick to one worker (its spectrum
+// cache stays hot), and the proxy still round-trips the body intact
+// with a backend parameter present.
+func TestProxyTraceBackendRouting(t *testing.T) {
+	const frames = 20
+	payload := ndjsonPayload(frames)
+	sup := fakeFleet(t, 4)
+	var hits [4]atomic.Int32
+	for i, w := range sup.Workers() {
+		srv := httptest.NewServer(traceBackend(frames, payload, -1, false, &hits[i]))
+		defer srv.Close()
+		route(w, srv.URL)
+	}
+	front := httptest.NewServer(NewProxy(sup, ProxyConfig{}).Handler())
+	defer front.Close()
+
+	for _, alias := range []string{"davies-harte", "daviesharte", "dh"} {
+		resp, err := http.Get(front.URL + "/v1/trace?n=20&seed=1&backend=" + alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend=%s: HTTP %d", alias, resp.StatusCode)
+		}
+		if !bytes.Equal(body, payload) {
+			t.Fatalf("backend=%s: proxied body differs from backend payload", alias)
+		}
+	}
+	busy := 0
+	for i := range hits {
+		if n := hits[i].Load(); n > 0 {
+			busy++
+			if n != 3 {
+				t.Fatalf("worker %d served %d of 3 alias requests", i, n)
+			}
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("alias spellings spread across %d workers, want 1", busy)
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"math"
 	"sort"
 
+	"vbr/internal/backend"
 	"vbr/internal/core"
+	"vbr/internal/server"
 )
 
 // defaultRingReplicas is the number of virtual points per worker. 128
@@ -89,6 +91,30 @@ func ModelKey(m core.Model) uint64 {
 // quadruple — so equal specs route to the same worker and keep its
 // per-model state hot.
 func SpecKey(spec string) uint64 { return fnv1a([]byte(spec)) }
+
+// TraceKey hashes a classic trace request's full cache identity: the
+// model quadruple plus the Gaussian backend. The backend string is
+// canonicalized through backend.Parse, so every alias spelling
+// ("dh", "daviesharte", "davies-harte") lands on the same worker, and
+// an empty parameter hashes as the workers' own default engine. An
+// unparseable spelling hashes verbatim — the worker will answer 400,
+// and which worker says so does not matter.
+func TraceKey(m core.Model, backendParam string) uint64 {
+	canon := server.DefaultBackend.String()
+	if backendParam != "" {
+		if b, err := backend.Parse(backendParam); err == nil {
+			canon = b.String()
+		} else {
+			canon = backendParam
+		}
+	}
+	var buf [32]byte
+	binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(m.MuGamma))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(m.SigmaGamma))
+	binary.LittleEndian.PutUint64(buf[16:24], math.Float64bits(m.TailSlope))
+	binary.LittleEndian.PutUint64(buf[24:32], math.Float64bits(m.Hurst))
+	return fnv1a(append(buf[:], canon...))
+}
 
 // fnv1a is the 64-bit FNV-1a hash (stdlib hash/fnv without the
 // allocation of the hash.Hash64 interface).

@@ -71,6 +71,48 @@ func TestModelKeyIdentity(t *testing.T) {
 	}
 }
 
+func TestTraceKeyIdentity(t *testing.T) {
+	base := core.Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+
+	// The backend is part of the routing identity: same model, different
+	// engine, different worker shard (their cache entries are disjoint).
+	engines := []string{"hosking", "davies-harte", "paxson", "auto"}
+	seen := map[uint64]string{}
+	for _, e := range engines {
+		k := TraceKey(base, e)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("backends %q and %q hash to the same key", prev, e)
+		}
+		seen[k] = e
+	}
+
+	// Alias spellings are one identity — they select the same engine, so
+	// they must land on the same worker.
+	for _, alias := range []string{"dh", "daviesharte", "davies-harte"} {
+		if TraceKey(base, alias) != TraceKey(base, "davies-harte") {
+			t.Errorf("alias %q does not share davies-harte's key", alias)
+		}
+	}
+
+	// An absent parameter hashes as the workers' default engine.
+	if TraceKey(base, "") != TraceKey(base, server.DefaultBackend.String()) {
+		t.Error("empty backend does not share the default engine's key")
+	}
+
+	// The model half still matters with a backend attached.
+	other := base
+	other.Hurst = 0.7
+	if TraceKey(other, "paxson") == TraceKey(base, "paxson") {
+		t.Error("changed model parameter did not change the key")
+	}
+
+	// Unparseable spellings still hash deterministically (the worker
+	// answers 400; the proxy only needs a stable key).
+	if TraceKey(base, "fourier") != TraceKey(base, "fourier") {
+		t.Error("unknown backend key not deterministic")
+	}
+}
+
 func TestRingEmpty(t *testing.T) {
 	if got := NewRing(0, 0).Successors(12345); got != nil {
 		t.Fatalf("empty ring successors = %v, want nil", got)

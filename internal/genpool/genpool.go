@@ -53,6 +53,7 @@ const (
 	kindHosking kind = iota + 1
 	kindDHEigen
 	kindTable
+	kindPaxsonSpec
 )
 
 // key identifies one cached item. Float parameters are stored as
@@ -338,6 +339,40 @@ func (p *Pool) DaviesHarteEigen(ctx context.Context, h float64, n int) ([]float6
 			return nil, ferr
 		}
 		return lam, nil
+	}
+	p.countHit(scope)
+	return e.val.([]float64), nil
+}
+
+// PaxsonSpectrum returns the Paxson expected-power vector for (h, n)
+// — paxsonLen(n)/2 entries — computing it at most once per key. Keys
+// use the even FFT length backing the synthesis, so an odd request and
+// its even neighbour share one cached vector. The slice is shared and
+// read-only.
+func (p *Pool) PaxsonSpectrum(ctx context.Context, h float64, n int) ([]float64, error) {
+	if p == nil {
+		return fgn.PaxsonSpectrumCtx(ctx, n, h)
+	}
+	scope := obs.From(ctx)
+	// Normalize odd lengths to the even FFT length they synthesize
+	// through; n=1 degenerates to a single draw with an empty spectrum
+	// and is not worth a slot.
+	if n > 1 && n%2 != 0 {
+		n++
+	}
+	k := key{kind: kindPaxsonSpec, p0: math.Float64bits(h), n: n}
+	e, fill, err := p.acquire(ctx, k)
+	if err != nil {
+		return nil, err
+	}
+	if fill {
+		p.countMiss(scope)
+		spec, ferr := fgn.PaxsonSpectrumCtx(ctx, n, h)
+		p.finish(scope, e, spec, int64(len(spec))*8, ferr)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return spec, nil
 	}
 	p.countHit(scope)
 	return e.val.([]float64), nil

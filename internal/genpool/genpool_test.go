@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"vbr/internal/backend"
 	"vbr/internal/core"
 	"vbr/internal/fgn"
 	"vbr/internal/genpool"
@@ -30,10 +31,10 @@ func bitwiseEqual(t *testing.T, label string, cold, warm []float64) {
 
 // TestGenerateBitwiseColdVsWarm pins the tentpole invariant end to end:
 // Model.Generate with a pool — cold pool, then fully warm pool — equals
-// the pool-free path bit for bit, for both Gaussian engines.
+// the pool-free path bit for bit, for all three Gaussian engines.
 func TestGenerateBitwiseColdVsWarm(t *testing.T) {
 	const n = 4096
-	for _, gen := range []core.Generator{core.HoskingExact, core.DaviesHarteFast} {
+	for _, gen := range []core.Generator{core.HoskingExact, core.DaviesHarteFast, backend.Paxson} {
 		opts := core.DefaultGenOptions()
 		opts.Generator = gen
 		opts.Seed = 42
@@ -169,6 +170,53 @@ func TestHoskingCancelledExtensionThenShorter(t *testing.T) {
 	if st := p.Stats(); st.Bytes != c.Bytes() || st.Entries != 1 {
 		t.Fatalf("accounting after cancelled extension: stats=%+v schedule=%d bytes", st, c.Bytes())
 	}
+}
+
+// TestPaxsonSpectrumPool pins the pooled-spectrum contract: the cached
+// vector equals the pool-free computation bitwise, repeats are pure
+// hits, and an odd-length request shares its even neighbor's entry
+// (Paxson synthesis pads odd n to the next even FFT length, so both
+// lengths consume the same vector).
+func TestPaxsonSpectrumPool(t *testing.T) {
+	ctx := context.Background()
+	cold, err := fgn.PaxsonSpectrumCtx(ctx, 4096, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := genpool.New(0)
+	warm, err := p.PaxsonSpectrum(ctx, 0.8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "pooled spectrum", cold, warm)
+	if _, err := p.PaxsonSpectrum(ctx, 0.8, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after repeat request: %+v", st)
+	}
+	odd, err := p.PaxsonSpectrum(ctx, 0.8, 4095)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "odd-length spectrum", cold, odd)
+	if st := p.Stats(); st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("odd length did not share the even entry: %+v", st)
+	}
+	// A different H is a different identity.
+	if _, err := p.PaxsonSpectrum(ctx, 0.9, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Entries != 2 {
+		t.Fatalf("distinct H should add an entry: %+v", st)
+	}
+	// The nil pool computes cold with identical bits.
+	var nilPool *genpool.Pool
+	direct, err := nilPool.PaxsonSpectrum(ctx, 0.8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "nil-pool spectrum", cold, direct)
 }
 
 // TestConcurrentHammer runs 32 goroutines against one pool mixing all

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"sync"
 
+	"vbr/internal/backend"
 	"vbr/internal/obs"
 	"vbr/internal/queue"
 	"vbr/internal/runner"
@@ -219,12 +220,12 @@ func (s *Server) simStreamConfig(req SimRequest) (stream.Config, error) {
 	if err != nil {
 		return stream.Config{}, err
 	}
-	cfg := stream.Config{Model: model, N: req.N, Seed: req.Seed, Backend: stream.DaviesHarte, Pool: s.cfg.Pool}
+	cfg := stream.Config{Model: model, N: req.N, Seed: req.Seed, Backend: DefaultBackend, Pool: s.cfg.Pool}
 	if cfg.N == 0 {
 		cfg.N = 10_000
 	}
 	if req.Backend != "" {
-		b, err := stream.ParseBackend(req.Backend)
+		b, err := backend.Parse(req.Backend)
 		if err != nil {
 			return stream.Config{}, err
 		}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"vbr/internal/backend"
 	"vbr/internal/obs"
 	"vbr/internal/source"
 	"vbr/internal/stream"
@@ -50,7 +51,7 @@ func (s *Server) parseStreamConfig(get func(string) string) (stream.Config, erro
 	if err != nil {
 		return stream.Config{}, err
 	}
-	cfg := stream.Config{Model: model, N: 171_000, Backend: stream.DaviesHarte, Pool: s.cfg.Pool}
+	cfg := stream.Config{Model: model, N: 171_000, Backend: DefaultBackend, Pool: s.cfg.Pool}
 	for _, p := range []struct {
 		name string
 		dst  *int
@@ -76,7 +77,7 @@ func (s *Server) parseStreamConfig(get func(string) string) (stream.Config, erro
 		cfg.Seed = seed
 	}
 	if v := get("backend"); v != "" {
-		b, err := stream.ParseBackend(v)
+		b, err := backend.Parse(v)
 		if err != nil {
 			return stream.Config{}, err
 		}
@@ -104,6 +105,16 @@ var (
 // ModelHeader names the zoo model serving a /v1/trace response when
 // the request carried a model= parameter.
 const ModelHeader = "X-Vbr-Model"
+
+// BackendHeader echoes the concrete Gaussian backend behind a classic
+// /v1/trace response — the resolved engine, so ?backend=auto reports
+// what Auto picked rather than "auto".
+const BackendHeader = "X-Vbr-Backend"
+
+// DefaultBackend is the engine a request without a backend= parameter
+// gets. Exported so the fleet proxy hashes absent parameters to the
+// same routing key the workers' own default produces.
+const DefaultBackend = backend.DaviesHarte
 
 // parseZooSource maps /v1/trace query parameters onto a scenario-zoo
 // source when model= names one. Query decoding turns "+" into a
@@ -190,7 +201,9 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		src, n, seed = st, cfg.N, cfg.Seed
-		w.Header().Set("X-Vbr-Backend", cfg.Backend.String())
+		// Echo the concrete engine, not the request: for ?backend=auto
+		// the client learns what the policy actually picked.
+		w.Header().Set(BackendHeader, st.Backend().String())
 	}
 	format := q.Get("format")
 	if format == "" {

@@ -4,7 +4,7 @@
 // one at a time under bounded memory, which is what a long-running
 // serving daemon or an in-loop simulation consumer needs.
 //
-// Two Gaussian backends feed the Eq. 13 marginal transform:
+// Three Gaussian backends feed the Eq. 13 marginal transform:
 //
 //   - Hosking: the exact O(n²) recursion, advanced block by block
 //     (fgn.HoskingStream). The concatenated output is bitwise-identical
@@ -15,6 +15,12 @@
 //     blocks joined by power-preserving overlap stitching, giving true
 //     O(block) memory for arbitrarily long traces at the cost of an
 //     approximate correlation structure across block seams.
+//   - Paxson: the same overlap-stitched chunking over independent
+//     FFT-approximate spectral-synthesis chunks — the fastest backend,
+//     approximate both within chunks and across seams.
+//
+// The Auto policy resolves to Paxson for streams (bounded memory at any
+// length); selection is shared with the batch path via internal/backend.
 //
 // Every stream is validated online: a Monitor tracks the running
 // mean/σ and a streaming variance–time Ĥ probe, so a drifting stream
@@ -30,6 +36,7 @@ import (
 	"math"
 	"math/rand/v2"
 
+	"vbr/internal/backend"
 	"vbr/internal/core"
 	"vbr/internal/dist"
 	"vbr/internal/fgn"
@@ -39,37 +46,32 @@ import (
 )
 
 // Backend selects the Gaussian engine behind a stream.
-type Backend int
+//
+// Deprecated: Backend is the unified backend.Backend under its
+// historical name. New code should use backend.Backend (re-exported as
+// vbr.Backend) and its constants; the aliases remain so existing
+// callers keep compiling.
+type Backend = backend.Backend
 
 const (
 	// Hosking streams the paper's exact recursion; output is
 	// bitwise-identical to the batch generator (with Standardize off).
-	Hosking Backend = iota
+	//
+	// Deprecated: use backend.Hosking (vbr.BackendHosking).
+	Hosking = backend.Hosking
 	// DaviesHarte streams independent circulant-embedding blocks with
 	// overlap stitching: O(block) memory, approximate seams.
-	DaviesHarte
+	//
+	// Deprecated: use backend.DaviesHarte (vbr.BackendDaviesHarte).
+	DaviesHarte = backend.DaviesHarte
 )
 
-// String names the backend for logs and API parameters.
-func (b Backend) String() string {
-	switch b {
-	case Hosking:
-		return "hosking"
-	case DaviesHarte:
-		return "davies-harte"
-	}
-	return fmt.Sprintf("backend(%d)", int(b))
-}
-
 // ParseBackend maps the CLI/API spelling to a Backend.
+//
+// Deprecated: use backend.Parse (vbr.ParseBackend), which this
+// forwards to.
 func ParseBackend(s string) (Backend, error) {
-	switch s {
-	case "hosking":
-		return Hosking, nil
-	case "davies-harte", "daviesharte", "dh":
-		return DaviesHarte, nil
-	}
-	return 0, fmt.Errorf("stream: unknown backend %q (want hosking or davies-harte)", s)
+	return backend.Parse(s)
 }
 
 // gaussStreamSalt is the PCG stream selector of the batch generator's
@@ -82,6 +84,11 @@ const gaussStreamSalt = 0x6a55
 // blocks are mutually independent yet the whole trace is reproducible.
 const dhStreamSalt = 0xd41e5
 
+// paxsonStreamSalt is the Paxson backend's counterpart of dhStreamSalt,
+// disjoint from it so the two chunked backends draw from unrelated PCG
+// streams of the same seed.
+const paxsonStreamSalt = 0x9ac50
+
 // Config parameterizes a stream. The zero values of BlockSize, Overlap
 // and TableSize select defaults; Model, N and (for reproducibility)
 // Seed are the caller's.
@@ -92,9 +99,9 @@ type Config struct {
 	N int
 	// BlockSize is the number of frames per block (default 4096).
 	BlockSize int
-	// Overlap is the Davies–Harte stitch length in frames (default
-	// BlockSize/4, ignored by the Hosking backend). It must stay below
-	// BlockSize.
+	// Overlap is the stitch length in frames for the chunked backends
+	// (Davies–Harte, Paxson; default BlockSize/4, ignored by the
+	// Hosking backend). It must stay below BlockSize.
 	Overlap int
 	// TableSize is the marginal mapping table resolution (default
 	// 10000, the paper's choice).
@@ -136,16 +143,15 @@ func (c Config) Validate() error {
 	if c.BlockSize < 1 {
 		return fmt.Errorf("stream: block size must be ≥ 1, got %d", c.BlockSize)
 	}
-	if c.Overlap < 0 || (c.Backend == DaviesHarte && c.BlockSize > 1 && c.Overlap >= c.BlockSize) {
+	stitched := c.Backend.Resolve(c.N, true) != backend.Hosking
+	if c.Overlap < 0 || (stitched && c.BlockSize > 1 && c.Overlap >= c.BlockSize) {
 		return fmt.Errorf("stream: overlap must be in [0, block size), got %d with block %d", c.Overlap, c.BlockSize)
 	}
 	if c.TableSize < 2 {
 		return fmt.Errorf("stream: table size must be ≥ 2, got %d", c.TableSize)
 	}
-	switch c.Backend {
-	case Hosking, DaviesHarte:
-	default:
-		return fmt.Errorf("stream: unknown backend %d", c.Backend)
+	if err := c.Backend.Validate(); err != nil {
+		return fmt.Errorf("stream: %w", err)
 	}
 	return nil
 }
@@ -174,13 +180,14 @@ type gaussian interface {
 // block, the Eq. 13 Gamma/Pareto transform applied in place, and the
 // online Monitor updated — all in O(BlockSize) working memory.
 type Stream struct {
-	cfg   Config
-	gauss gaussian
-	tab   *dist.QuantileTable
-	gbuf  []float64
-	out   []float64
-	mon   *Monitor
-	pos   int
+	cfg      Config
+	resolved backend.Backend // concrete engine after Auto resolution
+	gauss    gaussian
+	tab      *dist.QuantileTable
+	gbuf     []float64
+	out      []float64
+	mon      *Monitor
+	pos      int
 
 	wantMean float64 // finite marginal mean, 0 when divergent
 	wantStd  float64 // finite marginal σ, 0 when divergent
@@ -241,8 +248,13 @@ func OpenCtx(ctx context.Context, cfg Config) (*Stream, error) {
 	if v := gp.Variance(); !math.IsInf(v, 0) && v > 0 {
 		s.wantStd = math.Sqrt(v)
 	}
-	switch cfg.Backend {
-	case Hosking:
+	// A stream always has a concrete engine: Auto resolves here (to
+	// Paxson — streamed output wants bounded memory at any length) and
+	// the resolution is observable via Stream.Backend, which the HTTP
+	// layer echoes in X-Vbr-Backend.
+	s.resolved = cfg.Backend.Resolve(cfg.N, true)
+	switch s.resolved {
+	case backend.Hosking:
 		rng := rand.New(rand.NewPCG(cfg.Seed, gaussStreamSalt))
 		var hs *fgn.HoskingStream
 		if cfg.Pool != nil {
@@ -258,18 +270,17 @@ func OpenCtx(ctx context.Context, cfg Config) (*Stream, error) {
 			return nil, err
 		}
 		s.gauss = hs
-	case DaviesHarte:
-		s.gauss = &dhStitch{
-			n:       cfg.N,
-			block:   cfg.BlockSize,
-			overlap: cfg.Overlap,
-			h:       cfg.Model.Hurst,
-			seed:    cfg.Seed,
-			pool:    cfg.Pool,
-		}
+	case backend.DaviesHarte:
+		s.gauss = newDHStitch(cfg)
+	case backend.Paxson:
+		s.gauss = newPaxsonStitch(cfg)
 	}
 	return s, nil
 }
+
+// Backend returns the concrete Gaussian engine behind the stream: the
+// configured backend, or what Auto resolved to at open time.
+func (s *Stream) Backend() backend.Backend { return s.resolved }
 
 // Len returns the total number of frames the stream will produce.
 func (s *Stream) Len() int { return s.cfg.N }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"testing"
 
+	"vbr/internal/backend"
 	"vbr/internal/core"
 	"vbr/internal/dist"
 	"vbr/internal/errs"
@@ -358,6 +359,8 @@ func TestConfigValidate(t *testing.T) {
 		{"zero N", func(c *Config) { c.N = 0 }},
 		{"negative overlap", func(c *Config) { c.Overlap = -1 }},
 		{"overlap ≥ block (DH)", func(c *Config) { c.Backend = DaviesHarte; c.BlockSize = 64; c.Overlap = 64 }},
+		{"overlap ≥ block (Paxson)", func(c *Config) { c.Backend = backend.Paxson; c.BlockSize = 64; c.Overlap = 64 }},
+		{"overlap ≥ block (Auto)", func(c *Config) { c.Backend = backend.Auto; c.BlockSize = 64; c.Overlap = 64 }},
 		{"tiny table", func(c *Config) { c.TableSize = 1 }},
 		{"bad backend", func(c *Config) { c.Backend = Backend(99) }},
 		{"bad model", func(c *Config) { c.Model.Hurst = 1.5 }},
@@ -369,16 +372,23 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("%s: Open accepted invalid config", tc.name)
 		}
 	}
+	// An out-of-range backend must fail through the shared sentinel so
+	// CLI and HTTP classify it as a request error.
+	bad := base
+	bad.Backend = Backend(99)
+	if _, err := Open(bad); !errors.Is(err, errs.ErrUnknownBackend) {
+		t.Errorf("Backend(99): got %v, want ErrUnknownBackend", err)
+	}
 }
 
 func TestBackendRoundTrip(t *testing.T) {
-	for _, b := range []Backend{Hosking, DaviesHarte} {
+	for _, b := range []Backend{Hosking, DaviesHarte, backend.Paxson, backend.Auto} {
 		got, err := ParseBackend(b.String())
 		if err != nil || got != b {
 			t.Errorf("round trip %v: got %v, %v", b, got, err)
 		}
 	}
-	if _, err := ParseBackend("fourier"); err == nil {
-		t.Error("ParseBackend accepted junk")
+	if _, err := ParseBackend("fourier"); !errors.Is(err, errs.ErrUnknownBackend) {
+		t.Error("ParseBackend(junk) must fail with ErrUnknownBackend")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"vbr/internal/backend"
 	"vbr/internal/dist"
 	"vbr/internal/fgn"
 	"vbr/internal/trace"
@@ -75,6 +76,12 @@ type Config struct {
 	SliceJitter float64 // within-frame slice size jitter in [0,1)
 	TableSize   int     // quantile-table resolution for the marginal map
 
+	// Backend selects the fGn engine behind the activity backbone.
+	// DefaultConfig picks Davies–Harte (exact and fast at movie length);
+	// the zero value is Hosking, the exact O(n²) reference. Auto defers
+	// to the batch policy: exact below the cutoff, Paxson above.
+	Backend backend.Backend
+
 	Seed uint64
 }
 
@@ -109,6 +116,7 @@ func DefaultConfig() Config {
 		},
 		SliceJitter: 0.3,
 		TableSize:   10000, // the paper's marginal-map table size
+		Backend:     backend.DaviesHarte,
 		Seed:        1994,
 	}
 }
@@ -136,6 +144,9 @@ func (c *Config) validate() error {
 		return fmt.Errorf("synth: slice jitter must be in [0,1), got %v", c.SliceJitter)
 	case c.TableSize < 2:
 		return fmt.Errorf("synth: table size must be ≥ 2, got %d", c.TableSize)
+	}
+	if err := c.Backend.Validate(); err != nil {
+		return fmt.Errorf("synth: %w", err)
 	}
 	for i, e := range c.Effects {
 		if e.PosFrac < 0 || e.PosFrac > 1 || e.Duration < 0 {
@@ -192,7 +203,16 @@ func ActivityProcess(cfg Config) ([]float64, []Scene, error) {
 	n := cfg.Frames
 	rng := rand.New(rand.NewPCG(cfg.Seed, 0xacc))
 
-	backbone, err := fgn.DaviesHarte(n, cfg.Hurst, rng)
+	var backbone []float64
+	var err error
+	switch cfg.Backend.Resolve(n, false) {
+	case backend.Hosking:
+		backbone, err = fgn.Hosking(n, cfg.Hurst, rng)
+	case backend.Paxson:
+		backbone, err = fgn.Paxson(n, cfg.Hurst, rng)
+	default:
+		backbone, err = fgn.DaviesHarte(n, cfg.Hurst, rng)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

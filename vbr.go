@@ -53,6 +53,7 @@ import (
 	"io"
 
 	"vbr/internal/arma"
+	"vbr/internal/backend"
 	"vbr/internal/core"
 	"vbr/internal/dist"
 	"vbr/internal/errs"
@@ -118,11 +119,40 @@ func Fit(frames []float64, opts FitOptions) (Model, error) { return core.Fit(fra
 // optional Pool that shares precomputations across calls.
 type GenOptions = core.GenOptions
 
+// Backend selects the fGn Gaussian engine behind every generation
+// path — batch, streaming and the synthetic movie backbone:
+//
+//   - BackendHosking: the paper's exact O(n²) recursion, the bitwise
+//     reference.
+//   - BackendDaviesHarte: exact circulant embedding, O(n log n).
+//   - BackendPaxson: FFT spectral approximation (Paxson 1997),
+//     O(n log n) with the smallest constants; approximate but passes
+//     the committed fidelity battery.
+//   - BackendAuto: policy choice — exact for short batch runs, Paxson
+//     for long or streamed ones.
+type Backend = backend.Backend
+
+// Backend choices.
+const (
+	BackendHosking     = backend.Hosking
+	BackendDaviesHarte = backend.DaviesHarte
+	BackendPaxson      = backend.Paxson
+	BackendAuto        = backend.Auto
+)
+
+// ParseBackend resolves a backend name ("hosking", "davies-harte",
+// "paxson", "auto" and common aliases) to its Backend; unknown names
+// return an error matching ErrUnknownBackend.
+func ParseBackend(s string) (Backend, error) { return backend.Parse(s) }
+
 // Generator selects the LRD Gaussian engine.
+//
+// Deprecated: Generator is an alias of Backend kept for source
+// compatibility; use Backend.
 type Generator = core.Generator
 
-// Generator choices: the paper's exact O(n²) Hosking algorithm and the
-// O(n log n) Davies–Harte circulant embedding.
+// Deprecated generator spellings; use BackendHosking and
+// BackendDaviesHarte.
 const (
 	HoskingExact    = core.HoskingExact
 	DaviesHarteFast = core.DaviesHarteFast
@@ -395,6 +425,7 @@ var (
 	ErrAllCombosFailed    = errs.ErrAllCombosFailed
 	ErrInvalidSeries      = errs.ErrInvalidSeries
 	ErrUnknownModel       = errs.ErrUnknownModel
+	ErrUnknownBackend     = errs.ErrUnknownBackend
 )
 
 // QCCurveCtx computes a Fig. 14 curve under a context: cancellation
@@ -439,11 +470,14 @@ func GenerateFaults(seed uint64, n int, cfg FaultConfig) (*FaultSchedule, error)
 type StreamConfig = stream.Config
 
 // StreamBackend selects the Gaussian engine behind a stream.
+//
+// Deprecated: StreamBackend is an alias of Backend kept for source
+// compatibility; use Backend.
 type StreamBackend = stream.Backend
 
-// Stream backends: the exact Hosking recursion (bitwise-identical to
-// batch Generate with Standardize off) and overlap-stitched Davies–Harte
-// blocks (O(block) memory, approximate seams).
+// Deprecated stream-backend spellings; use BackendHosking and
+// BackendDaviesHarte (streams also accept BackendPaxson and
+// BackendAuto).
 const (
 	StreamHosking     = stream.Hosking
 	StreamDaviesHarte = stream.DaviesHarte

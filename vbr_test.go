@@ -3,6 +3,7 @@ package vbr
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -169,5 +170,45 @@ func TestPublicAPIStream(t *testing.T) {
 	p := s.Probe()
 	if p.N != 2000 || p.Mean <= 0 || p.Std <= 0 {
 		t.Errorf("probe %+v, want 2000 frames with positive moments", p)
+	}
+}
+
+// TestPublicAPIBackend pins the unified backend surface: the exported
+// constants round-trip through ParseBackend/String, the deprecated
+// generator and stream spellings are the same values, unknown names
+// match ErrUnknownBackend, and every backend drives Generate through
+// the facade.
+func TestPublicAPIBackend(t *testing.T) {
+	for _, b := range []Backend{BackendHosking, BackendDaviesHarte, BackendPaxson, BackendAuto} {
+		got, err := ParseBackend(b.String())
+		if err != nil {
+			t.Fatalf("ParseBackend(%q): %v", b.String(), err)
+		}
+		if got != b {
+			t.Errorf("ParseBackend(%q) = %v, want %v", b.String(), got, b)
+		}
+	}
+	if BackendHosking != HoskingExact || BackendDaviesHarte != DaviesHarteFast {
+		t.Error("deprecated generator constants diverged from Backend values")
+	}
+	if Backend(StreamHosking) != BackendHosking || Backend(StreamDaviesHarte) != BackendDaviesHarte {
+		t.Error("deprecated stream constants diverged from Backend values")
+	}
+	if _, err := ParseBackend("fourier"); !errors.Is(err, ErrUnknownBackend) {
+		t.Errorf("ParseBackend(fourier) = %v, want ErrUnknownBackend", err)
+	}
+
+	model := Model{MuGamma: 27791, SigmaGamma: 6254, TailSlope: 12, Hurst: 0.8}
+	for _, b := range []Backend{BackendHosking, BackendDaviesHarte, BackendPaxson, BackendAuto} {
+		opts := DefaultGenOptions()
+		opts.Generator = b
+		opts.Seed = 4
+		frames, err := model.Generate(1024, opts)
+		if err != nil {
+			t.Fatalf("Generate with %v: %v", b, err)
+		}
+		if len(frames) != 1024 {
+			t.Fatalf("backend %v: generated %d frames", b, len(frames))
+		}
 	}
 }
